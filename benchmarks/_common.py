@@ -1,0 +1,72 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every experiment Exx regenerates one claim from the paper's evaluation
+(§6) or design sections.  Benches print a table of *paper model* next
+to *measured*, persist it under ``benchmarks/results/`` (so the tables
+survive pytest's output capturing), and assert the claim's *shape* —
+who wins, by roughly what factor — not absolute numbers.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List, Sequence
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def format_table(
+    title: str, headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Render an aligned text table."""
+    rendered_rows: List[List[str]] = [
+        [_cell(value) for value in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def publish(name: str, text: str) -> None:
+    """Print the table and persist it under benchmarks/results/."""
+    print("\n" + text + "\n")
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as handle:
+        handle.write(text + "\n")
+
+
+def assert_close(actual: float, expected: float, rel: float, what: str = "") -> None:
+    """Assert agreement within a relative tolerance."""
+    if expected == 0:
+        assert abs(actual) < 1e-12, f"{what}: {actual} vs 0"
+        return
+    error = abs(actual - expected) / abs(expected)
+    assert error <= rel, (
+        f"{what}: measured {actual:.6g} vs expected {expected:.6g} "
+        f"({error:.0%} off, tolerance {rel:.0%})"
+    )
+
+
+def us(seconds: float) -> float:
+    return seconds * 1e6
+
+
+def ms(seconds: float) -> float:
+    return seconds * 1e3

@@ -1,0 +1,82 @@
+"""E4 — VIPER vs IP header size as a function of route length.
+
+§6.2's structural point: VIPER's header cost is *per hop* where IP's is
+fixed.  With the paper's 18 bytes/hop the crossover sits at 20/18 ≈ 1.1
+hops: shorter (local) routes make VIPER strictly cheaper, long transit
+routes cost more unless collapsed into logical hops (§2.2).  This bench
+sizes real encoded routes — with and without 28-byte port tokens — and
+locates the crossover.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.overhead import crossover_hops
+from repro.net.addresses import MacAddress
+from repro.viper.packet import SirpentPacket
+from repro.viper.portinfo import EthernetInfo
+from repro.viper.wire import HeaderSegment, encode_route
+
+from benchmarks._common import format_table, publish
+
+IP_HEADER = 20
+TOKEN_BYTES = 28
+
+
+def _route(hops: int, ethernet: bool, tokens: bool):
+    mac = MacAddress(0x02_00_00_00_00_01)
+    info = EthernetInfo(dst=mac, src=mac).to_bytes() if ethernet else b""
+    segments = []
+    for _ in range(hops):
+        segments.append(HeaderSegment(
+            port=1,
+            vnt=not ethernet,
+            portinfo=info,
+            token=bytes(TOKEN_BYTES) if tokens else b"",
+        ))
+    segments.append(HeaderSegment(port=0))  # final intra-host segment
+    return segments
+
+
+def run_sweep():
+    rows = []
+    # Up to 47 routers: the destination's final segment makes 48, the
+    # VIPER maximum (§2.3).
+    for hops in (0, 1, 2, 3, 5, 8, 16, 47):
+        p2p = len(encode_route(_route(hops, ethernet=False, tokens=False)))
+        ether = len(encode_route(_route(hops, ethernet=True, tokens=False)))
+        tokened = len(encode_route(_route(hops, ethernet=True, tokens=True)))
+        rows.append({
+            "hops": hops, "p2p": p2p, "ether": ether,
+            "tokened": tokened, "ip": IP_HEADER,
+        })
+    return rows
+
+
+def bench_e04_header_sizes(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    table = format_table(
+        "E4  Encoded header bytes vs route length (VIPER codec, Figure 1)",
+        ["hops", "VIPER p2p/VNT", "VIPER Ethernet", "VIPER Ethernet+token",
+         "IP fixed"],
+        [(r["hops"], r["p2p"], r["ether"], r["tokened"], r["ip"])
+         for r in rows],
+    )
+    note = (
+        f"\nPaper crossover model: IP 20B / 18B-per-hop = "
+        f"{crossover_hops():.2f} hops; 48-segment routes stay 'under 500\n"
+        "bytes' for p2p/VNT segments (tokens, which IP cannot express at\n"
+        "all, add 28B per hop)."
+    )
+    publish("e04_header_sizes", table + note)
+
+    by_hops = {r["hops"]: r for r in rows}
+    # Local and 1-hop traffic: VIPER headers at or below IP's 20 bytes.
+    assert by_hops[0]["ether"] <= IP_HEADER
+    assert by_hops[1]["p2p"] <= IP_HEADER
+    # Beyond the crossover, Ethernet-hop routes exceed IP's fixed header.
+    assert by_hops[2]["ether"] > IP_HEADER
+    # The §2.3 sizing claim: a maximal 48-segment route < 500 bytes.
+    assert by_hops[47]["p2p"] < 500
+    # Per-hop growth is exactly the segment size: 4 (VNT) / 18 (Ether).
+    assert by_hops[3]["p2p"] - by_hops[2]["p2p"] == 4
+    assert by_hops[2]["ether"] - by_hops[1]["ether"] == 18

@@ -1,0 +1,121 @@
+"""E6 — §6.3 reaction to link failure.
+
+Paper claim: "the client can react faster and more reliably to optimize
+its end-to-end performance than can the hop-by-hop optimization of
+conventional distributed routing" — because the Sirpent client already
+*holds* alternate routes from the directory and detects trouble from
+its own retransmission timers, while IP must detect the failure with
+hello timeouts, flood LSAs and rerun SPF before a single packet flows.
+
+Setup: twin 2-path parallel topologies.  Fail the primary path and
+measure time-to-first-successful-delivery for (a) a VMTP client with two
+cached routes, (b) the IP baseline probing every 5 ms, for a range of
+hello/dead-interval configurations.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.ip import IpRouterConfig
+from repro.scenarios import build_ip_parallel, build_sirpent_parallel
+from repro.transport import RouteManager, TransportConfig
+
+from benchmarks._common import format_table, ms, publish
+
+
+def sirpent_recovery(base_timeout: float = 5e-3) -> dict:
+    scenario = build_sirpent_parallel(n_paths=2, path_delay_step=50e-6)
+    config = TransportConfig(base_timeout=base_timeout, retries_per_route=1)
+    client = scenario.transport("src", config=config)
+    server = scenario.transport("dst", config=config)
+    entity = server.create_entity(lambda m: (b"ok", 64), hint="server")
+    manager = RouteManager(scenario.sim, scenario.vmtp_routes("src", "dst", k=2))
+
+    warm = []
+    client.transact(manager, entity, b"warm", 64, warm.append)
+    scenario.sim.run(until=0.5)
+    assert warm[0].ok
+
+    scenario.topology.fail_link("rA--p1")
+    fail_time = scenario.sim.now
+    done = []
+    client.transact(manager, entity, b"probe", 64, done.append)
+    scenario.sim.run(until=fail_time + 5.0)
+    assert done and done[0].ok
+    return {
+        "recovery": scenario.sim.now - fail_time - 0.0,
+        "first_success_rtt": done[0].rtt,
+        "switches": done[0].route_switches,
+    }
+
+
+def ip_recovery(hello_interval: float) -> dict:
+    config = IpRouterConfig(hello_interval=hello_interval)
+    scenario = build_ip_parallel(n_paths=2, router_config=config)
+    scenario.converge()
+    received = []
+    scenario.hosts["dst"].bind_protocol(42, received.append)
+    scenario.topology.fail_link("rA--p1")
+    fail_time = scenario.sim.now
+    for step in range(400):
+        scenario.sim.at(
+            fail_time + step * 5e-3,
+            lambda: scenario.hosts["src"].send("dst", b"p", 100, protocol=42),
+        )
+    scenario.sim.run(until=fail_time + 2.0)
+    assert received, "IP never recovered"
+    first = min(p.created_at for p in received)
+    entry = scenario.routers["rA"]
+    return {
+        "recovery": first - fail_time,
+        "reconvergence": entry.routing.last_table_change - fail_time,
+        "lsas": sum(r.routing.lsas_flooded.count
+                    for r in scenario.routers.values()),
+    }
+
+
+def run_all():
+    sirpent_fast = sirpent_recovery(base_timeout=5e-3)
+    sirpent_slow = sirpent_recovery(base_timeout=20e-3)
+    ip_fast = ip_recovery(hello_interval=10e-3)
+    ip_slow = ip_recovery(hello_interval=50e-3)
+    return sirpent_fast, sirpent_slow, ip_fast, ip_slow
+
+
+def bench_e06_failure_recovery(benchmark):
+    s_fast, s_slow, ip_fast, ip_slow = benchmark.pedantic(
+        run_all, rounds=1, iterations=1,
+    )
+    table = format_table(
+        "E6  Time to re-established delivery after a path failure (ms)",
+        ["scheme", "parameters", "first delivery (ms)", "notes"],
+        [
+            ("Sirpent rebind", "rtx timeout 5ms",
+             ms(s_fast["first_success_rtt"]),
+             f"{s_fast['switches']} route switch(es)"),
+            ("Sirpent rebind", "rtx timeout 20ms",
+             ms(s_slow["first_success_rtt"]),
+             f"{s_slow['switches']} route switch(es)"),
+            ("IP link-state", "hello 10ms (dead 30ms)",
+             ms(ip_fast["recovery"]),
+             f"reconverged {ms(ip_fast['reconvergence']):.1f}ms, "
+             f"{ip_fast['lsas']} LSAs flooded"),
+            ("IP link-state", "hello 50ms (dead 150ms)",
+             ms(ip_slow["recovery"]),
+             f"reconverged {ms(ip_slow['reconvergence']):.1f}ms, "
+             f"{ip_slow['lsas']} LSAs flooded"),
+        ],
+    )
+    note = (
+        "\nPaper: the client 'can react faster and more reliably' than\n"
+        "hop-by-hop distributed routing — it already holds the alternate\n"
+        "route; IP must detect (dead interval), flood and recompute."
+    )
+    publish("e06_failure_recovery", table + note)
+
+    assert s_fast["switches"] >= 1
+    # The headline ordering: client rebind beats reconvergence.
+    assert s_fast["first_success_rtt"] < ip_fast["recovery"]
+    assert s_slow["first_success_rtt"] < ip_slow["recovery"]
+    # IP recovery is bounded below by its failure-detection time.
+    assert ip_fast["recovery"] > 3 * 10e-3 * 0.8
+    assert ip_slow["recovery"] > 3 * 50e-3 * 0.8

@@ -1,0 +1,146 @@
+"""E8 — §1 bursty/transactional traffic: Sirpent vs CVC vs IP.
+
+Paper claims:
+
+* "The CVC approach requires a circuit setup between endpoints before
+  communication can take place, introducing a full roundtrip delay";
+* "Either the circuit setup cost is incurred frequently or else
+  circuits are held and not well utilized over long periods of time",
+  with the held circuits costing switch state;
+* "increases in transactional traffic … make the logical connections
+  even shorter", so datagram/source-routing approaches win.
+
+Setup: a client issues short transactions (512B request / 256B reply)
+across 2 intermediate nodes.  Variants: VMTP over Sirpent cut-through,
+CVC with a fresh circuit per transaction, CVC holding circuits, UDP-like
+and TCP-like over the IP baseline.  Identical link parameters.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.cvc import CvcServer, CvcTransactionClient
+from repro.baselines.ip.tcplike import TcpLikeTransport, UdpLikeTransport
+from repro.scenarios import build_cvc_line, build_ip_line, build_sirpent_line
+from repro.transport import RouteManager
+
+from benchmarks._common import format_table, ms, publish
+
+REQUEST = 512
+REPLY = 256
+N_TRANSACTIONS = 30
+HOPS = 2
+
+
+def _run_series(issue_next, sim, results):
+    """Issue transactions back to back until N complete."""
+
+    def step(result=None):
+        if result is not None:
+            results.append(result)
+        if len(results) < N_TRANSACTIONS:
+            issue_next(step)
+
+    issue_next(step)
+    sim.run(until=sim.now + 60.0)
+
+
+def run_sirpent():
+    scenario = build_sirpent_line(n_routers=HOPS)
+    client = scenario.transport("src")
+    server = scenario.transport("dst")
+    entity = server.create_entity(lambda m: (b"r", REPLY), hint="server")
+    manager = RouteManager(scenario.sim, scenario.vmtp_routes("src", "dst"))
+    results = []
+    _run_series(
+        lambda cb: client.transact(manager, entity, b"q", REQUEST, cb),
+        scenario.sim, results,
+    )
+    latencies = [r.rtt for r in results if r.ok]
+    return {"latencies": latencies, "held_state": 0}
+
+
+def run_cvc(hold: bool):
+    scenario = build_cvc_line(n_switches=HOPS)
+    CvcServer(scenario.hosts["dst"], lambda p, s: (b"r", REPLY))
+    client = CvcTransactionClient(
+        scenario.sim, scenario.hosts["src"], hold_circuits=hold,
+    )
+    results = []
+    _run_series(
+        lambda cb: client.transact("dst", b"q", REQUEST, cb),
+        scenario.sim, results,
+    )
+    latencies = [r.total_time for r in results if r.ok]
+    held = sum(s.held_circuits for s in scenario.switches.values())
+    return {"latencies": latencies, "held_state": held}
+
+
+def run_ip(transport_cls):
+    scenario = build_ip_line(n_routers=HOPS)
+    scenario.converge()
+    client = transport_cls(scenario.sim, scenario.hosts["src"])
+    server = transport_cls(scenario.sim, scenario.hosts["dst"])
+    server.serve(lambda p, s: (b"r", REPLY))
+    results = []
+    _run_series(
+        lambda cb: client.transact("dst", b"q", REQUEST, cb),
+        scenario.sim, results,
+    )
+    latencies = [r.rtt for r in results if r.ok]
+    return {"latencies": latencies, "held_state": 0}
+
+
+def run_all():
+    return {
+        "VMTP / Sirpent": run_sirpent(),
+        "CVC fresh circuit": run_cvc(hold=False),
+        "CVC held circuit": run_cvc(hold=True),
+        "UDP-like / IP": run_ip(UdpLikeTransport),
+        "TCP-like / IP": run_ip(TcpLikeTransport),
+    }
+
+
+def bench_e08_bursty_cvc(benchmark):
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = []
+    for name, data in results.items():
+        latencies = data["latencies"]
+        mean = sum(latencies) / len(latencies)
+        first = latencies[0]
+        steady = sum(latencies[5:]) / len(latencies[5:])
+        rows.append((name, len(latencies), ms(first), ms(steady), ms(mean),
+                     data["held_state"]))
+    table = format_table(
+        f"E8  Short transactions ({REQUEST}B/{REPLY}B, {HOPS} hops, "
+        f"{N_TRANSACTIONS} back to back)",
+        ["scheme", "completed", "first (ms)", "steady (ms)", "mean (ms)",
+         "held switch circuits"],
+        rows,
+    )
+    note = (
+        "\nPaper: CVC pays a setup round trip per transaction or holds\n"
+        "state; IP pays store-and-forward and (TCP) a handshake; VMTP\n"
+        "over Sirpent pays neither."
+    )
+    publish("e08_bursty_cvc", table + note)
+
+    def mean_of(name):
+        latencies = results[name]["latencies"]
+        return sum(latencies) / len(latencies)
+
+    sirpent = mean_of("VMTP / Sirpent")
+    # Sirpent beats every alternative on mean transaction latency.
+    for name in results:
+        if name != "VMTP / Sirpent":
+            assert sirpent < mean_of(name), f"{name} beat Sirpent"
+    # Fresh-circuit CVC is the worst of all (full setup RTT each time).
+    cvc_fresh = mean_of("CVC fresh circuit")
+    assert cvc_fresh >= max(
+        mean_of(n) for n in results if n != "CVC fresh circuit"
+    ) * 0.99
+    # Holding circuits helps latency but leaves state in every switch.
+    assert mean_of("CVC held circuit") < cvc_fresh
+    assert results["CVC held circuit"]["held_state"] == HOPS
+    assert results["CVC fresh circuit"]["held_state"] == 0
+    # All schemes completed the workload.
+    assert all(len(d["latencies"]) == N_TRANSACTIONS for d in results.values())

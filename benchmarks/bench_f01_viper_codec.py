@@ -1,0 +1,71 @@
+"""F1 — Figure 1: the VIPER header segment, byte for byte.
+
+The paper's only figure.  This bench (a) verifies the exact field
+layout of Figure 1 against the codec, (b) renders the reference
+segment the way the figure draws it, and (c) measures raw codec
+throughput — relevant because §5 argues the format was designed for
+cut-through hardware (fixed part first, variable lengths early).
+"""
+
+from __future__ import annotations
+
+from repro.viper.wire import (
+    FIXED_SEGMENT_BYTES,
+    HeaderSegment,
+    decode_segment,
+    encode_segment,
+)
+
+from benchmarks._common import format_table, publish
+
+REFERENCE = HeaderSegment(
+    port=0x11, priority=0x6, vnt=False, dib=True, rpf=False,
+    token=bytes(range(8)), portinfo=bytes(range(14)),
+)
+
+
+def codec_roundtrips(n: int = 2000) -> int:
+    count = 0
+    for _ in range(n):
+        encoded = encode_segment(REFERENCE)
+        decoded, _ = decode_segment(encoded)
+        count += decoded.port
+    return count
+
+
+def bench_f01_viper_codec(benchmark):
+    benchmark(codec_roundtrips)
+
+    encoded = encode_segment(REFERENCE)
+    rows = [
+        ("PortInfoLength", "octet 0", encoded[0], len(REFERENCE.portinfo)),
+        ("PortTokenLength", "octet 1", encoded[1], len(REFERENCE.token)),
+        ("Port", "octet 2", encoded[2], REFERENCE.port),
+        ("Flags|Priority", "octet 3", encoded[3], (0x4 << 4) | 0x6),
+        ("PortToken", "octets 4..11",
+         encoded[4:12].hex(), REFERENCE.token.hex()),
+        ("PortInfo", "octets 12..25",
+         encoded[12:26].hex(), REFERENCE.portinfo.hex()),
+    ]
+    table = format_table(
+        "F1  VIPER header segment layout (Figure 1) — encoded vs specified",
+        ["field", "position", "encoded", "expected"],
+        rows,
+    )
+    note = (
+        f"\nFixed part = {FIXED_SEGMENT_BYTES} bytes, leading — 'the\n"
+        "fixed-length portion is first and provides the length\n"
+        "information on the variable-length portion as far in advance as\n"
+        "possible' (§5).  Minimum segment = 32 bits."
+    )
+    publish("f01_viper_codec", table + note)
+
+    assert encoded[0] == 14
+    assert encoded[1] == 8
+    assert encoded[2] == 0x11
+    assert encoded[3] == 0x46  # DIB flag (0x4) in high nibble, priority 6
+    assert encoded[4:12] == REFERENCE.token
+    assert encoded[12:26] == REFERENCE.portinfo
+    assert HeaderSegment(port=1).wire_size() == 4  # 32-bit minimum
+    decoded, consumed = decode_segment(encoded)
+    assert decoded == REFERENCE and consumed == len(encoded)

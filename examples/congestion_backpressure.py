@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Rate-based congestion control in action (§2.2).
+
+Three senders behind access routers overload a shared bottleneck at
+1.6x its capacity.  Watch the congested queue, the backpressure signals
+flowing upstream, and the soft flow state that forms — then evaporates
+when the load stops.
+
+Run:  python examples/congestion_backpressure.py
+"""
+
+from repro.core.router import RouterConfig
+from repro.scenarios import build_sirpent_dumbbell
+from repro.sim.rng import RngStreams
+from repro.workloads.arrivals import PoissonArrivals
+
+N_PAIRS = 3
+PACKET = 1000
+OVERLOAD = 1.6
+LOAD_SECONDS = 1.0
+
+
+def main() -> None:
+    scenario = build_sirpent_dumbbell(
+        n_pairs=N_PAIRS, router_config=RouterConfig(congestion_enabled=True),
+        access_routers=True,
+    )
+    sim = scenario.sim
+    rngs = RngStreams(99)
+    per_sender_pps = OVERLOAD * 10e6 / (PACKET * 8 * N_PAIRS)
+    print(f"offering {OVERLOAD:.1f}x the bottleneck capacity "
+          f"({per_sender_pps:.0f} pkt/s per sender) for {LOAD_SECONDS:.0f}s\n")
+    for index in range(N_PAIRS):
+        sender = scenario.hosts[f"sender{index + 1}"]
+        route = scenario.routes(f"sender{index + 1}", f"receiver{index + 1}")[0]
+        PoissonArrivals(
+            sim, per_sender_pps,
+            emit=lambda size, s=sender, r=route: s.send(r, b"x", size - 50),
+            rng=rngs.stream(f"s{index}"),
+            fixed_size=PACKET, stop_at=LOAD_SECONDS,
+        )
+
+    left = scenario.routers["rL"]
+    bottleneck_port = next(
+        pid for pid, att in left.ports.items()
+        if att.peer_name_for(None) == "rR"
+    )
+    outport = left.output_ports[bottleneck_port]
+
+    def report() -> None:
+        held = sum(
+            scenario.routers[f"a{i + 1}"].congestion.total_held()
+            for i in range(N_PAIRS)
+        )
+        limits = sum(
+            len(scenario.routers[f"a{i + 1}"].congestion.limits)
+            for i in range(N_PAIRS)
+        )
+        print(f"t={sim.now:5.2f}s  bottleneck queue={outport.queue_depth:3d} "
+              f"drops={outport.drops.count:3d}  "
+              f"signals sent={left.congestion.signals_sent.count:4d}  "
+              f"upstream held={held:3d}  soft flow-states={limits}")
+
+    for tick in range(1, 15):
+        sim.at(tick * 0.2, report)
+    sim.run(until=3.0)
+
+    delivered = sum(
+        scenario.hosts[f"receiver{i + 1}"].received.count
+        for i in range(N_PAIRS)
+    )
+    utilization = scenario.topology.links["bottleneck"].a_to_b \
+        .utilization.utilization(sim.now)
+    print(f"\ndelivered {delivered} packets; bottleneck utilization "
+          f"{utilization:.0%} during the run; queue never grew past "
+          f"{outport.queue_length.maximum:.0f} packets and only "
+          f"{outport.drops.count} drops occurred —\nthe backlog lived as "
+          "*soft state* at the access routers and evaporated when the "
+          "load stopped (all flow-states now 0).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Client-side route rebinding under failure (§6.3).
+
+A client holds two routes from the directory.  Mid-conversation the
+primary path dies; the client's retransmission timer fires, the route
+manager switches to the cached alternate, and the conversation
+continues — faster than any distributed routing protocol could even
+*detect* the failure, which is the paper's §6.3 argument.
+
+Run:  python examples/failure_rebinding.py
+"""
+
+from repro.scenarios import build_sirpent_parallel
+from repro.transport import RouteManager, TransportConfig
+
+
+def main() -> None:
+    scenario = build_sirpent_parallel(n_paths=2, path_delay_step=100e-6)
+    sim = scenario.sim
+    client = scenario.transport(
+        "src", config=TransportConfig(base_timeout=5e-3, retries_per_route=1),
+    )
+    server = scenario.transport("dst")
+    entity = server.create_entity(lambda m: (b"pong", 128), hint="server")
+
+    routes = scenario.vmtp_routes("src", "dst", k=2)
+    print("directory returned "
+          f"{len(routes)} routes: "
+          + ", ".join(
+              f"[{r.hop_count} hops, {r.propagation_delay * 1e6:.0f}us prop]"
+              for r in routes
+          ))
+    manager = RouteManager(sim, routes)
+
+    log = []
+
+    def transact(tag: str) -> None:
+        def done(result) -> None:
+            log.append((tag, result))
+            print(f"  {tag}: ok={result.ok} rtt={result.rtt * 1e3:.2f}ms "
+                  f"retries={result.retries} "
+                  f"route_switches={result.route_switches}")
+
+        client.transact(manager, entity, tag.encode(), 256, done)
+
+    print("\nwarm-up on the primary path:")
+    transact("before-failure")
+    sim.run(until=0.2)
+
+    print("\nfailing the primary path (rA--p1) ...")
+    scenario.topology.fail_link("rA--p1")
+    fail_time = sim.now
+    transact("during-failure")
+    sim.run(until=fail_time + 1.0)
+    recovery = manager.last_switch_at - fail_time
+    print(f"  -> client detected the loss and rebound in "
+          f"{recovery * 1e3:.1f} ms (its own timer, no routing protocol)")
+
+    print("\nconversation continues on the alternate:")
+    transact("after-rebind")
+    sim.run(until=sim.now + 0.5)
+    assert all(result.ok for _tag, result in log)
+    print(f"\nall {len(log)} transactions completed; "
+          f"route switches: {manager.switches.count}")
+
+
+if __name__ == "__main__":
+    main()

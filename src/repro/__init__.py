@@ -1,0 +1,24 @@
+"""Reproduction of Cheriton's *Sirpent: A High-Performance
+Internetworking Approach* (SIGCOMM 1989).
+
+Package map:
+
+* :mod:`repro.sim` — discrete-event engine, processes, RNG, monitors.
+* :mod:`repro.net` — links, Ethernet segments, topologies (bit-timed,
+  cut-through-capable substrate).
+* :mod:`repro.viper` — the VIPER wire format (Figure 1) and packet
+  algebra (header segments, return-route trailer).
+* :mod:`repro.core` — the Sirpent router and host: cut-through
+  switching, tokens, priorities/preemption, congestion backpressure,
+  logical links, multicast, truncation.
+* :mod:`repro.tokens` — capability tokens, cache, accounting.
+* :mod:`repro.directory` — the routing directory (§3).
+* :mod:`repro.transport` — the VMTP-like transport (§4).
+* :mod:`repro.baselines` — IP-datagram and CVC comparators.
+* :mod:`repro.analysis` — the paper's closed-form §6 models.
+* :mod:`repro.workloads` — traffic and application generators.
+* :mod:`repro.scenarios` — prebuilt end-to-end network scenarios used
+  by the examples, tests and benchmarks.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,32 @@
+"""Closed-form models from the paper's evaluation (§6).
+
+The paper's performance section is analytic; these modules implement
+its arithmetic exactly so every benchmark can print *paper model* next
+to *simulated measurement*:
+
+* :mod:`repro.analysis.queueing` — M/D/1 and M/M/1 results (§6.1).
+* :mod:`repro.analysis.overhead` — the §6.2 header-overhead estimate.
+* :mod:`repro.analysis.delay` — store-and-forward vs cut-through delay
+  decompositions (§6.1).
+"""
+
+from repro.analysis.delay import cut_through_delay, store_and_forward_delay
+from repro.analysis.overhead import (
+    ip_overhead_fraction,
+    mixture_mean_size,
+    paper_example_overhead,
+    sirpent_overhead_fraction,
+)
+from repro.analysis.queueing import md1_mean_queue, md1_mean_wait, mm1_mean_wait
+
+__all__ = [
+    "cut_through_delay",
+    "ip_overhead_fraction",
+    "md1_mean_queue",
+    "md1_mean_wait",
+    "mixture_mean_size",
+    "mm1_mean_wait",
+    "paper_example_overhead",
+    "sirpent_overhead_fraction",
+    "store_and_forward_delay",
+]

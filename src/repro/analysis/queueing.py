@@ -1,0 +1,72 @@
+"""Queueing formulas used by §6.1.
+
+"With reasonable load (up to about 70 percent utilization), M/D/1
+modeling of the queue suggests an average queue length of approximately
+one packet or less, including the packet currently being transmitted.
+The average blocking delay is then approximately the transmission time
+for half of an average packet size."
+
+The M/D/1 results are the Pollaczek–Khinchine formulas with zero
+service-time variance.
+"""
+
+from __future__ import annotations
+
+
+def _check_rho(rho: float) -> float:
+    if not 0.0 <= rho < 1.0:
+        raise ValueError(f"utilization must be in [0, 1), got {rho}")
+    return rho
+
+
+def md1_mean_wait(rho: float, service_time: float) -> float:
+    """Mean time in queue (excluding service) for M/D/1.
+
+    Wq = rho * S / (2 (1 - rho)).  At rho = 0.5 this is exactly half a
+    service time — the paper's "half of an average packet" figure.
+    """
+    _check_rho(rho)
+    return rho * service_time / (2.0 * (1.0 - rho))
+
+
+def md1_mean_queue(rho: float) -> float:
+    """Mean number in system (queue + in service) for M/D/1.
+
+    L = rho + rho^2 / (2 (1 - rho)).
+    """
+    _check_rho(rho)
+    return rho + rho * rho / (2.0 * (1.0 - rho))
+
+
+def md1_mean_sojourn(rho: float, service_time: float) -> float:
+    """Mean time in system (wait + service) for M/D/1."""
+    return md1_mean_wait(rho, service_time) + service_time
+
+
+def mm1_mean_wait(rho: float, service_time: float) -> float:
+    """Mean queueing delay for M/M/1 (exponential packet sizes).
+
+    Wq = rho * S / (1 - rho) — exactly twice the M/D/1 value; useful as
+    the pessimistic envelope when packet sizes are highly variable.
+    """
+    _check_rho(rho)
+    return rho * service_time / (1.0 - rho)
+
+
+def mm1_mean_queue(rho: float) -> float:
+    """Mean number in system for M/M/1: L = rho / (1 - rho)."""
+    _check_rho(rho)
+    return rho / (1.0 - rho)
+
+
+def mg1_mean_wait(rho: float, service_time: float, service_cv2: float) -> float:
+    """General Pollaczek–Khinchine mean wait.
+
+    ``service_cv2`` is the squared coefficient of variation of service
+    time (0 = deterministic, 1 = exponential).  The paper's packet-size
+    mixture has cv^2 between the two, which the E1 bench verifies.
+    """
+    _check_rho(rho)
+    if service_cv2 < 0:
+        raise ValueError("squared CV cannot be negative")
+    return (1.0 + service_cv2) / 2.0 * rho * service_time / (1.0 - rho)

@@ -1,0 +1,12 @@
+"""Baseline internetworking approaches the paper argues against (§1).
+
+* :mod:`repro.baselines.ip` — the "universal internetwork datagram":
+  store-and-forward routers, per-packet route lookup, TTL, header
+  checksum, fragmentation/reassembly, distributed link-state routing.
+* :mod:`repro.baselines.cvc` — concatenated virtual circuits (X.75
+  style): per-circuit switch state, a setup round trip before data, and
+  bandwidth reservation.
+
+Both run over the exact same :mod:`repro.net` substrate as Sirpent so
+head-to-head benchmarks differ only in the architecture under test.
+"""

@@ -1,0 +1,84 @@
+"""Packets and circuit records for the CVC baseline."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, List
+
+#: Signalling packets (SETUP/CONFIRM/RELEASE) are small control frames.
+SIGNALLING_BYTES = 40
+
+#: Per-data-packet header once the circuit exists: a short label —
+#: "the circuit provides a basis for … efficient addressing".
+DATA_HEADER_BYTES = 8
+
+
+class CvcKind(enum.Enum):
+    """Frame kinds on the circuit network: signalling plus DATA."""
+    SETUP = "setup"
+    CONFIRM = "confirm"
+    RELEASE = "release"      # also the "busy" refusal on setup failure
+    DATA = "data"
+
+
+class CircuitState(enum.Enum):
+    """Lifecycle of a virtual circuit as a host sees it."""
+    PENDING = "pending"
+    OPEN = "open"
+    CLOSED = "closed"
+    REFUSED = "refused"
+
+
+_packet_ids = itertools.count(1)
+
+
+@dataclass
+class CvcPacket:
+    """A frame on the virtual-circuit network.
+
+    ``vci`` is rewritten hop by hop (label swap).  SETUP additionally
+    carries the destination node name and the bandwidth to reserve.
+    """
+
+    kind: CvcKind
+    vci: int
+    payload_size: int = 0
+    payload: Any = None
+    dst_node: str = ""
+    requested_bps: float = 0.0
+    refusal_reason: str = ""
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    created_at: float = 0.0
+    source: str = ""
+    corrupted: bool = False
+    hop_log: List[str] = field(default_factory=list)
+
+    def wire_size(self) -> int:
+        if self.kind is CvcKind.DATA:
+            return DATA_HEADER_BYTES + self.payload_size
+        return SIGNALLING_BYTES
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<CvcPacket {self.kind.value} vci={self.vci} {self.payload_size}B>"
+
+
+@dataclass
+class Circuit:
+    """A host's view of one virtual circuit."""
+
+    circuit_id: int
+    vci: int                     # label on the host's access link
+    host_port: int
+    dst_node: str
+    reserved_bps: float
+    state: CircuitState = CircuitState.PENDING
+    opened_at: float = 0.0
+    requested_at: float = 0.0
+    packets_sent: int = 0
+    bytes_sent: int = 0
+
+    @property
+    def setup_time(self) -> float:
+        return self.opened_at - self.requested_at if self.opened_at else 0.0

@@ -1,0 +1,303 @@
+"""CVC end systems and a transaction client over circuits.
+
+:class:`CvcTransactionClient` is the E8 comparison vehicle: it can open
+a fresh circuit per transaction (paying the full setup round trip every
+time, the bursty-traffic worst case §1 describes) or hold circuits open
+between transactions (paying the switch-state and reservation cost the
+same section criticizes).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.baselines.cvc.circuit import (
+    Circuit,
+    CircuitState,
+    CvcKind,
+    CvcPacket,
+)
+from repro.core.queues import OutputPort
+from repro.net.addresses import MacAddress
+from repro.net.link import Transmission
+from repro.net.node import Attachment, Node
+from repro.sim.engine import EventHandle, Simulator
+from repro.sim.monitor import Counter, Histogram
+
+
+class CvcHost(Node):
+    """A host on the circuit-switched internetwork."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        setup_timeout: float = 0.25,
+    ) -> None:
+        super().__init__(sim, name)
+        self.setup_timeout = setup_timeout
+        self.output_ports: Dict[int, OutputPort] = {}
+        self._gateway_port: Optional[int] = None
+        self._gateway_mac: Optional[MacAddress] = None
+        self._circuit_counter = itertools.count(1)
+        self._next_vci = 1
+        self.circuits: Dict[int, Circuit] = {}          # by local vci
+        self._pending: Dict[int, Tuple[Circuit, Callable, EventHandle]] = {}
+        self.data_handler: Optional[Callable[[Circuit, Any, int], None]] = None
+        self.incoming_circuits: Dict[int, Circuit] = {}
+        self.setup_time = Histogram(f"{name}.setup")
+        self.refused = Counter(f"{name}.refused")
+        self.data_received = Counter(f"{name}.data_rcvd")
+
+    def attach(self, port_id: int, attachment: Attachment) -> None:
+        super().attach(port_id, attachment)
+        self.output_ports[port_id] = OutputPort(self.sim, attachment)
+
+    def set_gateway(self, port_id: int, mac: Optional[MacAddress] = None) -> None:
+        self._gateway_port = port_id
+        self._gateway_mac = mac
+
+    def on_data(self, handler: Callable[[Circuit, Any, int], None]) -> None:
+        self.data_handler = handler
+
+    # -- circuit management ------------------------------------------------------
+
+    def open_circuit(
+        self,
+        dst_node: str,
+        on_ready: Callable[[Circuit], None],
+        reserve_bps: float = 0.0,
+    ) -> Circuit:
+        """Send a SETUP toward ``dst_node``; callback fires on CONFIRM
+        (state OPEN) or on refusal/timeout (state REFUSED)."""
+        if self._gateway_port is None:
+            raise RuntimeError(f"{self.name}: no gateway configured")
+        vci = self._next_vci
+        self._next_vci += 1
+        circuit = Circuit(
+            circuit_id=next(self._circuit_counter),
+            vci=vci,
+            host_port=self._gateway_port,
+            dst_node=dst_node,
+            reserved_bps=reserve_bps,
+            requested_at=self.sim.now,
+        )
+        timer = self.sim.after(self.setup_timeout, self._setup_timeout, vci)
+        self._pending[vci] = (circuit, on_ready, timer)
+        setup = CvcPacket(
+            kind=CvcKind.SETUP, vci=vci, dst_node=dst_node,
+            requested_bps=reserve_bps, created_at=self.sim.now, source=self.name,
+        )
+        self._emit(setup)
+        return circuit
+
+    def _setup_timeout(self, vci: int) -> None:
+        pending = self._pending.pop(vci, None)
+        if pending is None:
+            return
+        circuit, on_ready, _timer = pending
+        circuit.state = CircuitState.REFUSED
+        self.refused.add()
+        on_ready(circuit)
+
+    def send(self, circuit: Circuit, payload: Any, size: int) -> None:
+        if circuit.state is not CircuitState.OPEN:
+            raise RuntimeError(f"circuit {circuit.circuit_id} not open")
+        packet = CvcPacket(
+            kind=CvcKind.DATA, vci=circuit.vci,
+            payload=payload, payload_size=size,
+            created_at=self.sim.now, source=self.name,
+        )
+        circuit.packets_sent += 1
+        circuit.bytes_sent += size
+        self._emit(packet)
+
+    def close_circuit(self, circuit: Circuit) -> None:
+        if circuit.state is not CircuitState.OPEN:
+            return
+        circuit.state = CircuitState.CLOSED
+        self.circuits.pop(circuit.vci, None)
+        self._emit(CvcPacket(
+            kind=CvcKind.RELEASE, vci=circuit.vci,
+            created_at=self.sim.now, source=self.name,
+        ))
+
+    def _emit(self, packet: CvcPacket) -> None:
+        assert self._gateway_port is not None
+        self.output_ports[self._gateway_port].submit(
+            packet, packet.wire_size(), packet.wire_size(),
+            dst_mac=self._gateway_mac,
+        )
+
+    # -- receive -------------------------------------------------------------------
+
+    def on_packet(self, packet: Any, inport: Attachment, tx: Transmission) -> None:
+        if not isinstance(packet, CvcPacket):
+            return
+        if packet.kind is CvcKind.SETUP:
+            self._accept_incoming(packet)
+        elif packet.kind is CvcKind.CONFIRM:
+            self._on_confirm(packet)
+        elif packet.kind is CvcKind.RELEASE:
+            self._on_release(packet)
+        elif packet.kind is CvcKind.DATA:
+            self._on_data(packet)
+
+    def _accept_incoming(self, packet: CvcPacket) -> None:
+        """Called at the circuit's destination: confirm back."""
+        circuit = Circuit(
+            circuit_id=next(self._circuit_counter),
+            vci=packet.vci,
+            host_port=self._gateway_port or 1,
+            dst_node=packet.source,
+            reserved_bps=packet.requested_bps,
+            state=CircuitState.OPEN,
+            opened_at=self.sim.now,
+            requested_at=packet.created_at,
+        )
+        self.circuits[packet.vci] = circuit
+        self.incoming_circuits[packet.vci] = circuit
+        self._emit(CvcPacket(
+            kind=CvcKind.CONFIRM, vci=packet.vci,
+            created_at=self.sim.now, source=self.name,
+        ))
+
+    def _on_confirm(self, packet: CvcPacket) -> None:
+        pending = self._pending.pop(packet.vci, None)
+        if pending is None:
+            return
+        circuit, on_ready, timer = pending
+        timer.cancel()
+        circuit.state = CircuitState.OPEN
+        circuit.opened_at = self.sim.now
+        self.circuits[circuit.vci] = circuit
+        self.setup_time.add(circuit.setup_time)
+        on_ready(circuit)
+
+    def _on_release(self, packet: CvcPacket) -> None:
+        pending = self._pending.pop(packet.vci, None)
+        if pending is not None:
+            circuit, on_ready, timer = pending
+            timer.cancel()
+            circuit.state = CircuitState.REFUSED
+            self.refused.add()
+            on_ready(circuit)
+            return
+        circuit = self.circuits.pop(packet.vci, None)
+        if circuit is not None:
+            circuit.state = CircuitState.CLOSED
+
+    def _on_data(self, packet: CvcPacket) -> None:
+        circuit = self.circuits.get(packet.vci)
+        if circuit is None:
+            return
+        self.data_received.add()
+        if self.data_handler is not None:
+            self.data_handler(circuit, packet.payload, packet.payload_size)
+
+
+@dataclass
+class CvcTransactionResult:
+    """Outcome of one request/response over a circuit."""
+    ok: bool
+    total_time: float = 0.0
+    setup_time: float = 0.0
+    circuit_reused: bool = False
+    error: str = ""
+
+
+class CvcTransactionClient:
+    """Request/response transactions over circuits.
+
+    ``hold_circuits=True`` keeps one circuit per destination open across
+    transactions — amortizing setup at the price of held switch state.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: CvcHost,
+        hold_circuits: bool = False,
+    ) -> None:
+        self.sim = sim
+        self.host = host
+        self.hold_circuits = hold_circuits
+        self._held: Dict[str, Circuit] = {}
+        self._awaiting: Dict[int, Dict[str, Any]] = {}  # by circuit vci
+        host.on_data(self._on_data)
+
+    def transact(
+        self,
+        dst_node: str,
+        payload: Any,
+        size: int,
+        on_complete: Callable[[CvcTransactionResult], None],
+        reserve_bps: float = 0.0,
+    ) -> None:
+        started = self.sim.now
+        held = self._held.get(dst_node) if self.hold_circuits else None
+        if held is not None and held.state is CircuitState.OPEN:
+            self._send_request(held, payload, size, on_complete, started, reused=True)
+            return
+
+        def ready(circuit: Circuit) -> None:
+            if circuit.state is not CircuitState.OPEN:
+                on_complete(CvcTransactionResult(
+                    ok=False, error=f"setup failed",
+                ))
+                return
+            if self.hold_circuits:
+                self._held[dst_node] = circuit
+            self._send_request(
+                circuit, payload, size, on_complete, started, reused=False
+            )
+
+        self.host.open_circuit(dst_node, ready, reserve_bps=reserve_bps)
+
+    def _send_request(
+        self,
+        circuit: Circuit,
+        payload: Any,
+        size: int,
+        on_complete: Callable[[CvcTransactionResult], None],
+        started: float,
+        reused: bool,
+    ) -> None:
+        self._awaiting[circuit.vci] = {
+            "on_complete": on_complete, "started": started,
+            "circuit": circuit, "reused": reused,
+        }
+        self.host.send(circuit, payload, size)
+
+    def _on_data(self, circuit: Circuit, payload: Any, size: int) -> None:
+        waiting = self._awaiting.pop(circuit.vci, None)
+        if waiting is None:
+            return
+        result = CvcTransactionResult(
+            ok=True,
+            total_time=self.sim.now - waiting["started"],
+            setup_time=circuit.setup_time,
+            circuit_reused=waiting["reused"],
+        )
+        if not self.hold_circuits:
+            self.host.close_circuit(circuit)
+        waiting["on_complete"](result)
+
+
+class CvcServer:
+    """Echo-style responder: answers each request on its circuit."""
+
+    def __init__(
+        self,
+        host: CvcHost,
+        handler: Callable[[Any, int], Tuple[Any, int]],
+    ) -> None:
+        self.host = host
+        self.handler = handler
+        host.on_data(self._on_data)
+
+    def _on_data(self, circuit: Circuit, payload: Any, size: int) -> None:
+        reply_payload, reply_size = self.handler(payload, size)
+        self.host.send(circuit, reply_payload, reply_size)

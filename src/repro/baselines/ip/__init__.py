@@ -1,0 +1,37 @@
+"""IP-datagram baseline: the architecture §1 of the paper critiques.
+
+"Each router must (or at least, is supposed to) determine the next hop
+of the route from the destination address, update the Time To Live
+(TTL) field, possibly fragment the packet and update the header
+checksum before sending on the packet.  As a consequence of this
+processing, each packet suffers a reception, storage and processing
+delay at each router."
+
+Every one of those costs is implemented and charged here.
+"""
+
+from repro.baselines.ip.fragment import Reassembler, fragment_packet
+from repro.baselines.ip.header import IPV4_HEADER_BYTES, IpHeader, internet_checksum
+from repro.baselines.ip.host import IpHost
+from repro.baselines.ip.ipaddr import IpAddressAllocator, format_ip
+from repro.baselines.ip.packet import IpPacket
+from repro.baselines.ip.router import IpRouter, IpRouterConfig
+from repro.baselines.ip.routing import LinkStateRouting
+from repro.baselines.ip.tcplike import TcpLikeTransport, UdpLikeTransport
+
+__all__ = [
+    "IPV4_HEADER_BYTES",
+    "IpAddressAllocator",
+    "IpHeader",
+    "IpHost",
+    "IpPacket",
+    "IpRouter",
+    "IpRouterConfig",
+    "LinkStateRouting",
+    "Reassembler",
+    "TcpLikeTransport",
+    "UdpLikeTransport",
+    "format_ip",
+    "fragment_packet",
+    "internet_checksum",
+]

@@ -1,0 +1,132 @@
+"""An IP end system: send, receive, reassemble, demultiplex."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from repro.baselines.ip.fragment import Reassembler, fragment_packet
+from repro.baselines.ip.header import IPV4_HEADER_BYTES, IpHeader
+from repro.baselines.ip.ipaddr import IpAddressAllocator
+from repro.baselines.ip.packet import IpPacket
+from repro.core.queues import OutputPort
+from repro.net.addresses import MacAddress
+from repro.net.link import Transmission
+from repro.net.node import Attachment, Node
+from repro.sim.engine import Simulator
+from repro.sim.monitor import Counter, Histogram
+
+
+class IpHost(Node):
+    """A host speaking the datagram baseline.
+
+    Protocol handlers are keyed by the IP protocol number; handler
+    signature is ``handler(packet: IpPacket) -> None`` and fires once a
+    whole datagram is reassembled.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        allocator: IpAddressAllocator,
+        reassembly_timeout: float = 0.5,
+    ) -> None:
+        super().__init__(sim, name)
+        self.allocator = allocator
+        self.address = allocator.allocate(name)
+        self.reassembler = Reassembler(sim, timeout=reassembly_timeout)
+        self.protocol_handlers: Dict[int, Callable[[IpPacket], None]] = {}
+        self.output_ports: Dict[int, OutputPort] = {}
+        self._gateway_port: Optional[int] = None
+        self._gateway_mac: Optional[MacAddress] = None
+        self._identification = 0
+        self.sent = Counter(f"{name}.sent")
+        self.received = Counter(f"{name}.received")
+        self.dropped_checksum = Counter(f"{name}.checksum")
+        self.misdelivered = Counter(f"{name}.misdelivered")
+        self.delivery_delay = Histogram(f"{name}.delay")
+
+    # -- wiring -------------------------------------------------------------
+
+    def attach(self, port_id: int, attachment: Attachment) -> None:
+        super().attach(port_id, attachment)
+        self.output_ports[port_id] = OutputPort(self.sim, attachment)
+
+    def set_gateway(self, port_id: int, mac: Optional[MacAddress] = None) -> None:
+        self._gateway_port = port_id
+        self._gateway_mac = mac
+
+    def bind_protocol(self, protocol: int, handler: Callable[[IpPacket], None]) -> None:
+        if protocol in self.protocol_handlers:
+            raise ValueError(f"{self.name}: protocol {protocol} already bound")
+        self.protocol_handlers[protocol] = handler
+
+    # -- send ------------------------------------------------------------------
+
+    def send(
+        self,
+        dst: str,
+        payload: Any,
+        payload_size: int,
+        protocol: int = 17,
+        ttl: int = 64,
+        dont_fragment: bool = False,
+    ) -> IpPacket:
+        """Build, checksum and transmit one datagram to node ``dst``."""
+        if self._gateway_port is None:
+            raise RuntimeError(f"{self.name}: no gateway configured")
+        from repro.baselines.ip.header import FLAG_DONT_FRAGMENT
+
+        self._identification = (self._identification + 1) & 0xFFFF
+        header = IpHeader(
+            src=self.address,
+            dst=self.allocator.address_of(dst),
+            total_length=IPV4_HEADER_BYTES + payload_size,
+            identification=self._identification,
+            ttl=ttl,
+            protocol=protocol,
+            flags=FLAG_DONT_FRAGMENT if dont_fragment else 0,
+        ).with_checksum()
+        packet = IpPacket(
+            header=header,
+            payload_size=payload_size,
+            payload=payload,
+            created_at=self.sim.now,
+            source=self.name,
+        )
+        outport = self.output_ports[self._gateway_port]
+        attachment = self.ports[self._gateway_port]
+        fragments = (
+            fragment_packet(packet, attachment.mtu)
+            if packet.wire_size() > attachment.mtu
+            else [packet]
+        )
+        self.sent.add()
+        for fragment in fragments:
+            outport.submit(
+                fragment,
+                fragment.wire_size(),
+                fragment.wire_size(),
+                dst_mac=self._gateway_mac,
+            )
+        return packet
+
+    # -- receive -----------------------------------------------------------------
+
+    def on_packet(self, packet: Any, inport: Attachment, tx: Transmission) -> None:
+        if not isinstance(packet, IpPacket):
+            return
+        if not packet.header.checksum_ok():
+            self.dropped_checksum.add()
+            return
+        if packet.header.dst != self.address:
+            self.misdelivered.add()
+            return
+        whole = self.reassembler.accept(packet)
+        if whole is None:
+            return
+        self.received.add()
+        self.delivery_delay.add(self.sim.now - whole.created_at)
+        handler = self.protocol_handlers.get(whole.header.protocol)
+        if handler is not None:
+            handler(whole)

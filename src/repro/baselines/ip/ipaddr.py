@@ -1,0 +1,65 @@
+"""32-bit internetwork addresses for the IP baseline.
+
+A deliberately simple allocator: every node gets one host address out
+of a flat 10.0.0.0/8-style space.  The Sirpent paper's point (§2.3) is
+that these addresses need global coordinated assignment and per-router
+mapping state — which the benchmarks measure — so a richer subnetting
+model would only obscure the comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+def format_ip(value: int) -> str:
+    """Render a 32-bit address in dotted-quad notation."""
+    octets = value.to_bytes(4, "big")
+    return ".".join(str(b) for b in octets)
+
+
+def parse_ip(text: str) -> int:
+    """Parse dotted-quad notation into a 32-bit address."""
+    parts = text.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"malformed IP address {text!r}")
+    value = 0
+    for part in parts:
+        octet = int(part)
+        if not 0 <= octet <= 255:
+            raise ValueError(f"octet {octet} out of range in {text!r}")
+        value = (value << 8) | octet
+    return value
+
+
+class IpAddressAllocator:
+    """Hands out unique host addresses and remembers the name mapping."""
+
+    BASE = parse_ip("10.0.0.0")
+
+    def __init__(self) -> None:
+        self._next = 1
+        self.by_name: Dict[str, int] = {}
+        self.by_address: Dict[int, str] = {}
+
+    def allocate(self, node_name: str) -> int:
+        existing = self.by_name.get(node_name)
+        if existing is not None:
+            return existing
+        address = self.BASE + self._next
+        self._next += 1
+        self.by_name[node_name] = address
+        self.by_address[address] = node_name
+        return address
+
+    def address_of(self, node_name: str) -> int:
+        try:
+            return self.by_name[node_name]
+        except KeyError:
+            raise KeyError(f"no IP address allocated for {node_name!r}") from None
+
+    def name_of(self, address: int) -> str:
+        try:
+            return self.by_address[address]
+        except KeyError:
+            raise KeyError(f"unknown IP address {format_ip(address)}") from None

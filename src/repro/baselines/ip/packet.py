@@ -1,0 +1,63 @@
+"""The simulated IP packet: a real header plus an opaque payload."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, List
+
+from repro.baselines.ip.header import IPV4_HEADER_BYTES, IpHeader
+
+_packet_ids = itertools.count(1)
+
+
+@dataclass
+class IpPacket:
+    """Header + payload, with simulation metadata.
+
+    ``payload_size`` is the transport bytes this packet (or fragment)
+    carries; the wire size adds the 20-byte header.
+    """
+
+    header: IpHeader
+    payload_size: int
+    payload: Any = None
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    created_at: float = 0.0
+    source: str = ""
+    corrupted: bool = False
+    hops_taken: int = 0
+    hop_log: List[str] = field(default_factory=list)
+    #: Byte offset of this fragment's payload in the original datagram.
+    fragment_of: int = 0  # original packet_id, 0 = unfragmented
+
+    def wire_size(self) -> int:
+        return IPV4_HEADER_BYTES + self.payload_size
+
+    def corrupted_copy(self, rng) -> "IpPacket":
+        """Bit-error rendition.  Unlike Sirpent, IP *detects* header
+        corruption (checksum) and drops; we flip a header bit half the
+        time, payload otherwise."""
+        clone = IpPacket(
+            header=self.header,
+            payload_size=self.payload_size,
+            payload=self.payload,
+            created_at=self.created_at,
+            source=self.source,
+            hops_taken=self.hops_taken,
+            hop_log=list(self.hop_log),
+            fragment_of=self.fragment_of,
+        )
+        clone.corrupted = True
+        if rng.random() < 0.5:
+            # Header corruption: break the checksum by mangling dst.
+            from dataclasses import replace
+
+            clone.header = replace(self.header, dst=self.header.dst ^ 0x1)
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<IpPacket #{self.packet_id} ttl={self.header.ttl} "
+            f"{self.payload_size}B offset={self.header.fragment_offset}>"
+        )

@@ -1,0 +1,447 @@
+"""Transport baselines over IP: a TCP-like stream and a UDP-like datagram.
+
+The paper's transactional argument (§1, §6.1): connection-oriented
+transports pay a setup round trip before the first byte of a short
+transaction, and datagram transports over IP still pay the per-hop
+store-and-forward and processing delays.  These two transports make
+that measurable against VMTP/VIPER (experiments E8, E10).
+
+The TCP model is deliberately small but structurally honest: 3-way
+handshake, MSS segmentation, a fixed window with cumulative acks,
+timeout retransmission, and a pseudo-header dependence on the IP
+addresses (which is what §4.1 criticizes: the connection dies with the
+interface).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.baselines.ip.host import IpHost
+from repro.baselines.ip.packet import IpPacket
+from repro.sim.engine import Simulator
+from repro.sim.monitor import Counter, Histogram
+
+PROTO_TCP_LIKE = 6
+PROTO_UDP_LIKE = 17
+
+TCP_HEADER_BYTES = 20
+UDP_HEADER_BYTES = 8
+
+
+# ---------------------------------------------------------------------------
+# UDP-like: request/response datagrams with whole-message retransmission.
+# ---------------------------------------------------------------------------
+
+
+class _UdpKind(enum.Enum):
+    REQUEST = "request"
+    RESPONSE = "response"
+
+
+@dataclass
+class UdpPdu:
+    """A UDP-like datagram: 8-byte header plus opaque payload."""
+    kind: _UdpKind
+    transaction_id: int
+    src_port: int
+    dst_port: int
+    user_size: int
+    user_data: Any = None
+
+
+@dataclass
+class UdpResult:
+    """Outcome of one UDP-like request/response exchange."""
+    ok: bool
+    rtt: float = 0.0
+    retries: int = 0
+    error: str = ""
+
+
+class UdpLikeTransport:
+    """Request/response over raw datagrams (whole-message retransmit).
+
+    This represents the *best case* for IP in the comparisons: no setup,
+    but also no selective recovery — a lost fragment costs the whole
+    datagram (IP reassembly is all-or-nothing)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: IpHost,
+        port: int = 7777,
+        base_timeout: float = 20e-3,
+        max_retries: int = 5,
+    ) -> None:
+        self.sim = sim
+        self.host = host
+        self.port = port
+        self.base_timeout = base_timeout
+        self.max_retries = max_retries
+        self.handler: Optional[Callable[[Any, int], Tuple[Any, int]]] = None
+        self._tx_counter = itertools.count(1)
+        self._pending: Dict[int, Dict[str, Any]] = {}
+        self.stats_rtt = Histogram(f"{host.name}.udp_rtt")
+        self.retransmissions = Counter(f"{host.name}.udp_retx")
+        host.bind_protocol(PROTO_UDP_LIKE, self._on_datagram)
+
+    def serve(self, handler: Callable[[Any, int], Tuple[Any, int]]) -> None:
+        self.handler = handler
+
+    def transact(
+        self,
+        dst: str,
+        payload: Any,
+        size: int,
+        on_complete: Callable[[UdpResult], None],
+    ) -> None:
+        transaction_id = next(self._tx_counter)
+        state = {
+            "dst": dst, "payload": payload, "size": size,
+            "on_complete": on_complete, "retries": 0,
+            "started": self.sim.now, "timer": None, "done": False,
+        }
+        self._pending[transaction_id] = state
+        self._send_request(transaction_id)
+
+    def _send_request(self, transaction_id: int) -> None:
+        state = self._pending[transaction_id]
+        pdu = UdpPdu(
+            _UdpKind.REQUEST, transaction_id, self.port, self.port,
+            state["size"], state["payload"],
+        )
+        self.host.send(
+            state["dst"], pdu, UDP_HEADER_BYTES + state["size"],
+            protocol=PROTO_UDP_LIKE,
+        )
+        timeout = self.base_timeout * (1 + state["retries"])
+        state["timer"] = self.sim.after(timeout, self._on_timeout, transaction_id)
+
+    def _on_timeout(self, transaction_id: int) -> None:
+        state = self._pending.get(transaction_id)
+        if state is None or state["done"]:
+            return
+        state["retries"] += 1
+        self.retransmissions.add()
+        if state["retries"] > self.max_retries:
+            state["done"] = True
+            del self._pending[transaction_id]
+            state["on_complete"](UdpResult(
+                ok=False, retries=state["retries"], error="retries exhausted",
+            ))
+            return
+        self._send_request(transaction_id)
+
+    def _on_datagram(self, packet: IpPacket) -> None:
+        pdu = packet.payload
+        if not isinstance(pdu, UdpPdu) or packet.corrupted:
+            return
+        if pdu.kind is _UdpKind.REQUEST:
+            if self.handler is None:
+                return
+            reply_payload, reply_size = self.handler(pdu.user_data, pdu.user_size)
+            reply = UdpPdu(
+                _UdpKind.RESPONSE, pdu.transaction_id,
+                self.port, pdu.src_port, reply_size, reply_payload,
+            )
+            self.host.send(
+                packet.source, reply, UDP_HEADER_BYTES + reply_size,
+                protocol=PROTO_UDP_LIKE,
+            )
+        else:
+            state = self._pending.get(pdu.transaction_id)
+            if state is None or state["done"]:
+                return
+            state["done"] = True
+            if state["timer"] is not None:
+                state["timer"].cancel()
+            del self._pending[pdu.transaction_id]
+            rtt = self.sim.now - state["started"]
+            self.stats_rtt.add(rtt)
+            state["on_complete"](UdpResult(
+                ok=True, rtt=rtt, retries=state["retries"],
+            ))
+
+
+# ---------------------------------------------------------------------------
+# TCP-like: handshake, windowed segments, cumulative acks.
+# ---------------------------------------------------------------------------
+
+
+class _TcpKind(enum.Enum):
+    SYN = "syn"
+    SYN_ACK = "syn_ack"
+    ACK = "ack"
+    DATA = "data"
+    FIN = "fin"
+
+
+@dataclass
+class TcpSegment:
+    """A TCP-like segment: kind, sequence/ack numbers, payload."""
+    kind: _TcpKind
+    connection_id: int
+    seq: int            # byte offset of this segment's payload
+    ack: int            # cumulative bytes acknowledged
+    user_size: int = 0
+    user_data: Any = None
+    is_request_end: bool = False
+
+
+@dataclass
+class TcpResult:
+    """Outcome of one TCP-like transaction, handshake included."""
+    ok: bool
+    rtt: float = 0.0           # whole transaction incl. handshake
+    handshake_time: float = 0.0
+    retries: int = 0
+    error: str = ""
+
+
+class TcpLikeTransport:
+    """Connection-oriented request/response over the IP baseline."""
+
+    MSS = 1024
+    WINDOW = 8  # segments in flight
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: IpHost,
+        base_timeout: float = 30e-3,
+        max_retries: int = 6,
+    ) -> None:
+        self.sim = sim
+        self.host = host
+        self.base_timeout = base_timeout
+        self.max_retries = max_retries
+        self.handler: Optional[Callable[[Any, int], Tuple[Any, int]]] = None
+        self._conn_counter = itertools.count(1)
+        self._client: Dict[int, Dict[str, Any]] = {}
+        self._server: Dict[Tuple[str, int], Dict[str, Any]] = {}
+        self.stats_rtt = Histogram(f"{host.name}.tcp_rtt")
+        self.handshakes = Counter(f"{host.name}.tcp_handshakes")
+        self.retransmissions = Counter(f"{host.name}.tcp_retx")
+        host.bind_protocol(PROTO_TCP_LIKE, self._on_segment)
+
+    def serve(self, handler: Callable[[Any, int], Tuple[Any, int]]) -> None:
+        self.handler = handler
+
+    # -- client ------------------------------------------------------------
+
+    def transact(
+        self,
+        dst: str,
+        payload: Any,
+        size: int,
+        on_complete: Callable[[TcpResult], None],
+    ) -> None:
+        """connect → send request → await response → finish."""
+        connection_id = next(self._conn_counter)
+        state = {
+            "dst": dst, "payload": payload, "size": size,
+            "on_complete": on_complete, "started": self.sim.now,
+            "handshake_done": 0.0, "acked": 0, "next_seq": 0,
+            "retries": 0, "timer": None, "done": False,
+            "resp_received": 0, "resp_expected": None, "resp_payload": None,
+        }
+        self._client[connection_id] = state
+        self._send(dst, TcpSegment(_TcpKind.SYN, connection_id, 0, 0))
+        self._arm(connection_id, self._retry_syn)
+
+    def _send(self, dst: str, segment: TcpSegment) -> None:
+        self.host.send(
+            dst, segment, TCP_HEADER_BYTES + segment.user_size,
+            protocol=PROTO_TCP_LIKE,
+        )
+
+    def _arm(self, connection_id: int, action: Callable[[int], None]) -> None:
+        state = self._client.get(connection_id)
+        if state is None:
+            return
+        if state["timer"] is not None:
+            state["timer"].cancel()
+        timeout = self.base_timeout * (1 + state["retries"])
+        state["timer"] = self.sim.after(timeout, action, connection_id)
+
+    def _give_up(self, state: Dict[str, Any], connection_id: int, what: str) -> None:
+        state["done"] = True
+        self._client.pop(connection_id, None)
+        state["on_complete"](TcpResult(
+            ok=False, retries=state["retries"], error=what,
+        ))
+
+    def _retry_syn(self, connection_id: int) -> None:
+        state = self._client.get(connection_id)
+        if state is None or state["done"] or state["handshake_done"]:
+            return
+        state["retries"] += 1
+        self.retransmissions.add()
+        if state["retries"] > self.max_retries:
+            self._give_up(state, connection_id, "connect timeout")
+            return
+        self._send(state["dst"], TcpSegment(_TcpKind.SYN, connection_id, 0, 0))
+        self._arm(connection_id, self._retry_syn)
+
+    def _push_window(self, connection_id: int) -> None:
+        """Send request segments up to the window limit."""
+        state = self._client.get(connection_id)
+        if state is None or state["done"]:
+            return
+        size = state["size"]
+        while (
+            state["next_seq"] < size
+            and state["next_seq"] - state["acked"] < self.WINDOW * self.MSS
+        ):
+            seq = state["next_seq"]
+            take = min(self.MSS, size - seq)
+            state["next_seq"] = seq + take
+            self._send(state["dst"], TcpSegment(
+                _TcpKind.DATA, connection_id, seq, 0,
+                user_size=take, user_data=state["payload"],
+                is_request_end=(seq + take == size),
+            ))
+        self._arm(connection_id, self._retry_data)
+
+    def _retry_data(self, connection_id: int) -> None:
+        state = self._client.get(connection_id)
+        if state is None or state["done"]:
+            return
+        if state["resp_expected"] is not None:
+            return  # response under way; its own path handles loss
+        state["retries"] += 1
+        self.retransmissions.add()
+        if state["retries"] > self.max_retries:
+            self._give_up(state, connection_id, "request timeout")
+            return
+        state["next_seq"] = state["acked"]  # go-back-N
+        self._push_window(connection_id)
+
+    # -- shared receive path -------------------------------------------------
+
+    def _on_segment(self, packet: IpPacket) -> None:
+        segment = packet.payload
+        if not isinstance(segment, TcpSegment) or packet.corrupted:
+            return
+        if segment.kind is _TcpKind.SYN:
+            self._server_on_syn(packet, segment)
+        elif segment.kind is _TcpKind.SYN_ACK:
+            self._client_on_syn_ack(segment)
+        elif segment.kind is _TcpKind.ACK:
+            self._on_ack(packet, segment)
+        elif segment.kind is _TcpKind.DATA:
+            self._on_data(packet, segment)
+
+    # -- server side ------------------------------------------------------------
+
+    def _server_on_syn(self, packet: IpPacket, segment: TcpSegment) -> None:
+        key = (packet.source, segment.connection_id)
+        if key not in self._server:
+            self._server[key] = {
+                "received": 0, "request_size": None, "payload": None,
+                "responded": False,
+            }
+            self.handshakes.add()
+        self._send(packet.source, TcpSegment(
+            _TcpKind.SYN_ACK, segment.connection_id, 0, 0,
+        ))
+
+    def _on_data(self, packet: IpPacket, segment: TcpSegment) -> None:
+        key = (packet.source, segment.connection_id)
+        server_state = self._server.get(key)
+        if server_state is not None:
+            self._server_on_data(packet, segment, server_state)
+            return
+        # Otherwise it is response data arriving at the client.
+        self._client_on_response(packet, segment)
+
+    def _server_on_data(
+        self, packet: IpPacket, segment: TcpSegment, state: Dict[str, Any]
+    ) -> None:
+        expected = state["received"]
+        if segment.seq == expected:
+            state["received"] = expected + segment.user_size
+            state["payload"] = segment.user_data
+            if segment.is_request_end:
+                state["request_size"] = state["received"]
+        # Cumulative ack either way (dup-ack on reorder/loss).
+        self._send(packet.source, TcpSegment(
+            _TcpKind.ACK, segment.connection_id, 0, state["received"],
+        ))
+        if (
+            state["request_size"] is not None
+            and state["received"] >= state["request_size"]
+            and not state["responded"]
+        ):
+            state["responded"] = True
+            if self.handler is None:
+                return
+            reply_payload, reply_size = self.handler(
+                state["payload"], state["request_size"]
+            )
+            offset = 0
+            while offset < reply_size:
+                take = min(self.MSS, reply_size - offset)
+                self._send(packet.source, TcpSegment(
+                    _TcpKind.DATA, segment.connection_id, offset, 0,
+                    user_size=take, user_data=reply_payload,
+                    is_request_end=(offset + take == reply_size),
+                ))
+                offset += take
+
+    # -- client side ---------------------------------------------------------------
+
+    def _client_on_syn_ack(self, segment: TcpSegment) -> None:
+        state = self._client.get(segment.connection_id)
+        if state is None or state["done"] or state["handshake_done"]:
+            return
+        state["handshake_done"] = self.sim.now
+        state["retries"] = 0
+        self._send(state["dst"], TcpSegment(
+            _TcpKind.ACK, segment.connection_id, 0, 0,
+        ))
+        self._push_window(segment.connection_id)
+
+    def _on_ack(self, packet: IpPacket, segment: TcpSegment) -> None:
+        state = self._client.get(segment.connection_id)
+        if state is None or state["done"]:
+            return
+        if segment.ack > state["acked"]:
+            state["acked"] = segment.ack
+            state["retries"] = 0
+        if state["acked"] < state["size"]:
+            self._push_window(segment.connection_id)
+        else:
+            self._arm(segment.connection_id, self._retry_data)
+
+    def _client_on_response(self, packet: IpPacket, segment: TcpSegment) -> None:
+        state = self._client.get(segment.connection_id)
+        if state is None or state["done"]:
+            return
+        if segment.seq == state["resp_received"]:
+            state["resp_received"] += segment.user_size
+            state["resp_payload"] = segment.user_data
+            if segment.is_request_end:
+                state["resp_expected"] = state["resp_received"]
+        if (
+            state["resp_expected"] is not None
+            and state["resp_received"] >= state["resp_expected"]
+        ):
+            state["done"] = True
+            if state["timer"] is not None:
+                state["timer"].cancel()
+            self._client.pop(segment.connection_id, None)
+            self._send(state["dst"], TcpSegment(
+                _TcpKind.FIN, segment.connection_id, 0, state["resp_received"],
+            ))
+            rtt = self.sim.now - state["started"]
+            self.stats_rtt.add(rtt)
+            state["on_complete"](TcpResult(
+                ok=True, rtt=rtt,
+                handshake_time=state["handshake_done"] - state["started"],
+                retries=state["retries"],
+            ))

@@ -1,0 +1,33 @@
+"""Blocked-packet handling policies.
+
+§2.1: when a packet cannot be switched straight out its port it is
+"deferred to a subsequent time, or dropped (depending on the networking
+technology and the type of service specified).  Deferral may be
+accomplished by storing the packet, looping it back to a previous node
+(as done in Blazenet) or entering it into a local delay line".
+
+We implement:
+
+* ``QUEUE``  — store in the per-port priority output queue (the common
+  electronic-router case the paper's congestion control assumes).
+* ``DELAY_LINE`` — a Blazenet-style fixed optical delay: the packet
+  re-attempts the port after ``delay_line_s`` seconds and is dropped
+  after ``max_delay_loops`` futile loops.  This substitutes for photonic
+  hardware: the relevant behaviour (bounded storage, retry after a fixed
+  latency, loss under sustained contention) is preserved.
+* ``DROP``  — discard immediately (a bufferless fabric).
+
+Independent of the policy, a packet whose DIB ("Drop If Blocked") flag
+is set is always dropped when blocked.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class BlockedPolicy(enum.Enum):
+    """What a router does with a packet whose output port is busy."""
+    QUEUE = "queue"
+    DELAY_LINE = "delay_line"
+    DROP = "drop"

@@ -1,0 +1,217 @@
+"""The Sirpent host stack.
+
+A host sends packets along routes obtained from the routing directory
+(§3) and receives packets whose final header segment names one of its
+intra-host ports — the paper's unification of inter-host and intra-host
+addressing: "a Sirpent header segment can be used to designate the port
+within a host to which to address the packet" (§2.2).
+
+On reception the host:
+
+* demultiplexes on the final segment's port (0 = the default endpoint),
+* derives the *return route* from the packet trailer
+  (:func:`repro.viper.packet.build_return_route`) plus the reversed
+  arrival frame header for the first physical hop back, and
+* hands the transport a :class:`DeliveredPacket` carrying both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.core.congestion import ControlPlane, RateSignal
+from repro.core.queues import OutputPort
+from repro.net.addresses import MacAddress
+from repro.net.link import Transmission
+from repro.net.node import Attachment, Node
+from repro.sim.engine import Simulator
+from repro.sim.monitor import Counter, Histogram
+from repro.viper.packet import SirpentPacket, build_return_route
+from repro.viper.wire import HeaderSegment, LOCAL_PORT
+
+
+@dataclass
+class DeliveredPacket:
+    """What the host hands up to the transport layer."""
+
+    packet: SirpentPacket
+    payload: Any
+    payload_size: int
+    socket: int
+    arrived_at: float
+    #: Router-level return route recovered from the trailer, in send order.
+    return_segments: List[HeaderSegment]
+    #: MAC for the first physical hop of the return route (None on p2p).
+    return_first_hop_mac: Optional[MacAddress]
+    #: Host port the packet arrived on (= first hop of the return route).
+    arrival_port: int
+    truncated: bool
+    corrupted: bool
+
+    @property
+    def one_way_delay(self) -> float:
+        return self.arrived_at - self.packet.created_at
+
+
+class SirpentHost(Node):
+    """An end system speaking VIPER."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        control_plane: Optional[ControlPlane] = None,
+    ) -> None:
+        super().__init__(sim, name)
+        self.sockets: Dict[int, Callable[[DeliveredPacket], None]] = {}
+        self.output_ports: Dict[int, OutputPort] = {}
+        self.rate_signal_handlers: List[Callable[[RateSignal], None]] = []
+        self.sent = Counter(f"{name}.sent")
+        self.received = Counter(f"{name}.received")
+        self.received_corrupted = Counter(f"{name}.corrupted")
+        self.received_truncated = Counter(f"{name}.truncated")
+        self.undeliverable = Counter(f"{name}.undeliverable")
+        self.delivery_delay = Histogram(f"{name}.delay")
+        if control_plane is not None:
+            control_plane.register(name, self._on_control_message)
+
+    # -- wiring ---------------------------------------------------------------
+
+    def attach(self, port_id: int, attachment: Attachment) -> None:
+        super().attach(port_id, attachment)
+        self.output_ports[port_id] = OutputPort(self.sim, attachment)
+
+    def bind(self, socket: int, handler: Callable[[DeliveredPacket], None]) -> None:
+        """Register a receive handler for an intra-host port."""
+        if not 0 <= socket <= 255:
+            raise ValueError(f"socket {socket} outside 0..255")
+        if socket in self.sockets:
+            raise ValueError(f"{self.name}: socket {socket} already bound")
+        self.sockets[socket] = handler
+
+    def unbind(self, socket: int) -> None:
+        self.sockets.pop(socket, None)
+
+    def subscribe_rate_signals(self, handler: Callable[[RateSignal], None]) -> None:
+        """Transports register here to learn of network backpressure."""
+        self.rate_signal_handlers.append(handler)
+
+    # -- sending ----------------------------------------------------------------
+
+    def send(
+        self,
+        route: Any,
+        payload: Any,
+        payload_size: int,
+        priority: int = 0,
+        dib: bool = False,
+        host_port: Optional[int] = None,
+        first_hop_mac: Optional[MacAddress] = None,
+    ) -> SirpentPacket:
+        """Build a VIPER packet for ``route`` and clock it out.
+
+        ``route`` duck-types the directory's Route: ``segments`` (one
+        per router plus the destination's final segment),
+        ``first_hop_port`` (which of our ports to use) and
+        ``first_hop_mac`` (who to frame it to, None on p2p).  The
+        priority is stamped into every segment — the type of service
+        travels with each hop's header (§2).
+        """
+        segments = [
+            s.copy(priority=priority, dib=dib) for s in route.segments
+        ]
+        packet = SirpentPacket(
+            segments=segments,
+            payload_size=payload_size,
+            payload=payload,
+            created_at=self.sim.now,
+            source=self.name,
+        )
+        port_id = host_port if host_port is not None else route.first_hop_port
+        mac = first_hop_mac if first_hop_mac is not None else route.first_hop_mac
+        outport = self.output_ports.get(port_id)
+        if outport is None:
+            raise KeyError(f"{self.name}: no attachment on port {port_id}")
+        self.sent.add()
+        outport.submit(
+            packet,
+            packet.wire_size(),
+            packet.decision_prefix_bytes(),
+            dst_mac=mac,
+            priority=priority,
+            dib=dib,
+        )
+        return packet
+
+    def send_return(
+        self,
+        delivered: DeliveredPacket,
+        payload: Any,
+        payload_size: int,
+        reply_socket: int = LOCAL_PORT,
+        priority: int = 0,
+    ) -> SirpentPacket:
+        """Send back along a delivered packet's reversed trailer route.
+
+        ``reply_socket`` becomes the final segment's port at the original
+        sender — the transport knows which of its endpoints should get
+        the reply.
+        """
+        segments = [s.copy(priority=priority) for s in delivered.return_segments]
+        segments.append(HeaderSegment(port=reply_socket, priority=priority, rpf=True))
+        route = _AdHocRoute(
+            segments=segments,
+            first_hop_port=delivered.arrival_port,
+            first_hop_mac=delivered.return_first_hop_mac,
+        )
+        return self.send(route, payload, payload_size, priority=priority)
+
+    # -- receiving --------------------------------------------------------------
+
+    def on_packet(self, packet: Any, inport: Attachment, tx: Transmission) -> None:
+        if not isinstance(packet, SirpentPacket):
+            return
+        if not packet.segments:
+            self.undeliverable.add()
+            return
+        final = packet.segments[0]
+        socket = final.port
+        handler = self.sockets.get(socket)
+        self.received.add()
+        if packet.corrupted:
+            self.received_corrupted.add()
+        if packet.truncated:
+            self.received_truncated.add()
+        self.delivery_delay.add(self.sim.now - packet.created_at)
+        if handler is None:
+            self.undeliverable.add()
+            return
+        return_first_hop_mac = tx.src_mac if inport.kind == "ethernet" else None
+        delivered = DeliveredPacket(
+            packet=packet,
+            payload=packet.payload,
+            payload_size=packet.payload_size,
+            socket=socket,
+            arrived_at=self.sim.now,
+            return_segments=build_return_route(packet),
+            return_first_hop_mac=return_first_hop_mac,
+            arrival_port=inport.port_id,
+            truncated=packet.truncated,
+            corrupted=packet.corrupted,
+        )
+        handler(delivered)
+
+    def _on_control_message(self, src: str, message: Any) -> None:
+        if isinstance(message, RateSignal):
+            for handler in self.rate_signal_handlers:
+                handler(message)
+
+
+@dataclass
+class _AdHocRoute:
+    """Minimal route object for return-path sends."""
+
+    segments: List[HeaderSegment]
+    first_hop_port: int
+    first_hop_mac: Optional[MacAddress]

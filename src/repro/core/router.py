@@ -1,0 +1,468 @@
+"""The Sirpent cut-through router (§2, §2.1).
+
+Per-packet pipeline, exactly as the paper lays it out:
+
+1. As the header starts to arrive the router "strips the header off to
+   a loopback register"; the port field leads, so the switching decision
+   overlaps reception of the token and portInfo.  In the simulator the
+   ``on_header`` event fires when the first segment has arrived and the
+   router charges only its ``decision_delay`` before the outbound
+   transmission begins.
+2. The port token, if present, is checked against the token cache
+   (optimistic / blocking / drop on a miss, §2.2).
+3. The network-specific portion is reversed into a correct return hop
+   and appended to the trailer; the packet is forwarded out the port the
+   segment names — or to the blocked-packet handler, or delivered
+   locally (port 0).
+
+Store-and-forward operation (for rate-mismatched hops, or to model an
+IP-era software router on the same hardware) uses the same pipeline from
+the ``on_packet`` event instead, plus a per-packet processing charge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Set
+
+from repro.core.blocked import BlockedPolicy
+from repro.core.congestion import ControlPlane, RateControlManager
+from repro.core.logical import LogicalPortMap
+from repro.core.multicast import (
+    BROADCAST_PORT,
+    GROUP_PORT_BASE,
+    GroupPortMap,
+    TREE_PORT,
+    decode_tree_info,
+)
+from repro.core.queues import OutputPort, SubmitResult
+from repro.core.truncation import truncate_to_mtu
+from repro.net.addresses import MacAddress
+from repro.net.link import Transmission
+from repro.net.node import Attachment, Node
+from repro.sim.engine import Simulator
+from repro.sim.monitor import Counter, Histogram
+from repro.tokens.cache import CachePolicy, TokenCache, Verdict
+from repro.tokens.capability import TokenMint
+from repro.viper.errors import DecodeError
+from repro.viper.packet import SirpentPacket
+from repro.viper.portinfo import (
+    COMPRESSED_ETHERNET_INFO_BYTES,
+    CompressedEthernetInfo,
+    EthernetInfo,
+    ETHERNET_INFO_BYTES,
+)
+from repro.viper.wire import LOCAL_PORT, HeaderSegment
+
+
+@dataclass
+class RouterConfig:
+    """Tunable characteristics of one router.
+
+    ``decision_delay`` is the paper's "switch decision and setup time
+    (significantly less than a microsecond)"; ``store_forward_process_delay``
+    models the per-packet software cost a conventional router pays
+    (reception already accounted separately by the link model).
+    """
+
+    cut_through: bool = True
+    decision_delay: float = 0.5e-6
+    store_forward_process_delay: float = 50e-6
+    buffer_bytes: int = 64 * 1024
+    blocked_policy: BlockedPolicy = BlockedPolicy.QUEUE
+    delay_line_s: float = 50e-6
+    max_delay_loops: int = 8
+    token_policy: CachePolicy = CachePolicy.OPTIMISTIC
+    require_tokens: bool = False
+    token_verify_cost: float = 200e-6
+    congestion_enabled: bool = True
+
+
+@dataclass
+class RouterStats:
+    """Counters and delay samples the benchmarks consume."""
+
+    forwarded: Counter = field(default_factory=lambda: Counter("forwarded"))
+    delivered_local: Counter = field(default_factory=lambda: Counter("local"))
+    dropped_no_route: Counter = field(default_factory=lambda: Counter("no_route"))
+    dropped_token: Counter = field(default_factory=lambda: Counter("token_reject"))
+    dropped_bad_portinfo: Counter = field(default_factory=lambda: Counter("bad_portinfo"))
+    route_exhausted: Counter = field(default_factory=lambda: Counter("route_exhausted"))
+    truncated: Counter = field(default_factory=lambda: Counter("truncated"))
+    multicast_copies: Counter = field(default_factory=lambda: Counter("mcast_copies"))
+    cut_through_forwards: Counter = field(default_factory=lambda: Counter("cut_through"))
+    store_forwards: Counter = field(default_factory=lambda: Counter("store_forward"))
+    router_delay: Histogram = field(default_factory=lambda: Histogram("router_delay"))
+
+
+class SirpentRouter(Node):
+    """A Sirpent switching node."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        config: Optional[RouterConfig] = None,
+        control_plane: Optional[ControlPlane] = None,
+        mint_secret: Optional[bytes] = None,
+        rng=None,
+    ) -> None:
+        super().__init__(sim, name)
+        self.config = config if config is not None else RouterConfig()
+        self.mint = TokenMint(
+            mint_secret if mint_secret is not None else f"secret:{name}".encode(),
+            issuer=name,
+        )
+        self.token_cache = TokenCache(
+            self.mint,
+            policy=self.config.token_policy,
+            verify_cost=self.config.token_verify_cost,
+            require_tokens=self.config.require_tokens,
+        )
+        self.logical = LogicalPortMap(rng=rng)
+        self.groups = GroupPortMap()
+        self.stats = RouterStats()
+        self.local_handler: Optional[Callable[[SirpentPacket, Attachment], None]] = None
+        self.output_ports: Dict[int, OutputPort] = {}
+        self.congestion: Optional[RateControlManager] = None
+        if control_plane is not None:
+            self.congestion = RateControlManager(
+                sim, name, control_plane, enabled=self.config.congestion_enabled
+            )
+        self._header_handled: Set[int] = set()
+        self._forwarding_out: Dict[int, Attachment] = {}
+
+    # -- wiring -----------------------------------------------------------
+
+    def attach(self, port_id: int, attachment: Attachment) -> None:
+        super().attach(port_id, attachment)
+        outport = OutputPort(
+            self.sim,
+            attachment,
+            buffer_bytes=self.config.buffer_bytes,
+            blocked_policy=self.config.blocked_policy,
+            delay_line_s=self.config.delay_line_s,
+            max_delay_loops=self.config.max_delay_loops,
+        )
+        outport.on_transmit_start = self._stamp_feed_forward(outport)
+        self.output_ports[port_id] = outport
+        if self.congestion is not None:
+            self.congestion.watch_port(port_id, outport)
+
+    @staticmethod
+    def _stamp_feed_forward(outport: OutputPort) -> Callable[[Any], None]:
+        def stamp(entry: Any) -> None:
+            packet = entry.packet
+            if isinstance(packet, SirpentPacket):
+                packet.feed_forward_load = outport.queue_depth
+        return stamp
+
+    # -- receive hooks -------------------------------------------------------
+
+    def on_header(self, packet: Any, inport: Attachment, tx: Transmission) -> None:
+        if not isinstance(packet, SirpentPacket):
+            return
+        if not self.config.cut_through:
+            return
+        if not packet.segments:
+            return  # handled (and counted) at completion
+        if packet.current_segment.port == LOCAL_PORT:
+            return  # local delivery needs the full packet
+        # Cut-through needs matching rates ("only applicable when the
+        # input link and the output link are the same data rates").
+        outport_id = self._peek_physical_port(packet)
+        if outport_id is not None:
+            attachment = self.ports.get(outport_id)
+            if attachment is None or attachment.rate_bps != inport.rate_bps:
+                return  # fall back to store-and-forward at completion
+        self._header_handled.add(packet.packet_id)
+        self.stats.cut_through_forwards.add()
+        self._process(packet, inport, tx, arrival_time=self.sim.now,
+                      extra_process_delay=0.0)
+
+    def on_packet(self, packet: Any, inport: Attachment, tx: Transmission) -> None:
+        if not isinstance(packet, SirpentPacket):
+            return
+        if packet.packet_id in self._header_handled:
+            self._header_handled.discard(packet.packet_id)
+            return
+        if not packet.segments:
+            self.stats.route_exhausted.add()
+            return
+        if packet.current_segment.port == LOCAL_PORT:
+            self._deliver_local(packet, inport)
+            return
+        self.stats.store_forwards.add()
+        self._process(
+            packet, inport, tx,
+            arrival_time=self.sim.now,
+            extra_process_delay=self.config.store_forward_process_delay,
+        )
+
+    def on_abort(self, packet: Any, inport: Attachment) -> None:
+        """Upstream preemption mid-cut-through: propagate the abort."""
+        if not isinstance(packet, SirpentPacket):
+            return
+        self._header_handled.discard(packet.packet_id)
+        attachment = self._forwarding_out.pop(packet.packet_id, None)
+        if attachment is not None and attachment.current_packet() is packet:
+            attachment.abort_current()
+
+    # -- the pipeline -----------------------------------------------------------
+
+    def _peek_physical_port(self, packet: SirpentPacket) -> Optional[int]:
+        """Resolve the segment's port to a physical port id (no side effects)."""
+        port = packet.current_segment.port
+        if port == LOCAL_PORT:
+            return None
+        if self.logical.is_logical(port):
+            return None  # resolved (with side effects) at process time
+        if port in (TREE_PORT, BROADCAST_PORT) or self.groups.is_group(port):
+            return None
+        return port
+
+    def _process(
+        self,
+        packet: SirpentPacket,
+        inport: Attachment,
+        tx: Transmission,
+        arrival_time: float,
+        extra_process_delay: float,
+    ) -> None:
+        packet.hop_log.append(self.name)
+        segment = packet.current_segment
+        port = segment.port
+
+        # Multicast expansion happens before token checks so each copy is
+        # admitted against the port it actually takes.
+        if port == TREE_PORT:
+            self._process_tree(packet, inport, tx, arrival_time, extra_process_delay)
+            return
+        if port == BROADCAST_PORT or self.groups.is_group(port):
+            members = (
+                sorted(self.ports)
+                if port == BROADCAST_PORT
+                else self.groups.members(port)
+            )
+            members = [m for m in members if self.ports.get(m) is not inport]
+            self._fan_out(packet, inport, tx, members, arrival_time, extra_process_delay)
+            return
+
+        # Token admission (§2.2).
+        verdict, token_delay = self.token_cache.admit(
+            segment.token, port, segment.priority,
+            packet.wire_size(), now_ms=int(self.sim.now * 1000),
+            rpf=segment.rpf,
+        )
+        if verdict is Verdict.REJECT:
+            self.stats.dropped_token.add()
+            return
+
+        # Logical port resolution (§2.2).
+        spliced: Optional[List[HeaderSegment]] = None
+        if self.logical.is_logical(port):
+            flow_hint = self.logical.flow_hint_of(segment)
+            physical, spliced = self.logical.resolve(
+                port, self.output_ports, flow_hint=flow_hint
+            )
+            if physical is None:
+                self.stats.dropped_no_route.add()
+                return
+            port = physical
+
+        attachment = self.ports.get(port)
+        if attachment is None:
+            self.stats.dropped_no_route.add()
+            return
+
+        # Strip the segment, append the return hop to the trailer (§2).
+        effective = segment if spliced is None else spliced[0].copy(
+            priority=segment.priority, dib=segment.dib
+        )
+        return_segment = self._build_return_segment(segment, inport, tx)
+        packet.advance(return_segment)
+        if spliced is not None and len(spliced) > 1:
+            packet.segments[0:0] = [
+                s.copy(priority=segment.priority) for s in spliced[1:]
+            ]
+
+        # Truncation instead of fragmentation (§2).
+        if packet.wire_size() > attachment.mtu:
+            truncate_to_mtu(packet, attachment.mtu)
+            self.stats.truncated.add()
+
+        dst_mac = self._resolve_dst_mac(effective, attachment)
+        if attachment.kind == "ethernet" and dst_mac is None:
+            self.stats.dropped_bad_portinfo.add()
+            return
+
+        delay = self.config.decision_delay + token_delay + extra_process_delay
+        self.sim.after(
+            delay,
+            self._forward,
+            packet, port, effective, dst_mac, arrival_time,
+        )
+
+    def _process_tree(
+        self,
+        packet: SirpentPacket,
+        inport: Attachment,
+        tx: Transmission,
+        arrival_time: float,
+        extra_process_delay: float,
+    ) -> None:
+        """Mechanism-2 multicast: clone per branch (§2)."""
+        segment = packet.current_segment
+        try:
+            branches = decode_tree_info(segment.portinfo)
+        except DecodeError:
+            self.stats.dropped_bad_portinfo.add()
+            return
+        for branch in branches:
+            clone = SirpentPacket(
+                segments=[s.copy() for s in branch.segments],
+                payload_size=packet.payload_size,
+                payload=packet.payload,
+                trailer=list(packet.trailer),
+                created_at=packet.created_at,
+                source=packet.source,
+                hops_taken=packet.hops_taken,
+                hop_log=list(packet.hop_log[:-1]),  # _process re-appends
+            )
+            self.stats.multicast_copies.add()
+            # Each clone is processed as a fresh arrival through the
+            # normal pipeline (token checks per branch segment).
+            self._process(clone, inport, tx, arrival_time, extra_process_delay)
+
+    def _fan_out(
+        self,
+        packet: SirpentPacket,
+        inport: Attachment,
+        tx: Transmission,
+        member_ports: List[int],
+        arrival_time: float,
+        extra_process_delay: float,
+    ) -> None:
+        """Mechanism-1 multicast: duplicate out each member port."""
+        segment = packet.current_segment
+        for member in member_ports:
+            if member not in self.ports:
+                continue
+            clone = SirpentPacket(
+                segments=(
+                    [segment.copy(port=member)]
+                    + [s.copy() for s in packet.segments[1:]]
+                ),
+                payload_size=packet.payload_size,
+                payload=packet.payload,
+                trailer=list(packet.trailer),
+                created_at=packet.created_at,
+                source=packet.source,
+                hops_taken=packet.hops_taken,
+                hop_log=list(packet.hop_log[:-1]),  # _process re-appends
+            )
+            self.stats.multicast_copies.add()
+            self._process(clone, inport, tx, arrival_time, extra_process_delay)
+
+    def _build_return_segment(
+        self,
+        segment: HeaderSegment,
+        inport: Attachment,
+        tx: Transmission,
+    ) -> HeaderSegment:
+        """The reversed hop appended to the trailer (§2).
+
+        Return port = the port the packet arrived on; the arrival
+        network header is reversed (Ethernet src/dst swap); the token is
+        kept only when it authorizes reverse-route charging.
+        """
+        if inport.kind == "ethernet" and tx.src_mac is not None:
+            portinfo = EthernetInfo(
+                dst=tx.src_mac, src=tx.dst_mac, ethertype=0
+            ).to_bytes() if tx.dst_mac is not None else b""
+            # ethertype 0 placeholder: the sender of the return route
+            # fills in the Sirpent type; sizes are identical either way.
+        else:
+            portinfo = b""
+        token = b""
+        entry = self.token_cache.entry(segment.token) if segment.token else None
+        if entry is not None and entry.valid and entry.claims is not None:
+            if entry.claims.reverse_ok:
+                token = segment.token
+        return HeaderSegment(
+            port=inport.port_id,
+            priority=segment.priority,
+            token=token,
+            portinfo=portinfo,
+        )
+
+    @staticmethod
+    def _resolve_dst_mac(
+        segment: HeaderSegment, attachment: Attachment
+    ) -> Optional[MacAddress]:
+        if attachment.kind != "ethernet":
+            return None
+        try:
+            if len(segment.portinfo) == ETHERNET_INFO_BYTES:
+                return EthernetInfo.from_bytes(segment.portinfo).dst
+            if len(segment.portinfo) == COMPRESSED_ETHERNET_INFO_BYTES:
+                # Footnote 4: destination + type only; this router is
+                # "responsible for filling in the correct source
+                # address", which the attachment supplies at frame time.
+                return CompressedEthernetInfo.from_bytes(segment.portinfo).dst
+        except DecodeError:
+            return None
+        return None
+
+    def _forward(
+        self,
+        packet: SirpentPacket,
+        port: int,
+        segment: HeaderSegment,
+        dst_mac: Optional[MacAddress],
+        arrival_time: float,
+    ) -> None:
+        outport = self.output_ports[port]
+        next_node = self.ports[port].peer_name_for(dst_mac)
+        next_port = packet.segments[0].port if packet.segments else None
+
+        def submit() -> None:
+            self.stats.router_delay.add(self.sim.now - arrival_time)
+            self.stats.forwarded.add()
+            result = outport.submit(
+                packet,
+                packet.wire_size(),
+                packet.decision_prefix_bytes(),
+                dst_mac=dst_mac,
+                priority=segment.priority,
+                dib=segment.dib,
+            )
+            if result is SubmitResult.SENT:
+                # Track the live cut-through stream so an inbound abort
+                # can ripple downstream; the record self-expires once
+                # the outbound transmission is over.
+                rate = outport.attachment.rate_bps
+                if rate > 0:
+                    self._forwarding_out[packet.packet_id] = outport.attachment
+                    self.sim.after(
+                        packet.wire_size() * 8.0 / rate + 1e-9,
+                        self._forwarding_out.pop, packet.packet_id, None,
+                    )
+
+        if self.congestion is not None:
+            self.congestion.admit_or_hold(
+                packet, next_node, next_port, packet.wire_size(), submit
+            )
+        else:
+            submit()
+
+    # -- local delivery -----------------------------------------------------------
+
+    def _deliver_local(self, packet: SirpentPacket, inport: Attachment) -> None:
+        self.stats.delivered_local.add()
+        packet.hop_log.append(self.name)
+        if self.local_handler is not None:
+            self.local_handler(packet, inport)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SirpentRouter {self.name!r} ports={sorted(self.ports)}>"

@@ -1,0 +1,44 @@
+"""Truncation instead of fragmentation (§2).
+
+"Sirpent does not provide for fragmentation and reassembly.  When a
+packet arrives that is too large for the next hop … It then appends a
+special segment on the trailer (which is not a legal Sirpent header
+segment) indicating that the packet has been truncated."
+
+A cut-through router discovers the problem with limited lookahead; we
+assume (as the paper does) that the router has enough lookahead to mark
+the truncation before the physical maximum is exceeded, so the receiver
+always sees the mark even if only the trailer was cut.
+"""
+
+from __future__ import annotations
+
+from repro.viper.packet import SirpentPacket
+
+
+def fits(packet: SirpentPacket, mtu: int) -> bool:
+    """Would the packet as currently composed fit the next hop?"""
+    return packet.wire_size() <= mtu
+
+
+def truncate_to_mtu(packet: SirpentPacket, mtu: int) -> int:
+    """Cut the payload so the packet (with its mark) fits ``mtu``.
+
+    Returns the number of payload bytes removed.  Raises ``ValueError``
+    when even an empty payload cannot fit — the routing service's MTU
+    attribute exists precisely so sources never build such packets (§3),
+    so hitting this is a caller bug.
+    """
+    overhead = packet.header_size() + packet.trailer_size()
+    before = packet.payload_size
+    # Leave room for the truncation mark we are about to add.
+    from repro.viper.packet import TRUNCATION_MARK_BYTES  # local: avoid cycle
+
+    budget = mtu - overhead - (0 if packet.truncated else TRUNCATION_MARK_BYTES)
+    if budget < 0:
+        raise ValueError(
+            f"packet overhead {overhead}B exceeds MTU {mtu}B — the source "
+            "route should never have crossed this hop"
+        )
+    packet.mark_truncated(keep_bytes=budget)
+    return before - packet.payload_size

@@ -1,0 +1,35 @@
+"""The internetwork routing directory (§3 of the paper).
+
+"The global internetwork directory service is extended in Sirpent to
+provide routes to a host or service, given its character-string name."
+Routes come back with attributes — bandwidth, propagation delay, MTU,
+cost, security — and with the port tokens the route's routers require,
+so "a client can determine (up to variations in queuing delay) the
+roundtrip time and MTU for packets on this route" before sending.
+
+* :mod:`repro.directory.names` — hierarchical character-string names.
+* :mod:`repro.directory.routes` — the Route object and its attributes.
+* :mod:`repro.directory.pathfind` — Dijkstra / Yen k-shortest with
+  type-of-service objectives and constraints.
+* :mod:`repro.directory.regions` — Singh-style hierarchy of per-region
+  directory servers with caching (name → region resolution latency).
+* :mod:`repro.directory.service` — the route-granting service itself,
+  including token issuance, load reports and route advisories.
+"""
+
+from repro.directory.names import HierarchicalName
+from repro.directory.pathfind import PathObjective, dijkstra, k_shortest_paths
+from repro.directory.regions import RegionServer
+from repro.directory.routes import Route
+from repro.directory.service import DirectoryService, RouteQuery
+
+__all__ = [
+    "DirectoryService",
+    "HierarchicalName",
+    "PathObjective",
+    "RegionServer",
+    "Route",
+    "RouteQuery",
+    "dijkstra",
+    "k_shortest_paths",
+]

@@ -1,0 +1,75 @@
+"""Network monitoring feeding the directory (§3, §6.3).
+
+"Routing information is updated by reports from routers, hosts and
+networking monitors. … The routing directory servers maintain
+reasonably up-to-date load information on links using reports received
+from network monitoring stations."
+
+:class:`LoadMonitor` periodically samples every link's utilization and
+posts it to the directory; reported loads inflate edge costs in route
+computation so fresh queries steer around hot spots.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.directory.service import DirectoryService
+from repro.net.topology import Topology
+from repro.sim.engine import Simulator
+
+
+class LoadMonitor:
+    """Samples link utilization and reports it to the directory."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        directory: DirectoryService,
+        interval: float = 10e-3,
+        window: Optional[float] = None,
+        stale_decay: float = 0.5,
+    ) -> None:
+        self.sim = sim
+        self.topology = topology
+        self.directory = directory
+        self.interval = interval
+        self.window = window if window is not None else interval
+        self.stale_decay = stale_decay
+        self._last_bytes: Dict[str, int] = {}
+        self.reports = 0
+        sim.after(interval, self._tick)
+
+    def _channel_utilization(self, key: str, bytes_sent: int, rate_bps: float) -> float:
+        previous = self._last_bytes.get(key, 0)
+        self._last_bytes[key] = bytes_sent
+        delta_bits = (bytes_sent - previous) * 8.0
+        return min(1.0, delta_bits / (rate_bps * self.window))
+
+    def _tick(self) -> None:
+        for name, link in self.topology.links.items():
+            # A link is "hot" if either direction is; a stale reading
+            # decays geometrically so old congestion fades from view —
+            # "reasonably up-to-date load information" (§6.3).
+            hot = max(
+                self._channel_utilization(
+                    channel.name, channel.bytes_sent.count, channel.rate_bps,
+                )
+                for channel in (link.a_to_b, link.b_to_a)
+            )
+            current = self.directory._loads.get(name, 0.0)
+            self.directory.record_load(
+                name, max(hot, current * self.stale_decay)
+            )
+            self.reports += 1
+        for name, segment in self.topology.segments.items():
+            utilization = self._channel_utilization(
+                name, segment.bytes_sent.count, segment.rate_bps,
+            )
+            current = self.directory._loads.get(name, 0.0)
+            self.directory.record_load(
+                name, max(utilization, current * self.stale_decay)
+            )
+            self.reports += 1
+        self.sim.after(self.interval, self._tick)

@@ -1,0 +1,80 @@
+"""Hierarchical character-string names.
+
+§3: "With Sirpent, the hierarchical character-string names serve as the
+unique hierarchical identifiers for hosts, gateways and networks" —
+there are no IP-like addresses at all.  A name like
+``venus.cs.stanford.edu`` denotes a host whose region path is
+``edu → stanford.edu → cs.stanford.edu``; regions double as both naming
+and routing domains (the paper's stanford.edu example).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+_LABEL_OK = set("abcdefghijklmnopqrstuvwxyz0123456789-_")
+
+
+def _validate_label(label: str) -> str:
+    if not label:
+        raise ValueError("empty name label")
+    if set(label.lower()) - _LABEL_OK:
+        raise ValueError(f"label {label!r} has invalid characters")
+    return label.lower()
+
+
+@dataclass(frozen=True)
+class HierarchicalName:
+    """An immutable dotted name, least-significant label first on the wire."""
+
+    labels: Tuple[str, ...]
+
+    @classmethod
+    def parse(cls, text: str) -> "HierarchicalName":
+        labels = tuple(_validate_label(l) for l in text.strip().split("."))
+        return cls(labels)
+
+    def __str__(self) -> str:
+        return ".".join(self.labels)
+
+    @property
+    def leaf(self) -> str:
+        """The host/service label (leftmost)."""
+        return self.labels[0]
+
+    @property
+    def parent(self) -> Optional["HierarchicalName"]:
+        if len(self.labels) <= 1:
+            return None
+        return HierarchicalName(self.labels[1:])
+
+    def region_path(self) -> List["HierarchicalName"]:
+        """Regions from the root down to the immediate parent.
+
+        ``venus.cs.stanford.edu`` → ``[edu, stanford.edu, cs.stanford.edu]``.
+        """
+        path = []
+        for start in range(len(self.labels) - 1, 0, -1):
+            path.append(HierarchicalName(self.labels[start:]))
+        return path
+
+    def region(self) -> Optional["HierarchicalName"]:
+        """The immediate enclosing region (None for a root label)."""
+        return self.parent
+
+    def is_within(self, region: "HierarchicalName") -> bool:
+        n = len(region.labels)
+        return len(self.labels) > n and self.labels[-n:] == region.labels
+
+    def common_region(self, other: "HierarchicalName") -> Optional["HierarchicalName"]:
+        """Deepest region containing both names, or None."""
+        depth = 0
+        for a, b in zip(reversed(self.labels), reversed(other.labels)):
+            if a != b:
+                break
+            depth += 1
+        depth = min(depth, len(self.labels) - 1, len(other.labels) - 1)
+        if depth == 0:
+            return None
+        return HierarchicalName(self.labels[len(self.labels) - depth:])

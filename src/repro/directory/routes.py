@@ -1,0 +1,79 @@
+"""The Route object clients receive from the directory.
+
+§3: "the directory service can return information on the bandwidth,
+propagation delay, maximum transmission unit, etc. for each portion of
+the route … a client can determine (up to variations in queuing delay)
+the roundtrip time and MTU for packets on this route, rather than
+discovering these parameters over time."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.net.addresses import MacAddress
+from repro.viper.wire import HeaderSegment
+
+
+@dataclass
+class Route:
+    """A usable source route plus its advertised attributes."""
+
+    destination: str
+    #: One segment per router, then the destination host's final segment.
+    segments: List[HeaderSegment]
+    #: Which of the client's ports the first physical hop uses.
+    first_hop_port: int
+    #: Frame address of the first hop (None on a point-to-point port).
+    first_hop_mac: Optional[MacAddress]
+    # -- advertised attributes (§3) --
+    mtu: int = 1500
+    bottleneck_bps: float = 0.0
+    propagation_delay: float = 0.0
+    hop_count: int = 0
+    cost: float = 0.0
+    secure: bool = True
+    #: Directory's issue time; clients may refresh stale routes.
+    issued_at: float = 0.0
+
+    def header_overhead(self) -> int:
+        """Wire bytes of the stacked header segments."""
+        return sum(s.wire_size() for s in self.segments)
+
+    def max_payload(self) -> int:
+        """Largest payload that traverses the route untruncated.
+
+        Conservative: the trailer grows to mirror the header, so both
+        must fit the bottleneck MTU at once (plus per-element framing).
+        """
+        from repro.viper.packet import TRAILER_LENGTH_BYTES  # local: cycle
+
+        trailer_budget = self.header_overhead() + TRAILER_LENGTH_BYTES * max(
+            0, len(self.segments) - 1
+        )
+        return max(0, self.mtu - self.header_overhead() - trailer_budget)
+
+    def expected_one_way(self, payload_size: int, decision_delay: float = 0.5e-6) -> float:
+        """Predicted no-queueing delivery delay for a payload.
+
+        Cut-through pipeline: one full transmission of the packet at the
+        bottleneck rate, plus total propagation, plus a decision delay
+        per router.  This is the estimate §3 says clients can make
+        before sending a single packet.
+        """
+        size = self.header_overhead() + payload_size
+        transmit = size * 8.0 / self.bottleneck_bps if self.bottleneck_bps else 0.0
+        return transmit + self.propagation_delay + self.hop_count * decision_delay
+
+    def expected_rtt(self, payload_size: int, reply_size: int = 0) -> float:
+        return self.expected_one_way(payload_size) + self.expected_one_way(
+            reply_size or payload_size
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Route to {self.destination!r} hops={self.hop_count} "
+            f"mtu={self.mtu} bw={self.bottleneck_bps:.3g} "
+            f"prop={self.propagation_delay * 1e6:.1f}us>"
+        )

@@ -1,0 +1,31 @@
+"""Network substrate: links, shared segments, addresses, topologies.
+
+This package models the physical internetwork the Sirpent paper assumes:
+point-to-point channels and multi-access (Ethernet-like) segments, each
+with a data rate, propagation delay and MTU.  The channel model is
+*bit-timing aware*: a receiver gets a ``header arrival`` event as soon as
+the switching-relevant prefix of a packet has arrived and a ``completion``
+event when the last bit lands.  Cut-through switching (§2.1 of the paper)
+is built directly on that distinction.
+"""
+
+from repro.net.addresses import MacAddress, MacAllocator, ETHERTYPE_SIRPENT
+from repro.net.link import Channel, Link, Transmission
+from repro.net.ethernet import EthernetSegment
+from repro.net.node import Attachment, EthernetAttachment, Node, P2PAttachment
+from repro.net.topology import Topology
+
+__all__ = [
+    "Attachment",
+    "Channel",
+    "ETHERTYPE_SIRPENT",
+    "EthernetAttachment",
+    "EthernetSegment",
+    "Link",
+    "MacAddress",
+    "MacAllocator",
+    "Node",
+    "P2PAttachment",
+    "Topology",
+    "Transmission",
+]

@@ -1,0 +1,99 @@
+"""Ethernet-style 48-bit addresses and protocol type values.
+
+The paper's examples carry standard Ethernet headers (two 48-bit
+addresses plus a 16-bit protocol type) inside VIPER ``portInfo`` fields,
+with a reserved type value designating "the rest of this packet is a
+Sirpent header segment".
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+#: 16-bit Ethernet protocol type reserved for Sirpent (fictional value in
+#: the experimental range, as the paper leaves the number unassigned).
+ETHERTYPE_SIRPENT = 0x88B5
+
+#: Protocol type designating an IP baseline packet.
+ETHERTYPE_IP = 0x0800
+
+#: Size in bytes of the Ethernet header the paper counts: 2 x 48-bit
+#: addresses + 16-bit type = 14 bytes.
+ETHERNET_HEADER_BYTES = 14
+
+#: Broadcast address.
+BROADCAST = (1 << 48) - 1
+
+
+class MacAddress:
+    """An immutable 48-bit address with the usual colon rendering."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int) -> None:
+        if not 0 <= value < (1 << 48):
+            raise ValueError(f"MAC address out of range: {value:#x}")
+        object.__setattr__(self, "value", value)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("MacAddress is immutable")
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, MacAddress) and other.value == self.value
+
+    def __hash__(self) -> int:
+        return hash(("MacAddress", self.value))
+
+    def __repr__(self) -> str:
+        return f"MacAddress({str(self)!r})"
+
+    def __str__(self) -> str:
+        octets = self.value.to_bytes(6, "big")
+        return ":".join(f"{b:02x}" for b in octets)
+
+    @classmethod
+    def parse(cls, text: str) -> "MacAddress":
+        """Parse ``aa:bb:cc:dd:ee:ff`` notation."""
+        parts = text.split(":")
+        if len(parts) != 6:
+            raise ValueError(f"malformed MAC address {text!r}")
+        value = 0
+        for part in parts:
+            value = (value << 8) | int(part, 16)
+        return cls(value)
+
+    def to_bytes(self) -> bytes:
+        return self.value.to_bytes(6, "big")
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "MacAddress":
+        if len(data) != 6:
+            raise ValueError("MAC address must be 6 bytes")
+        return cls(int.from_bytes(data, "big"))
+
+    @property
+    def is_broadcast(self) -> bool:
+        return self.value == BROADCAST
+
+
+class MacAllocator:
+    """Hands out unique MAC addresses, optionally tagged per network.
+
+    Addresses use a locally-administered OUI so they are recognizably
+    synthetic, with a per-segment middle byte to aid debugging.
+    """
+
+    _LOCAL_OUI = 0x02_51_9E  # locally administered, "Sirpent" flavoured
+
+    def __init__(self) -> None:
+        self._next: Dict[int, int] = {}
+
+    def allocate(self, segment_id: int = 0) -> MacAddress:
+        if not 0 <= segment_id < (1 << 16):
+            raise ValueError("segment_id must fit in 16 bits")
+        index = self._next.get(segment_id, 0)
+        if index >= (1 << 8):
+            raise ValueError(f"segment {segment_id} exhausted its MAC space")
+        self._next[segment_id] = index + 1
+        value = (self._LOCAL_OUI << 24) | (segment_id << 8) | index
+        return MacAddress(value)

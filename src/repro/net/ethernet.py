@@ -1,0 +1,235 @@
+"""Shared multi-access (Ethernet-like) segment.
+
+The paper's running example routes Sirpent packets between Ethernets via
+routers, with the VIPER ``portInfo`` carrying the next recipient's MAC.
+We model the segment as an idealized shared medium: one frame at a time,
+deterministic FIFO arbitration among contending stations (no collisions
+— at the level the paper evaluates, collision backoff is noise).
+
+Timing mirrors :class:`repro.net.link.Channel`: receivers get a header
+event followed by a completion event, so cut-through routers attached to
+an Ethernet behave just as they do on point-to-point wires.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.net.addresses import MacAddress
+from repro.net.link import Transmission
+from repro.sim.engine import EventHandle, Simulator
+from repro.sim.monitor import Counter, UtilizationTracker
+
+
+class _PendingFrame:
+    """A frame waiting for, or occupying, the shared medium."""
+
+    __slots__ = (
+        "src", "dst_mac", "packet", "size", "header_bytes",
+        "priority", "on_done", "on_abort", "events", "tx",
+    )
+
+    def __init__(
+        self,
+        src: Any,
+        dst_mac: MacAddress,
+        packet: Any,
+        size: int,
+        header_bytes: int,
+        priority: int,
+        on_done: Optional[Callable[[], None]],
+        on_abort: Optional[Callable[[Any], None]],
+    ) -> None:
+        self.src = src
+        self.dst_mac = dst_mac
+        self.packet = packet
+        self.size = size
+        self.header_bytes = header_bytes
+        self.priority = priority
+        self.on_done = on_done
+        self.on_abort = on_abort
+        self.events: List[EventHandle] = []
+        self.tx: Optional[Transmission] = None
+
+
+class EthernetSegment:
+    """A broadcast segment connecting any number of attachments."""
+
+    #: The standard Ethernet MTU, which VIPER adopts as its transmission
+    #: unit (§5: "The VIPER transmission unit is 1500 bytes").
+    DEFAULT_MTU = 1500
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rate_bps: float = 10e6,
+        propagation_delay: float = 5e-6,
+        mtu: int = DEFAULT_MTU,
+        name: str = "",
+    ) -> None:
+        if rate_bps <= 0:
+            raise ValueError("rate_bps must be positive")
+        self.sim = sim
+        self.rate_bps = rate_bps
+        self.propagation_delay = propagation_delay
+        self.mtu = mtu
+        self.name = name
+        self.up = True
+        self._stations: Dict[MacAddress, Any] = {}
+        self._current: Optional[_PendingFrame] = None
+        self._backlog: List[_PendingFrame] = []
+        self.frames_sent = Counter(f"{name}.frames")
+        self.bytes_sent = Counter(f"{name}.bytes")
+        self.utilization = UtilizationTracker(name=f"{name}.util")
+
+    # -- membership --------------------------------------------------------
+
+    def register(self, attachment: Any) -> None:
+        """Add a station (an EthernetAttachment) to the segment."""
+        mac = attachment.mac
+        if mac in self._stations:
+            raise ValueError(f"{self.name}: MAC {mac} already registered")
+        self._stations[mac] = attachment
+
+    def stations(self) -> List[Any]:
+        return list(self._stations.values())
+
+    def station_node_name(self, mac: MacAddress) -> Optional[str]:
+        """Name of the node owning ``mac``, or None if unknown."""
+        station = self._stations.get(mac)
+        return station.node.name if station is not None else None
+
+    def current_packet_of(self, requester: Any) -> Optional[Any]:
+        """The packet ``requester`` is currently clocking onto the medium."""
+        if self._current is not None and self._current.src is requester:
+            return self._current.packet
+        return None
+
+    # -- failure injection --------------------------------------------------
+
+    def fail(self) -> None:
+        self.up = False
+        if self._current is not None:
+            self._cancel_current(notify=False)
+        self._backlog.clear()
+
+    def restore(self) -> None:
+        self.up = True
+
+    # -- medium ------------------------------------------------------------
+
+    @property
+    def busy(self) -> bool:
+        return self._current is not None or bool(self._backlog)
+
+    def transmission_time(self, size: int) -> float:
+        return size * 8.0 / self.rate_bps
+
+    def transmit(
+        self,
+        src: Any,
+        dst_mac: MacAddress,
+        packet: Any,
+        size: int,
+        header_bytes: int,
+        priority: int = 0,
+        on_done: Optional[Callable[[], None]] = None,
+        on_abort: Optional[Callable[[Any], None]] = None,
+    ) -> None:
+        """Queue a frame; it starts when the medium frees up (FIFO)."""
+        if not self.up:
+            return  # frames into a dead segment vanish
+        frame = _PendingFrame(
+            src, dst_mac, packet, size, header_bytes, priority, on_done, on_abort
+        )
+        if self._current is None:
+            self._start(frame)
+        else:
+            self._backlog.append(frame)
+
+    def abort_current(self, requester: Any) -> None:
+        """Preempt the in-flight frame (only its sender may request it)."""
+        if self._current is not None and self._current.src is requester:
+            self._cancel_current(notify=True)
+            self._start_next()
+
+    def current_priority(self, requester: Any) -> Optional[int]:
+        if self._current is not None and self._current.src is requester:
+            return self._current.priority
+        return None
+
+    # -- internal ------------------------------------------------------------
+
+    def _start(self, frame: _PendingFrame) -> None:
+        self._current = frame
+        self.utilization.busy(self.sim.now)
+        tx = Transmission(
+            frame.packet, frame.size, self.sim.now, frame.priority,
+            frame.on_done, frame.on_abort,
+        )
+        tx.src_mac = frame.src.mac
+        tx.dst_mac = frame.dst_mac
+        frame.tx = tx
+        header_at = (
+            self.sim.now
+            + self.transmission_time(min(frame.header_bytes, frame.size))
+            + self.propagation_delay
+        )
+        complete_at = (
+            self.sim.now + self.transmission_time(frame.size) + self.propagation_delay
+        )
+        free_at = self.sim.now + self.transmission_time(frame.size)
+        frame.events = [
+            self.sim.at(header_at, self._deliver_header, frame),
+            self.sim.at(complete_at, self._deliver_complete, frame),
+            self.sim.at(free_at, self._free, frame),
+        ]
+
+    def _receivers(self, frame: _PendingFrame) -> List[Any]:
+        if frame.dst_mac.is_broadcast:
+            return [s for s in self._stations.values() if s is not frame.src]
+        station = self._stations.get(frame.dst_mac)
+        return [station] if station is not None else []
+
+    def _deliver_header(self, frame: _PendingFrame) -> None:
+        for station in self._receivers(frame):
+            station.receive_header(frame.packet, frame.tx)
+
+    def _deliver_complete(self, frame: _PendingFrame) -> None:
+        for station in self._receivers(frame):
+            station.receive_packet(frame.packet, frame.tx)
+
+    def _free(self, frame: _PendingFrame) -> None:
+        self.frames_sent.add()
+        self.bytes_sent.add(frame.size)
+        self._current = None
+        self.utilization.idle(self.sim.now)
+        if frame.on_done is not None:
+            frame.on_done()
+        self._start_next()
+
+    def _start_next(self) -> None:
+        if self._current is None and self._backlog:
+            self._start(self._backlog.pop(0))
+
+    def _cancel_current(self, notify: bool) -> None:
+        frame = self._current
+        if frame is None:
+            return
+        for event in frame.events:
+            event.cancel()
+        self._current = None
+        self.utilization.idle(self.sim.now)
+        if notify:
+            for station in self._receivers(frame):
+                self.sim.after(
+                    self.propagation_delay, station.receive_abort, frame.packet
+                )
+            if frame.on_abort is not None:
+                frame.on_abort(frame.packet)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<EthernetSegment {self.name!r} {self.rate_bps:.3g}bps "
+            f"stations={len(self._stations)}>"
+        )

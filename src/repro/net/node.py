@@ -1,0 +1,284 @@
+"""Nodes and their network attachments.
+
+A :class:`Node` is anything with numbered ports: a Sirpent router, a
+host, an IP router, a CVC switch.  Port numbering follows VIPER (§5):
+port 0 means "local", data ports are 1..255.  Each port is bound to an
+:class:`Attachment` — either one direction-pair of a point-to-point link
+or a tap on a shared Ethernet segment.
+
+The attachment is the receive demultiplexing point: incoming header /
+completion / abort events are forwarded to the owning node's
+``on_header`` / ``on_packet`` / ``on_abort`` hooks with the attachment
+identifying the input port.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, TYPE_CHECKING
+
+from repro.net.addresses import MacAddress
+from repro.net.link import Channel, Transmission
+from repro.sim.engine import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.net.ethernet import EthernetSegment
+
+#: VIPER reserves port 0 for local delivery (§5).
+LOCAL_PORT = 0
+
+#: Largest usable port number per switch; larger fan-out is structured
+#: hierarchically per the paper.
+MAX_PORT = 255
+
+
+class Node:
+    """Base class for every network element.
+
+    Subclasses override the three receive hooks.  The default behaviour
+    ignores header events (store-and-forward) and drops packets, which is
+    convenient for test stubs.
+    """
+
+    def __init__(self, sim: Simulator, name: str) -> None:
+        self.sim = sim
+        self.name = name
+        self.ports: Dict[int, "Attachment"] = {}
+
+    def attach(self, port_id: int, attachment: "Attachment") -> None:
+        if not 0 < port_id <= MAX_PORT:
+            raise ValueError(
+                f"port {port_id} invalid: VIPER ports are 1..{MAX_PORT} (0 = local)"
+            )
+        if port_id in self.ports:
+            raise ValueError(f"{self.name}: port {port_id} already attached")
+        self.ports[port_id] = attachment
+
+    def port(self, port_id: int) -> "Attachment":
+        try:
+            return self.ports[port_id]
+        except KeyError:
+            raise KeyError(f"{self.name}: no such port {port_id}") from None
+
+    def free_port_id(self) -> int:
+        """Lowest unused port number (topology builders use this)."""
+        for candidate in range(1, MAX_PORT + 1):
+            if candidate not in self.ports:
+                return candidate
+        raise RuntimeError(f"{self.name}: all {MAX_PORT} ports in use")
+
+    # -- receive hooks -----------------------------------------------------
+
+    def on_header(self, packet: Any, inport: "Attachment", tx: Transmission) -> None:
+        """Called when the switching prefix of a packet has arrived."""
+
+    def on_packet(self, packet: Any, inport: "Attachment", tx: Transmission) -> None:
+        """Called when the full packet has arrived."""
+
+    def on_abort(self, packet: Any, inport: "Attachment") -> None:
+        """Called when an inbound transmission was preempted upstream."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r} ports={sorted(self.ports)}>"
+
+
+class Attachment:
+    """Abstract binding of a node port to a transmission medium."""
+
+    kind = "abstract"
+
+    def __init__(self, node: Node, port_id: int) -> None:
+        self.node = node
+        self.port_id = port_id
+
+    # -- transmit side -------------------------------------------------
+
+    @property
+    def busy(self) -> bool:
+        raise NotImplementedError
+
+    @property
+    def rate_bps(self) -> float:
+        raise NotImplementedError
+
+    @property
+    def mtu(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def up(self) -> bool:
+        return True
+
+    def send(
+        self,
+        packet: Any,
+        size: int,
+        header_bytes: int,
+        dst_mac: Optional[MacAddress] = None,
+        priority: int = 0,
+        on_done: Optional[Callable[[], None]] = None,
+        on_abort: Optional[Callable[[Any], None]] = None,
+    ) -> None:
+        raise NotImplementedError
+
+    def abort_current(self) -> None:
+        """Preempt whatever this port is currently transmitting."""
+        raise NotImplementedError
+
+    def current_priority(self) -> Optional[int]:
+        """Priority of the in-flight transmission, or None when idle."""
+        raise NotImplementedError
+
+    def current_packet(self) -> Optional[Any]:
+        """The packet currently being transmitted, or None when idle."""
+        raise NotImplementedError
+
+    def peer_name_for(self, dst_mac: Optional[MacAddress]) -> str:
+        """Name of the node a transmission with ``dst_mac`` would reach."""
+        raise NotImplementedError
+
+    # -- receive side ----------------------------------------------------
+
+    def receive_header(self, packet: Any, tx: Transmission) -> None:
+        self.node.on_header(packet, self, tx)
+
+    def receive_packet(self, packet: Any, tx: Transmission) -> None:
+        self.node.on_packet(packet, self, tx)
+
+    def receive_abort(self, packet: Any) -> None:
+        self.node.on_abort(packet, self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.node.name}:{self.port_id}>"
+
+
+class P2PAttachment(Attachment):
+    """A port wired to one direction-pair of a point-to-point link."""
+
+    kind = "p2p"
+
+    def __init__(
+        self,
+        node: Node,
+        port_id: int,
+        tx_channel: Channel,
+        peer_name: str = "",
+    ) -> None:
+        super().__init__(node, port_id)
+        self.tx_channel = tx_channel
+        self.peer_name = peer_name
+
+    @property
+    def busy(self) -> bool:
+        return self.tx_channel.busy
+
+    @property
+    def rate_bps(self) -> float:
+        return self.tx_channel.rate_bps
+
+    @property
+    def mtu(self) -> int:
+        return self.tx_channel.mtu
+
+    @property
+    def up(self) -> bool:
+        return self.tx_channel.up
+
+    def send(
+        self,
+        packet: Any,
+        size: int,
+        header_bytes: int,
+        dst_mac: Optional[MacAddress] = None,
+        priority: int = 0,
+        on_done: Optional[Callable[[], None]] = None,
+        on_abort: Optional[Callable[[Any], None]] = None,
+    ) -> None:
+        # dst_mac is meaningless on a point-to-point wire and is ignored,
+        # matching the paper: "if this port is connected to a
+        # point-to-point link, the next router is the node at the other
+        # end of the link".
+        self.tx_channel.transmit(
+            packet, size, header_bytes,
+            priority=priority, on_done=on_done, on_abort=on_abort,
+        )
+
+    def abort_current(self) -> None:
+        self.tx_channel.abort()
+
+    def current_priority(self) -> Optional[int]:
+        current = self.tx_channel.current
+        return current.priority if current is not None else None
+
+    def current_packet(self) -> Optional[Any]:
+        current = self.tx_channel.current
+        return current.packet if current is not None else None
+
+    def peer_name_for(self, dst_mac: Optional[MacAddress]) -> str:
+        return self.peer_name
+
+
+class EthernetAttachment(Attachment):
+    """A tap on a shared Ethernet segment, with its own MAC address."""
+
+    kind = "ethernet"
+
+    def __init__(
+        self,
+        node: Node,
+        port_id: int,
+        segment: "EthernetSegment",
+        mac: MacAddress,
+    ) -> None:
+        super().__init__(node, port_id)
+        self.segment = segment
+        self.mac = mac
+
+    @property
+    def busy(self) -> bool:
+        return self.segment.busy
+
+    @property
+    def rate_bps(self) -> float:
+        return self.segment.rate_bps
+
+    @property
+    def mtu(self) -> int:
+        return self.segment.mtu
+
+    @property
+    def up(self) -> bool:
+        return self.segment.up
+
+    def send(
+        self,
+        packet: Any,
+        size: int,
+        header_bytes: int,
+        dst_mac: Optional[MacAddress] = None,
+        priority: int = 0,
+        on_done: Optional[Callable[[], None]] = None,
+        on_abort: Optional[Callable[[Any], None]] = None,
+    ) -> None:
+        if dst_mac is None:
+            raise ValueError(
+                "sending on an Ethernet requires a destination MAC "
+                "(the VIPER portInfo field carries it)"
+            )
+        self.segment.transmit(
+            self, dst_mac, packet, size, header_bytes,
+            priority=priority, on_done=on_done, on_abort=on_abort,
+        )
+
+    def abort_current(self) -> None:
+        self.segment.abort_current(self)
+
+    def current_priority(self) -> Optional[int]:
+        return self.segment.current_priority(self)
+
+    def current_packet(self) -> Optional[Any]:
+        return self.segment.current_packet_of(self)
+
+    def peer_name_for(self, dst_mac: Optional[MacAddress]) -> str:
+        if dst_mac is None:
+            return ""
+        return self.segment.station_node_name(dst_mac) or ""

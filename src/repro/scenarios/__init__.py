@@ -1,0 +1,36 @@
+"""Prebuilt end-to-end scenarios.
+
+Benchmarks, tests and examples all need "a Sirpent internetwork shaped
+like X, with a directory and transports" — these builders construct
+them consistently so comparisons across experiments share one
+substrate.  Each builder has an IP and/or CVC twin with identical link
+parameters wherever a head-to-head benchmark needs one.
+"""
+
+from repro.scenarios.builders import (
+    CvcScenario,
+    IpScenario,
+    SirpentScenario,
+    build_cvc_line,
+    build_ip_line,
+    build_ip_parallel,
+    build_sirpent_campus,
+    build_sirpent_dumbbell,
+    build_sirpent_line,
+    build_sirpent_parallel,
+    build_sirpent_random,
+)
+
+__all__ = [
+    "CvcScenario",
+    "IpScenario",
+    "SirpentScenario",
+    "build_cvc_line",
+    "build_ip_line",
+    "build_ip_parallel",
+    "build_sirpent_campus",
+    "build_sirpent_dumbbell",
+    "build_sirpent_line",
+    "build_sirpent_parallel",
+    "build_sirpent_random",
+]

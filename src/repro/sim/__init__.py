@@ -1,0 +1,30 @@
+"""Discrete-event simulation substrate for the Sirpent reproduction.
+
+This package provides the timing machinery every other subsystem is built
+on: a deterministic event scheduler (:mod:`repro.sim.engine`),
+generator-based cooperating processes (:mod:`repro.sim.process`), seeded
+random-number streams (:mod:`repro.sim.rng`) and statistics monitors
+(:mod:`repro.sim.monitor`).
+
+The engine is deliberately minimal — a binary heap of timestamped
+callbacks with deterministic tie-breaking — because the Sirpent paper's
+claims are about *timing* (cut-through versus store-and-forward delay,
+queueing, backpressure reaction time), and a small engine is easy to trust.
+"""
+
+from repro.sim.engine import EventHandle, Simulator
+from repro.sim.monitor import Counter, Histogram, RateMeter, TimeWeighted
+from repro.sim.process import Process, Signal
+from repro.sim.rng import RngStreams
+
+__all__ = [
+    "Counter",
+    "EventHandle",
+    "Histogram",
+    "Process",
+    "RateMeter",
+    "RngStreams",
+    "Signal",
+    "Simulator",
+    "TimeWeighted",
+]

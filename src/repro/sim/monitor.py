@@ -1,0 +1,211 @@
+"""Statistics monitors used throughout the benchmarks.
+
+The evaluation section of the paper reasons about *time-averaged* queue
+lengths and link utilization (M/D/1), per-packet delays, and rates.  These
+small accumulators compute exactly those quantities online so benchmark
+runs never need to store per-event traces.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+
+class Counter:
+    """A plain event counter with a convenience ``rate`` helper."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.count = 0
+
+    def add(self, n: int = 1) -> None:
+        self.count += n
+
+    def rate(self, elapsed: float) -> float:
+        """Events per second over ``elapsed`` seconds."""
+        return self.count / elapsed if elapsed > 0 else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Counter {self.name!r}={self.count}>"
+
+
+class Histogram:
+    """Streaming sample statistics plus quantiles from retained samples.
+
+    Retains every sample; the benchmarks produce at most a few hundred
+    thousand, which is cheap, and exact quantiles beat approximations when
+    comparing against closed-form queueing results.
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.samples: List[float] = []
+        self._sum = 0.0
+        self._sumsq = 0.0
+
+    def add(self, value: float) -> None:
+        self.samples.append(value)
+        self._sum += value
+        self._sumsq += value * value
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return self._sum / len(self.samples) if self.samples else 0.0
+
+    @property
+    def variance(self) -> float:
+        n = len(self.samples)
+        if n < 2:
+            return 0.0
+        mean = self._sum / n
+        return max(0.0, self._sumsq / n - mean * mean) * n / (n - 1)
+
+    @property
+    def stdev(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def minimum(self) -> float:
+        return min(self.samples) if self.samples else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return max(self.samples) if self.samples else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Exact empirical quantile, q in [0, 1]."""
+        if not self.samples:
+            return 0.0
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q} outside [0, 1]")
+        ordered = sorted(self.samples)
+        index = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[index]
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": float(self.count),
+            "mean": self.mean,
+            "stdev": self.stdev,
+            "min": self.minimum,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+            "max": self.maximum,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Histogram {self.name!r} n={self.count} mean={self.mean:.6g}>"
+
+
+class TimeWeighted:
+    """Time-weighted average of a piecewise-constant quantity.
+
+    Feed it every change of the quantity (queue length, number of busy
+    links, outstanding circuits) and it integrates value x time.
+    """
+
+    def __init__(self, name: str = "", initial: float = 0.0, start: float = 0.0) -> None:
+        self.name = name
+        self.value = initial
+        self._last_change = start
+        self._integral = 0.0
+        self._start = start
+        self.maximum = initial
+
+    def update(self, now: float, value: float) -> None:
+        """Record that the quantity changed to ``value`` at time ``now``."""
+        if now < self._last_change:
+            raise ValueError(
+                f"time went backwards: {now} < {self._last_change}"
+            )
+        self._integral += self.value * (now - self._last_change)
+        self._last_change = now
+        self.value = value
+        if value > self.maximum:
+            self.maximum = value
+
+    def mean(self, now: float) -> float:
+        """Time-weighted mean over [start, now]."""
+        elapsed = now - self._start
+        if elapsed <= 0:
+            return self.value
+        integral = self._integral + self.value * (now - self._last_change)
+        return integral / elapsed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<TimeWeighted {self.name!r} value={self.value}>"
+
+
+class RateMeter:
+    """Sliding-window rate estimate (events or bytes per second).
+
+    Routers use this to compare arrival rate against service rate for the
+    paper's rate-based congestion control (§2.2).  The window is a ring of
+    (time, amount) pairs; old entries expire as time advances.
+    """
+
+    def __init__(self, window: float, name: str = "") -> None:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.window = window
+        self.name = name
+        self._events: List[Tuple[float, float]] = []
+        self._total = 0.0
+
+    def add(self, now: float, amount: float = 1.0) -> None:
+        self._events.append((now, amount))
+        self._total += amount
+        self._expire(now)
+
+    def rate(self, now: float) -> float:
+        """Amount per second over the trailing window."""
+        self._expire(now)
+        return self._total / self.window
+
+    def _expire(self, now: float) -> None:
+        cutoff = now - self.window
+        dropped = 0
+        for time, amount in self._events:
+            if time >= cutoff:
+                break
+            self._total -= amount
+            dropped += 1
+        if dropped:
+            del self._events[:dropped]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<RateMeter {self.name!r} window={self.window}>"
+
+
+class UtilizationTracker:
+    """Tracks busy/idle state of a resource (a link) and reports utilization."""
+
+    def __init__(self, start: float = 0.0, name: str = "") -> None:
+        self.name = name
+        self._busy_since: Optional[float] = None
+        self._busy_total = 0.0
+        self._start = start
+
+    def busy(self, now: float) -> None:
+        if self._busy_since is None:
+            self._busy_since = now
+
+    def idle(self, now: float) -> None:
+        if self._busy_since is not None:
+            self._busy_total += now - self._busy_since
+            self._busy_since = None
+
+    def utilization(self, now: float) -> float:
+        elapsed = now - self._start
+        if elapsed <= 0:
+            return 0.0
+        busy = self._busy_total
+        if self._busy_since is not None:
+            busy += now - self._busy_since
+        return busy / elapsed

@@ -1,0 +1,134 @@
+"""Generator-based cooperating processes on top of the event engine.
+
+A :class:`Process` wraps a generator that yields either
+
+* a ``float`` — sleep that many simulated seconds, or
+* a :class:`Signal` — suspend until the signal fires (the value passed to
+  :meth:`Signal.fire` becomes the result of the ``yield``).
+
+This is the style the transport layer and the workload generators use;
+low-level components (links, routers) use raw callbacks for speed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Optional
+
+from repro.sim.engine import Simulator
+
+
+class Signal:
+    """A one-to-many wakeup primitive.
+
+    Processes that yield a signal are resumed (in FIFO order) when
+    :meth:`fire` is called.  A signal can fire repeatedly; each firing
+    wakes the waiters registered at that moment.
+
+    With ``latch=True`` the signal also remembers that it has fired, and
+    any *later* waiter resumes immediately with the last value — the
+    right semantics for completion events (``done_signal``, ``all_of``),
+    where arriving after the fact must not mean waiting forever.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "", latch: bool = False) -> None:
+        self.sim = sim
+        self.name = name
+        self.latch = latch
+        self._waiters: List["Process"] = []
+        self.fire_count = 0
+        self.last_value: Any = None
+
+    def wait(self, process: "Process") -> None:
+        if self.latch and self.fire_count > 0:
+            self.sim.after(0.0, process._resume, self.last_value)
+            return
+        self._waiters.append(process)
+
+    def fire(self, value: Any = None) -> None:
+        """Wake all current waiters, delivering ``value`` to each."""
+        self.fire_count += 1
+        self.last_value = value
+        waiters, self._waiters = self._waiters, []
+        for process in waiters:
+            # Resume via the scheduler so firing inside an event callback
+            # keeps deterministic ordering with other same-time events.
+            self.sim.after(0.0, process._resume, value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Signal {self.name!r} waiters={len(self._waiters)}>"
+
+
+class Process:
+    """Drives a generator as a simulated process.
+
+    The generator may ``return`` a value; it is stored in :attr:`result`
+    and :attr:`done_signal` fires with it.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        generator: Generator[Any, Any, Any],
+        name: str = "",
+    ) -> None:
+        self.sim = sim
+        self.generator = generator
+        self.name = name
+        self.done = False
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+        self.done_signal = Signal(sim, name=f"{name}.done", latch=True)
+        sim.after(0.0, self._resume, None)
+
+    def _resume(self, value: Any) -> None:
+        if self.done:
+            return
+        try:
+            yielded = self.generator.send(value)
+        except StopIteration as stop:
+            self.done = True
+            self.result = stop.value
+            self.done_signal.fire(stop.value)
+            return
+        except Exception as exc:  # surface model bugs loudly
+            self.done = True
+            self.error = exc
+            raise
+        if isinstance(yielded, Signal):
+            yielded.wait(self)
+        elif isinstance(yielded, (int, float)):
+            self.sim.after(float(yielded), self._resume, None)
+        else:
+            raise TypeError(
+                f"process {self.name!r} yielded {yielded!r}; "
+                "expected a delay (float) or a Signal"
+            )
+
+    def stop(self) -> None:
+        """Terminate the process without resuming it again."""
+        self.done = True
+        self.generator.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.done else "running"
+        return f"<Process {self.name!r} {state}>"
+
+
+def all_of(sim: Simulator, processes: List[Process]) -> Signal:
+    """Return a signal that fires once every process in the list is done."""
+    gate = Signal(sim, name="all_of", latch=True)
+    remaining = [p for p in processes if not p.done]
+    count = {"n": len(remaining)}
+    if count["n"] == 0:
+        gate.fire(None)
+        return gate
+
+    def make_waiter(process: Process) -> Generator[Any, Any, None]:
+        yield process.done_signal
+        count["n"] -= 1
+        if count["n"] == 0:
+            gate.fire(None)
+
+    for process in remaining:
+        Process(sim, make_waiter(process), name=f"all_of[{process.name}]")
+    return gate

@@ -1,0 +1,36 @@
+"""Token-based authorization and accounting (§2.2 of the paper).
+
+Each token is "an encrypted (difficult-to-forge) capability that
+identifies the port and type of service that it authorizes, the account
+to which usage is to be charged, optionally a limit on resource usage
+… and whether reverse route charging is authorized".
+
+* :mod:`repro.tokens.capability` — minting and verifying HMAC-sealed
+  tokens.
+* :mod:`repro.tokens.cache` — the router-side cache enabling real-time
+  checks, with the paper's three policies for a token that has not been
+  cached yet: optimistic, blocking and drop.
+* :mod:`repro.tokens.accounting` — per-account usage ledgers fed from
+  cache entries.
+"""
+
+from repro.tokens.accounting import AccountLedger, UsageRecord
+from repro.tokens.capability import (
+    InvalidTokenError,
+    TokenClaims,
+    TokenMint,
+    WILDCARD_PORT,
+)
+from repro.tokens.cache import CachePolicy, TokenCache, TokenCacheEntry
+
+__all__ = [
+    "AccountLedger",
+    "CachePolicy",
+    "InvalidTokenError",
+    "TokenCache",
+    "TokenCacheEntry",
+    "TokenClaims",
+    "TokenMint",
+    "UsageRecord",
+    "WILDCARD_PORT",
+]

@@ -1,0 +1,212 @@
+"""The router-side token cache with optimistic authorization (§2.2).
+
+"Because the token is an encrypted capability that may be difficult to
+fully decrypt and check in real time before the packet is forwarded, the
+router retains a cached version of the token such that it can check and
+authorize packet forwarding in real time from the cached version."
+
+Three policies for a token value seen for the first time:
+
+* ``OPTIMISTIC`` — let the packet through now, verify in the background;
+  "in the worst case, one or a small number of unauthorized packets can
+  be allowed through without significant problems".
+* ``BLOCKING`` — treat the packet as blocked while the token is checked,
+  "just as the blocking normally allows some time for the port to
+  become free".
+* ``DROP`` — discard the packet (only sensible where blocked packets
+  are dropped anyway).
+
+The cache also implements the paper's defence against malicious floods
+of distinct invalid tokens: after ``invalid_switch_threshold`` failed
+verifications the cache switches itself to blocking authentication.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.tokens.accounting import AccountLedger
+from repro.tokens.capability import (
+    InvalidTokenError,
+    TokenClaims,
+    TokenMint,
+    UNLIMITED,
+)
+
+
+class CachePolicy(enum.Enum):
+    """How to treat a packet whose token is not yet cached."""
+
+    OPTIMISTIC = "optimistic"
+    BLOCKING = "blocking"
+    DROP = "drop"
+
+
+class Verdict(enum.Enum):
+    """Real-time admission decision for one packet."""
+
+    FORWARD = "forward"       # authorized (or optimistically admitted)
+    BLOCK = "block"           # hold until verification completes
+    REJECT = "reject"         # token known-invalid or policy says drop
+
+
+@dataclass
+class TokenCacheEntry:
+    """Cached verification result for one token value."""
+
+    claims: Optional[TokenClaims]
+    valid: bool
+    verified: bool = False          # full (slow) check completed
+    packets: int = 0
+    bytes: int = 0
+
+    def remaining_budget(self) -> Optional[int]:
+        if self.claims is None or self.claims.byte_limit == UNLIMITED:
+            return None
+        return max(0, self.claims.byte_limit - self.bytes)
+
+
+class TokenCache:
+    """Per-router token cache, keyed by the raw (sealed) token value."""
+
+    def __init__(
+        self,
+        mint: TokenMint,
+        policy: CachePolicy = CachePolicy.OPTIMISTIC,
+        verify_cost: float = 200e-6,
+        ledger: Optional[AccountLedger] = None,
+        invalid_switch_threshold: int = 16,
+        require_tokens: bool = False,
+    ) -> None:
+        self.mint = mint
+        self.policy = policy
+        self.verify_cost = verify_cost
+        self.ledger = ledger if ledger is not None else AccountLedger(mint.issuer)
+        self.invalid_switch_threshold = invalid_switch_threshold
+        self.require_tokens = require_tokens
+        self._entries: Dict[bytes, TokenCacheEntry] = {}
+        self.invalid_seen = 0
+        self.hits = 0
+        self.misses = 0
+
+    # -- admission (the fast path) -------------------------------------------
+
+    def admit(
+        self,
+        token: bytes,
+        port: int,
+        priority: int,
+        size: int,
+        now_ms: int = 0,
+        rpf: bool = False,
+    ) -> Tuple[Verdict, float]:
+        """Real-time decision for one packet; returns (verdict, extra_delay).
+
+        ``extra_delay`` is the verification latency the packet itself
+        must absorb — zero on a cache hit or under optimistic admission,
+        ``verify_cost`` when the policy blocks on the slow check.
+        ``rpf`` marks a reverse-path packet: a reverse-authorized token
+        ("the token can be used for the return route as well", §2.2)
+        then authorizes the return port even though it names the forward
+        one.
+        """
+        if not token:
+            if self.require_tokens:
+                return Verdict.REJECT, 0.0
+            return Verdict.FORWARD, 0.0
+
+        entry = self._entries.get(token)
+        if entry is not None:
+            self.hits += 1
+            return (
+                self._admit_cached(entry, token, port, priority, size, rpf),
+                0.0,
+            )
+
+        self.misses += 1
+        effective_policy = self.policy
+        if (
+            effective_policy is CachePolicy.OPTIMISTIC
+            and self.invalid_seen >= self.invalid_switch_threshold
+        ):
+            # Under attack by many distinct invalid tokens: stop being
+            # optimistic (paper's footnote 7).
+            effective_policy = CachePolicy.BLOCKING
+
+        if effective_policy is CachePolicy.OPTIMISTIC:
+            # Admit now; install the entry from the slow check so later
+            # packets are authorized (or rejected) from cache.
+            self._verify_and_install(token, now_ms)
+            entry = self._entries[token]
+            if entry.valid:
+                self._account(entry, token, size, priority)
+            return Verdict.FORWARD, 0.0
+        if effective_policy is CachePolicy.BLOCKING:
+            self._verify_and_install(token, now_ms)
+            entry = self._entries[token]
+            verdict = self._admit_cached(entry, token, port, priority, size, rpf)
+            return verdict, self.verify_cost
+        # DROP: still install the entry so the source's retry is cheap.
+        self._verify_and_install(token, now_ms)
+        return Verdict.REJECT, 0.0
+
+    def _admit_cached(
+        self, entry: TokenCacheEntry, token: bytes, port: int,
+        priority: int, size: int, rpf: bool = False,
+    ) -> Verdict:
+        if not entry.valid or entry.claims is None:
+            return Verdict.REJECT
+        claims = entry.claims
+        reverse_authorized = rpf and claims.reverse_ok
+        if not claims.authorizes_port(port) and not reverse_authorized:
+            return Verdict.REJECT
+        if not claims.authorizes_priority(priority):
+            return Verdict.REJECT
+        budget = entry.remaining_budget()
+        if budget is not None and size > budget:
+            return Verdict.REJECT
+        self._account(entry, token, size, priority)
+        return Verdict.FORWARD
+
+    def _account(
+        self, entry: TokenCacheEntry, token: bytes, size: int, priority: int
+    ) -> None:
+        entry.packets += 1
+        entry.bytes += size
+        if entry.claims is not None:
+            self.ledger.charge(entry.claims.account, size, priority)
+
+    # -- the slow path -----------------------------------------------------------
+
+    def _verify_and_install(self, token: bytes, now_ms: int) -> None:
+        try:
+            claims = self.mint.verify(token, now_ms=now_ms)
+            entry = TokenCacheEntry(claims=claims, valid=True, verified=True)
+        except InvalidTokenError:
+            self.invalid_seen += 1
+            entry = TokenCacheEntry(claims=None, valid=False, verified=True)
+        self._entries[token] = entry
+
+    # -- management ---------------------------------------------------------------
+
+    def entry(self, token: bytes) -> Optional[TokenCacheEntry]:
+        return self._entries.get(token)
+
+    def flush(self) -> None:
+        """Discard all cached entries (router restart — tokens are soft state)."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<TokenCache entries={len(self._entries)} policy={self.policy.value} "
+            f"hit_rate={self.hit_rate():.2f}>"
+        )

@@ -1,0 +1,121 @@
+"""Client-side route management and rebinding (§6.3, §2.2).
+
+"Clients can request multiple routes (rather than a single route) to
+the desired host or service, and switch between these routes based on
+the performance of the different routes.  Because the client knows the
+base round trip time for the route, measures the actual round trip time
+as part of reliable communication, and receives feedback from the
+rate-based congestion control mechanism, … it is able to quickly detect
+and react to congestion and link failures."
+
+:class:`RouteManager` holds the cached alternates, tracks measured RTT
+against each route's advertised base RTT, and switches on explicit
+failure or sustained degradation.  It can refresh its route set from
+the directory ("periodically requesting route advisories").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.directory.routes import Route
+from repro.sim.engine import Simulator
+from repro.sim.monitor import Counter, Histogram
+
+
+class NoRouteError(Exception):
+    """All cached routes have been exhausted."""
+
+
+class RouteManager:
+    """Holds alternates for one destination; picks and rebinds."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        routes: List[Route],
+        degradation_factor: float = 3.0,
+        degradation_samples: int = 4,
+        refresher: Optional[Callable[[], List[Route]]] = None,
+    ) -> None:
+        if not routes:
+            raise NoRouteError("route manager needs at least one route")
+        self.sim = sim
+        self.routes = list(routes)
+        self.degradation_factor = degradation_factor
+        self.degradation_samples = degradation_samples
+        self.refresher = refresher
+        self._current = 0
+        self._consecutive_slow = 0
+        self.switches = Counter("route.switches")
+        self.failures = Counter("route.failures")
+        self.rtt_samples = Histogram("route.rtt")
+        self.last_switch_at: Optional[float] = None
+
+    # -- selection ---------------------------------------------------------
+
+    def current(self) -> Route:
+        return self.routes[self._current]
+
+    def alternates(self) -> List[Route]:
+        return [r for i, r in enumerate(self.routes) if i != self._current]
+
+    # -- feedback ------------------------------------------------------------
+
+    def report_rtt(self, rtt: float, payload_size: int = 576) -> None:
+        """Measured round trip; sustained degradation triggers a switch.
+
+        The comparison baseline is the route's *advertised* expected RTT
+        (§3: the client can compute it before sending anything).
+        """
+        self.rtt_samples.add(rtt)
+        base = self.current().expected_rtt(payload_size)
+        if base > 0 and rtt > base * self.degradation_factor:
+            self._consecutive_slow += 1
+            if self._consecutive_slow >= self.degradation_samples:
+                self._switch(reason="degraded")
+        else:
+            self._consecutive_slow = 0
+
+    def report_failure(self) -> Route:
+        """Explicit loss (retransmissions exhausted): switch immediately."""
+        self.failures.add()
+        self._switch(reason="failure")
+        return self.current()
+
+    def report_backpressure(self) -> None:
+        """Rate signals alone do not switch routes, but they reset the
+        degradation counter's patience — congestion has an explanation."""
+        self._consecutive_slow = 0
+
+    # -- rebinding -------------------------------------------------------------
+
+    def _switch(self, reason: str) -> None:
+        self._consecutive_slow = 0
+        self.switches.add()
+        self.last_switch_at = self.sim.now
+        if len(self.routes) > 1:
+            self._current = (self._current + 1) % len(self.routes)
+        elif self.refresher is not None:
+            self.refresh()
+
+    def refresh(self) -> None:
+        """Re-query the directory for a fresh route set."""
+        if self.refresher is None:
+            return
+        fresh = self.refresher()
+        if fresh:
+            self.routes = list(fresh)
+            self._current = 0
+
+    def adopt(self, routes: List[Route]) -> None:
+        """Accept a pushed route advisory (§6.3)."""
+        if routes:
+            self.routes = list(routes)
+            self._current = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<RouteManager {len(self.routes)} routes, current={self._current}, "
+            f"switches={self.switches.count}>"
+        )

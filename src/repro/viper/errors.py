@@ -1,0 +1,22 @@
+"""Exception types for the VIPER protocol implementation."""
+
+
+class ViperError(Exception):
+    """Base class for VIPER protocol errors."""
+
+
+class DecodeError(ViperError):
+    """Raised when a byte buffer is not a well-formed VIPER structure."""
+
+
+class RouteExhaustedError(ViperError):
+    """Raised when a router receives a packet with no header segment left.
+
+    A correctly routed packet consumes its last segment exactly at its
+    destination; seeing this at a router means the source route was too
+    short or the packet was misrouted.
+    """
+
+
+class SegmentLimitError(ViperError):
+    """Raised when a route exceeds VIPER's 48-segment maximum (§2.3)."""

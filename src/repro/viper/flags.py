@@ -1,0 +1,84 @@
+"""VIPER flags and the 4-bit priority lattice (§5).
+
+Figure 1 packs an 8-bit ``Flags | Priority`` byte: the high nibble holds
+the three defined flags, the low nibble the priority.
+
+Priority semantics from the paper:
+
+* Normal priority is 0, with 7 the highest.
+* Priorities 6 and 7 *preempt* lower-priority packets mid-transmission.
+* Values with the high-order bit set are **lower** than normal, 0xF
+  being the lowest (background traffic).
+
+``effective_priority`` maps the 4-bit wire value onto a single ordered
+scale so queues can compare any two values directly.
+"""
+
+from __future__ import annotations
+
+#: The portInfo field is void and another VIPER header segment
+#: immediately follows this one.
+FLAG_VNT = 0x8
+
+#: Drop If Blocked — discard rather than queue when the output port is
+#: busy (real-time traffic prefers loss to late delivery).
+FLAG_DIB = 0x4
+
+#: Reverse Path Forwarding — this packet is returning along the route and
+#: tokens supplied in a received packet's trailer.
+FLAG_RPF = 0x2
+
+PRIORITY_NORMAL = 0x0
+PRIORITY_PREEMPT = 0x6
+PRIORITY_PREEMPT_HIGH = 0x7
+PRIORITY_BULK = 0x8       # first of the "high bit set" low priorities
+PRIORITY_LOWEST = 0xF
+
+
+def validate_priority(priority: int) -> int:
+    """Check a 4-bit wire priority value, returning it unchanged."""
+    if not 0 <= priority <= 0xF:
+        raise ValueError(f"priority {priority} outside 4-bit range")
+    return priority
+
+
+def effective_priority(priority: int) -> int:
+    """Map the wire nibble to an ordered scale (bigger = more urgent).
+
+    Wire values 0..7 map to 8..15; wire values 8..15 (low priorities,
+    0xF lowest) map to 7..0.
+    """
+    validate_priority(priority)
+    if priority & 0x8:
+        return 0xF - priority
+    return priority + 8
+
+
+def outranks(a: int, b: int) -> bool:
+    """True when wire priority ``a`` is strictly more urgent than ``b``."""
+    return effective_priority(a) > effective_priority(b)
+
+
+def is_preemptive(priority: int) -> bool:
+    """Priorities 6 and 7 preempt lower-priority transmissions (§5)."""
+    return priority in (PRIORITY_PREEMPT, PRIORITY_PREEMPT_HIGH)
+
+
+def pack_flags_priority(vnt: bool, dib: bool, rpf: bool, priority: int) -> int:
+    """Pack into the Figure-1 ``Flags | Priority`` byte."""
+    validate_priority(priority)
+    nibble = (FLAG_VNT if vnt else 0) | (FLAG_DIB if dib else 0) | (FLAG_RPF if rpf else 0)
+    return (nibble << 4) | priority
+
+
+def unpack_flags_priority(byte: int) -> tuple:
+    """Return ``(vnt, dib, rpf, priority)`` from the packed byte."""
+    if not 0 <= byte <= 0xFF:
+        raise ValueError(f"flag byte {byte} out of range")
+    nibble = byte >> 4
+    return (
+        bool(nibble & FLAG_VNT),
+        bool(nibble & FLAG_DIB),
+        bool(nibble & FLAG_RPF),
+        byte & 0xF,
+    )

@@ -1,0 +1,299 @@
+"""The Sirpent packet: stacked header segments, payload, return-route trailer.
+
+A packet in flight is::
+
+    [seg_k][seg_k+1]...[seg_N] [payload] [trailer elements ...]
+
+Routers strip the leading segment, reverse its network-specific part,
+and append it (plus a 2-byte element length) to the trailer.  The
+receiver reconstructs the return route by walking the trailer backwards
+(§2: "copies each segment into a separate return address area in
+reverse order") — :func:`build_return_route`.
+
+The simulator carries packets *structurally*: sizes come from the wire
+codec so timing is byte-exact, but we only serialize at the edges (and
+in the codec tests), never per hop.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple, Union
+
+from repro.viper.errors import DecodeError, SegmentLimitError
+from repro.viper.wire import (
+    MAX_SEGMENTS,
+    HeaderSegment,
+    decode_segment,
+    encode_segment,
+)
+
+#: Trailing 2-byte length value reserved for the truncation mark — large
+#: enough that no legal encoded segment reaches it, so it is "not a
+#: legal Sirpent header segment" as §2 requires.
+TRUNCATION_SENTINEL = 0xFFFF
+
+#: Wire size of the truncation mark (just the sentinel).
+TRUNCATION_MARK_BYTES = 2
+
+#: Per-trailer-element length suffix.
+TRAILER_LENGTH_BYTES = 2
+
+
+class _TruncationMark:
+    """Singleton marker a router appends when it truncated the packet."""
+
+    def wire_size(self) -> int:
+        return TRUNCATION_MARK_BYTES
+
+    def __repr__(self) -> str:
+        return "TRUNCATION_MARK"
+
+
+TRUNCATION_MARK = _TruncationMark()
+
+
+@dataclass
+class TrailerElement:
+    """One reversed header segment living in the trailer."""
+
+    segment: HeaderSegment
+
+    def wire_size(self) -> int:
+        return self.segment.wire_size() + TRAILER_LENGTH_BYTES
+
+
+_packet_ids = itertools.count(1)
+
+
+@dataclass
+class SirpentPacket:
+    """A Sirpent/VIPER packet as carried by the simulator.
+
+    ``payload`` is opaque to the internetwork (a transport PDU object or
+    bytes); only ``payload_size`` affects timing.  Simulation metadata
+    (identity, timestamps, the hop log) lives here too because the
+    benchmarks need per-packet delay decompositions.
+    """
+
+    segments: List[HeaderSegment]
+    payload_size: int
+    payload: Any = None
+    trailer: List[Union[TrailerElement, _TruncationMark]] = field(default_factory=list)
+    # -- simulation metadata (not on the wire) --
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    created_at: float = 0.0
+    source: str = ""
+    corrupted: bool = False
+    hops_taken: int = 0
+    hop_log: List[str] = field(default_factory=list)
+    #: "Feed forward" load hint (§2.2): number of packets queued behind
+    #: this one at its previous router, stamped at transmit start.
+    feed_forward_load: int = 0
+
+    def __post_init__(self) -> None:
+        if self.payload_size < 0:
+            raise ValueError("payload_size must be non-negative")
+        if len(self.segments) > MAX_SEGMENTS:
+            raise SegmentLimitError(
+                f"{len(self.segments)} segments exceed VIPER's {MAX_SEGMENTS}"
+            )
+
+    # -- sizes ---------------------------------------------------------------
+
+    def header_size(self) -> int:
+        return sum(s.wire_size() for s in self.segments)
+
+    def trailer_size(self) -> int:
+        return sum(e.wire_size() for e in self.trailer)
+
+    def wire_size(self) -> int:
+        return self.header_size() + self.payload_size + self.trailer_size()
+
+    def decision_prefix_bytes(self) -> int:
+        """Bytes a router must receive before it can switch the packet.
+
+        The whole first segment: the out-going stream begins with the
+        *second* segment, whose first byte arrives right after the first
+        segment ends, and the stripped segment is held in the loopback
+        register meanwhile (§2.1).
+        """
+        if not self.segments:
+            return self.wire_size()
+        return self.segments[0].wire_size()
+
+    # -- routing algebra ----------------------------------------------------
+
+    @property
+    def current_segment(self) -> HeaderSegment:
+        if not self.segments:
+            raise IndexError("packet has no remaining header segments")
+        return self.segments[0]
+
+    @property
+    def truncated(self) -> bool:
+        return any(e is TRUNCATION_MARK for e in self.trailer)
+
+    def advance(self, return_segment: HeaderSegment) -> HeaderSegment:
+        """Strip the leading segment, appending its reverse to the trailer.
+
+        Returns the stripped segment.  This is the router's core move.
+        """
+        stripped = self.segments.pop(0)
+        self.trailer.append(TrailerElement(return_segment))
+        self.hops_taken += 1
+        return stripped
+
+    def mark_truncated(self, keep_bytes: int) -> None:
+        """Record that the payload was cut to ``keep_bytes`` mid-flight."""
+        if keep_bytes < 0:
+            raise ValueError("keep_bytes must be non-negative")
+        self.payload_size = min(self.payload_size, keep_bytes)
+        if not self.truncated:
+            self.trailer.append(TRUNCATION_MARK)
+
+    def trailer_segments(self) -> List[HeaderSegment]:
+        """The reversed segments accumulated so far, in arrival order."""
+        return [e.segment for e in self.trailer if isinstance(e, TrailerElement)]
+
+    # -- corruption (no header checksum, §4.1) --------------------------------
+
+    def corrupted_copy(self, rng) -> "SirpentPacket":
+        """A bit-error rendition of this packet.
+
+        Sirpent carries no header checksum, so corruption is *delivered*
+        rather than dropped: half the time we flip the leading port field
+        (possible misrouting), otherwise we poison the payload.  The
+        transport layer is responsible for detecting either (§4.1).
+        """
+        clone = SirpentPacket(
+            segments=[s.copy() for s in self.segments],
+            payload_size=self.payload_size,
+            payload=self.payload,
+            trailer=list(self.trailer),
+            created_at=self.created_at,
+            source=self.source,
+            hops_taken=self.hops_taken,
+            hop_log=list(self.hop_log),
+        )
+        clone.corrupted = True
+        if clone.segments and rng.random() < 0.5:
+            clone.segments[0] = clone.segments[0].copy(port=rng.randrange(0, 256))
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<SirpentPacket #{self.packet_id} segs={len(self.segments)} "
+            f"payload={self.payload_size}B trailer={len(self.trailer)} "
+            f"hops={self.hops_taken}>"
+        )
+
+
+def build_return_route(packet: SirpentPacket) -> List[HeaderSegment]:
+    """Construct the return source route from a delivered packet's trailer.
+
+    §2: the receiver "copies each segment into a separate return address
+    area in reverse order".  The routers already rewrote each element so
+    it is a correct return hop; the receiver's work is purely
+    network-independent reversal.  Return segments get the RPF flag.
+    """
+    reversed_segments = []
+    for element in reversed(packet.trailer):
+        if element is TRUNCATION_MARK:
+            continue
+        reversed_segments.append(element.segment.copy(rpf=True))
+    return reversed_segments
+
+
+# -- whole-packet wire codec (used at the edges and in tests) ---------------
+
+
+def encode_packet(packet: SirpentPacket, payload_bytes: Optional[bytes] = None) -> bytes:
+    """Serialize header segments, payload and trailer to one buffer.
+
+    ``payload_bytes`` defaults to zero padding of ``payload_size`` —
+    benches only need sizes, but transports may pass real bytes.
+    """
+    if payload_bytes is None:
+        payload_bytes = bytes(packet.payload_size)
+    elif len(payload_bytes) != packet.payload_size:
+        raise ValueError(
+            f"payload is {len(payload_bytes)} bytes but payload_size="
+            f"{packet.payload_size}"
+        )
+    out = bytearray()
+    for segment in packet.segments:
+        out += encode_segment(segment)
+    out += payload_bytes
+    for element in packet.trailer:
+        if element is TRUNCATION_MARK:
+            out += TRUNCATION_SENTINEL.to_bytes(TRAILER_LENGTH_BYTES, "big")
+        else:
+            encoded = encode_segment(element.segment)
+            if len(encoded) >= TRUNCATION_SENTINEL:
+                raise SegmentLimitError("trailer element too large to frame")
+            out += encoded
+            out += len(encoded).to_bytes(TRAILER_LENGTH_BYTES, "big")
+    return bytes(out)
+
+
+def decode_trailer(
+    buffer: bytes, end: Optional[int] = None
+) -> Tuple[List[Union[TrailerElement, _TruncationMark]], int]:
+    """Walk the trailer backwards from ``end``.
+
+    Returns ``(elements_in_original_order, start_offset_of_trailer)``.
+    The walk stops when a back-length does not frame a decodable segment
+    — that boundary is where the payload ends.
+    """
+    if end is None:
+        end = len(buffer)
+    elements: List[Union[TrailerElement, _TruncationMark]] = []
+    cursor = end
+    while cursor >= TRAILER_LENGTH_BYTES:
+        length = int.from_bytes(buffer[cursor - TRAILER_LENGTH_BYTES:cursor], "big")
+        if length == TRUNCATION_SENTINEL:
+            elements.append(TRUNCATION_MARK)
+            cursor -= TRAILER_LENGTH_BYTES
+            continue
+        start = cursor - TRAILER_LENGTH_BYTES - length
+        if length < 4 or start < 0:
+            break
+        try:
+            segment, consumed = decode_segment(buffer, start)
+        except DecodeError:
+            break
+        if consumed != cursor - TRAILER_LENGTH_BYTES:
+            break
+        elements.append(TrailerElement(segment))
+        cursor = start
+    elements.reverse()
+    return elements, cursor
+
+
+def decode_packet(
+    buffer: bytes, segment_count: int
+) -> Tuple[SirpentPacket, bytes]:
+    """Parse a buffer holding ``segment_count`` leading segments.
+
+    Returns the structural packet plus the raw payload bytes.  The
+    payload boundary comes from walking the trailer backwards, which is
+    how a Sirpent receiver locates "the beginning of the trailer" (§2).
+    """
+    segments = []
+    offset = 0
+    for _ in range(segment_count):
+        segment, offset = decode_segment(buffer, offset)
+        segments.append(segment)
+    trailer, payload_end = decode_trailer(buffer, len(buffer))
+    if payload_end < offset:
+        raise DecodeError("trailer overlaps header segments")
+    payload_bytes = buffer[offset:payload_end]
+    packet = SirpentPacket(
+        segments=segments,
+        payload_size=len(payload_bytes),
+        payload=payload_bytes,
+        trailer=trailer,
+    )
+    return packet, payload_bytes

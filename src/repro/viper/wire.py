@@ -1,0 +1,194 @@
+"""Byte-exact codec for the VIPER header segment of Figure 1.
+
+Layout (16-bit rows, big-endian)::
+
+     0                   1
+     0 1 2 3 4 5 6 7 8 9 0 1 2 3 4 5
+    +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+    |PortInfoLength |PortTokenLength|
+    +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+    |     Port      | Flags |Priori.|
+    +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+    |           PortToken ...       |
+    +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+    |           PortInfo  ...       |
+    +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+
+Both length fields describe variable fields in octets; the value 255 is
+an escape meaning "the true length is in the first 32 bits of the
+field itself" (§5).  The smallest segment is therefore 32 bits.  The
+fixed part leads so cut-through hardware sees the variable-field
+lengths as early as possible — the paper calls this out explicitly and
+our router model charges its decision time from the moment these four
+bytes have arrived.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.viper.errors import DecodeError, SegmentLimitError
+from repro.viper.flags import (
+    pack_flags_priority,
+    unpack_flags_priority,
+    validate_priority,
+)
+
+#: Size of the fixed leading fields: the two length octets + port + flags.
+FIXED_SEGMENT_BYTES = 4
+
+#: Escape value for the one-octet length fields.
+LENGTH_ESCAPE = 255
+
+#: Bytes of the inline 32-bit extended length.
+EXTENDED_LENGTH_BYTES = 4
+
+#: VIPER reserves port 0 to mean "local" (§5).
+LOCAL_PORT = 0
+
+#: Maximum port value — larger fan-out switches are built hierarchically.
+MAX_PORT = 255
+
+#: §2.3 sizes routes at "a maximum of 48 header segments".
+MAX_SEGMENTS = 48
+
+#: §5: "The VIPER transmission unit is 1500 bytes".
+VIPER_MTU = 1500
+
+
+@dataclass
+class HeaderSegment:
+    """One hop's worth of routing information.
+
+    ``token`` and ``portinfo`` are raw octet strings; their
+    interpretation (HMAC capability, Ethernet header, logical-hop label)
+    belongs to the layer that knows the port's type.
+    """
+
+    port: int
+    priority: int = 0
+    vnt: bool = False
+    dib: bool = False
+    rpf: bool = False
+    token: bytes = b""
+    portinfo: bytes = b""
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.port <= MAX_PORT:
+            raise ValueError(f"port {self.port} outside 0..{MAX_PORT}")
+        validate_priority(self.priority)
+
+    def wire_size(self) -> int:
+        return segment_wire_size(len(self.token), len(self.portinfo))
+
+    def copy(self, **overrides) -> "HeaderSegment":
+        values = dict(
+            port=self.port, priority=self.priority, vnt=self.vnt,
+            dib=self.dib, rpf=self.rpf, token=self.token,
+            portinfo=self.portinfo,
+        )
+        values.update(overrides)
+        return HeaderSegment(**values)
+
+
+def _field_overhead(length: int) -> int:
+    """Wire bytes to carry a variable field of ``length`` octets."""
+    if length < 0:
+        raise ValueError("negative field length")
+    if length >= LENGTH_ESCAPE:
+        return EXTENDED_LENGTH_BYTES + length
+    return length
+
+
+def segment_wire_size(token_len: int, portinfo_len: int) -> int:
+    """Exact encoded size of a segment with the given field lengths."""
+    return (
+        FIXED_SEGMENT_BYTES
+        + _field_overhead(token_len)
+        + _field_overhead(portinfo_len)
+    )
+
+
+def _encode_length(length: int) -> int:
+    """The one-octet length field value for a variable field."""
+    return LENGTH_ESCAPE if length >= LENGTH_ESCAPE else length
+
+
+def _encode_field(data: bytes) -> bytes:
+    """Encode a variable field body, prefixing the 32-bit extension."""
+    if len(data) >= LENGTH_ESCAPE:
+        return len(data).to_bytes(EXTENDED_LENGTH_BYTES, "big") + data
+    return data
+
+
+def encode_segment(segment: HeaderSegment) -> bytes:
+    """Serialize a header segment per Figure 1."""
+    out = bytearray()
+    out.append(_encode_length(len(segment.portinfo)))
+    out.append(_encode_length(len(segment.token)))
+    out.append(segment.port)
+    out.append(pack_flags_priority(
+        segment.vnt, segment.dib, segment.rpf, segment.priority
+    ))
+    out += _encode_field(segment.token)
+    out += _encode_field(segment.portinfo)
+    return bytes(out)
+
+
+def _decode_field(
+    buffer: bytes, offset: int, length_octet: int, what: str
+) -> Tuple[bytes, int]:
+    """Decode a variable field, handling the 255 length escape."""
+    if length_octet == LENGTH_ESCAPE:
+        if offset + EXTENDED_LENGTH_BYTES > len(buffer):
+            raise DecodeError(f"truncated extended length for {what}")
+        true_length = int.from_bytes(
+            buffer[offset:offset + EXTENDED_LENGTH_BYTES], "big"
+        )
+        offset += EXTENDED_LENGTH_BYTES
+    else:
+        true_length = length_octet
+    if offset + true_length > len(buffer):
+        raise DecodeError(
+            f"truncated {what}: need {true_length} bytes at offset {offset}, "
+            f"buffer has {len(buffer)}"
+        )
+    return buffer[offset:offset + true_length], offset + true_length
+
+
+def decode_segment(buffer: bytes, offset: int = 0) -> Tuple[HeaderSegment, int]:
+    """Parse one header segment; returns ``(segment, next_offset)``."""
+    if offset + FIXED_SEGMENT_BYTES > len(buffer):
+        raise DecodeError("buffer too short for fixed segment fields")
+    portinfo_len = buffer[offset]
+    token_len = buffer[offset + 1]
+    port = buffer[offset + 2]
+    vnt, dib, rpf, priority = unpack_flags_priority(buffer[offset + 3])
+    offset += FIXED_SEGMENT_BYTES
+    token, offset = _decode_field(buffer, offset, token_len, "portToken")
+    portinfo, offset = _decode_field(buffer, offset, portinfo_len, "portInfo")
+    segment = HeaderSegment(
+        port=port, priority=priority, vnt=vnt, dib=dib, rpf=rpf,
+        token=token, portinfo=portinfo,
+    )
+    return segment, offset
+
+
+def encode_route(segments) -> bytes:
+    """Serialize a whole source route (the stacked header segments)."""
+    if len(segments) > MAX_SEGMENTS:
+        raise SegmentLimitError(
+            f"route of {len(segments)} segments exceeds VIPER's "
+            f"{MAX_SEGMENTS}-segment maximum"
+        )
+    return b"".join(encode_segment(s) for s in segments)
+
+
+def decode_route(buffer: bytes, count: int, offset: int = 0):
+    """Parse ``count`` stacked segments; returns ``(segments, next_offset)``."""
+    segments = []
+    for _ in range(count):
+        segment, offset = decode_segment(buffer, offset)
+        segments.append(segment)
+    return segments, offset

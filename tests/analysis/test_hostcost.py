@@ -1,0 +1,60 @@
+"""Unit tests for the §4.3 host-cost (NAB) model."""
+
+import pytest
+
+from repro.analysis.hostcost import HostCostModel
+
+
+@pytest.fixture
+def model():
+    return HostCostModel(per_packet=100e-6, per_group=150e-6,
+                         copy_per_byte=10e-9)
+
+
+def test_packet_count(model):
+    assert model.packets_for(1024, 1024) == 1
+    assert model.packets_for(1025, 1024) == 2
+    assert model.packets_for(16 * 1024, 1024) == 16
+    with pytest.raises(ValueError):
+        model.packets_for(0, 1024)
+
+
+def test_single_packet_message_nab_is_slightly_worse(model):
+    """For one packet the NAB's group setup exceeds the per-packet cost
+    — the paper's 'this optimization seems unwarranted in general' for
+    small messages."""
+    assert model.send_cost(512, 1024, nab=True) > \
+        model.send_cost(512, 1024, nab=False)
+
+
+def test_group_send_nab_wins_and_grows(model):
+    sixteen = model.nab_speedup(16 * 1024, 1024)
+    four = model.nab_speedup(4 * 1024, 1024)
+    assert sixteen > four > 1.0
+    # 16 packets: ~1600us vs ~150us+copy -> order-of-magnitude win.
+    assert sixteen > 5.0
+
+
+def test_receive_cost_includes_trailer_copy(model):
+    without_nab = model.receive_cost(16 * 1024, 1024, trailer_bytes_per_packet=40,
+                                     nab=False)
+    nab = model.receive_cost(16 * 1024, 1024, trailer_bytes_per_packet=40,
+                             nab=True)
+    assert nab < without_nab
+    # The trailer copy is visible: zero-trailer reception is cheaper.
+    no_trailer = model.receive_cost(16 * 1024, 1024,
+                                    trailer_bytes_per_packet=0, nab=False)
+    assert no_trailer < without_nab
+
+
+def test_max_message_rate_inverse_of_cost(model):
+    cost = model.send_cost(8 * 1024, 1024, nab=True)
+    assert model.max_message_rate(8 * 1024, 1024, nab=True) == \
+        pytest.approx(1.0 / cost)
+
+
+def test_copy_cost_scales_with_bytes(model):
+    small = model.send_cost(1024, 1024, nab=True)
+    large = model.send_cost(32 * 1024, 1024, nab=True)
+    # Same single group cost; the difference is pure copy.
+    assert large - small == pytest.approx(31 * 1024 * 10e-9)

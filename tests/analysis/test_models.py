@@ -1,0 +1,136 @@
+"""Unit tests for the §6 closed-form models."""
+
+import pytest
+
+from repro.analysis.delay import (
+    cut_through_delay,
+    store_and_forward_delay,
+    store_forward_penalty,
+)
+from repro.analysis.overhead import (
+    crossover_hops,
+    ip_overhead_fraction,
+    mixture_mean_size,
+    paper_example_overhead,
+    sirpent_overhead_fraction,
+)
+from repro.analysis.queueing import (
+    md1_mean_queue,
+    md1_mean_sojourn,
+    md1_mean_wait,
+    mg1_mean_wait,
+    mm1_mean_queue,
+    mm1_mean_wait,
+)
+
+
+class TestQueueing:
+    def test_md1_wait_at_half_load_is_half_service(self):
+        """The paper's 'transmission time for half of an average
+        packet' claim holds exactly at rho = 0.5."""
+        assert md1_mean_wait(0.5, service_time=1.0) == pytest.approx(0.5)
+
+    def test_md1_queue_at_70_percent(self):
+        """§6.1: about one packet in system at 70% utilization."""
+        assert md1_mean_queue(0.7) == pytest.approx(0.7 + 0.49 / 0.6)
+        assert md1_mean_queue(0.5) < 1.0  # 'one packet or less' band
+
+    def test_md1_is_half_of_mm1(self):
+        for rho in (0.1, 0.5, 0.9):
+            assert md1_mean_wait(rho, 1.0) == pytest.approx(
+                mm1_mean_wait(rho, 1.0) / 2
+            )
+
+    def test_mg1_interpolates(self):
+        rho, service = 0.6, 1.0
+        deterministic = mg1_mean_wait(rho, service, service_cv2=0.0)
+        exponential = mg1_mean_wait(rho, service, service_cv2=1.0)
+        assert deterministic == pytest.approx(md1_mean_wait(rho, service))
+        assert exponential == pytest.approx(mm1_mean_wait(rho, service))
+        middle = mg1_mean_wait(rho, service, service_cv2=0.5)
+        assert deterministic < middle < exponential
+
+    def test_sojourn_adds_service(self):
+        assert md1_mean_sojourn(0.5, 2.0) == pytest.approx(
+            md1_mean_wait(0.5, 2.0) + 2.0
+        )
+
+    def test_mm1_queue(self):
+        assert mm1_mean_queue(0.5) == pytest.approx(1.0)
+
+    def test_utilization_validated(self):
+        for bad in (-0.1, 1.0, 1.5):
+            with pytest.raises(ValueError):
+                md1_mean_wait(bad, 1.0)
+        with pytest.raises(ValueError):
+            mg1_mean_wait(0.5, 1.0, service_cv2=-1)
+
+
+class TestOverhead:
+    def test_three_eighths_rule(self):
+        """§6.2: 'the average packet size is roughly 3/8 of the maximum'."""
+        assert mixture_mean_size(0, 2048) == pytest.approx(3 / 8 * 2048)
+
+    def test_nonzero_minimum(self):
+        mean = mixture_mean_size(64, 1500)
+        assert mean == pytest.approx(0.5 * 64 + 0.25 * 1500 + 0.25 * 782)
+
+    def test_paper_example_near_half_percent(self):
+        """The headline §6.2 number: ~0.5% VIPER header overhead."""
+        example = paper_example_overhead()
+        assert 0.004 < example["sirpent_overhead_paper"] < 0.006
+        assert 0.004 < example["sirpent_overhead_3_8"] < 0.006
+        # IP's fixed header costs 5-6x more on the same traffic.
+        assert example["ip_overhead_paper"] > 5 * example["sirpent_overhead_paper"]
+
+    def test_overhead_scales_with_hops(self):
+        low = sirpent_overhead_fraction(18, 0.2, 633)
+        high = sirpent_overhead_fraction(18, 5.0, 633)
+        assert high == pytest.approx(low * 25)
+
+    def test_crossover_hops(self):
+        """Routes shorter than ~1.1 hops make VIPER cheaper than IP."""
+        assert crossover_hops() == pytest.approx(20 / 18)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mixture_mean_size(100, 50)
+        with pytest.raises(ValueError):
+            sirpent_overhead_fraction(18, 1, 0)
+        with pytest.raises(ValueError):
+            ip_overhead_fraction(0)
+
+
+class TestDelay:
+    def test_store_forward_grows_per_hop(self):
+        base = dict(size_bytes=1000, rate_bps=10e6, total_propagation=1e-3)
+        one = store_and_forward_delay(hops=1, **base)
+        four = store_and_forward_delay(hops=4, **base)
+        serialization = 1000 * 8 / 10e6
+        assert four - one == pytest.approx(3 * serialization)
+
+    def test_cut_through_is_flat_in_hops(self):
+        base = dict(size_bytes=1000, rate_bps=10e6, total_propagation=1e-3,
+                    decision_delay_per_hop=0.5e-6)
+        one = cut_through_delay(hops=1, **base)
+        four = cut_through_delay(hops=4, **base)
+        assert four - one == pytest.approx(3 * 0.5e-6)
+
+    def test_penalty_identity(self):
+        """SF delay = CT delay + penalty (zero decision/queueing)."""
+        kwargs = dict(size_bytes=800, rate_bps=10e6)
+        sf = store_and_forward_delay(
+            hops=3, total_propagation=2e-3, process_delay_per_hop=1e-4, **kwargs
+        )
+        ct = cut_through_delay(
+            hops=3, total_propagation=2e-3, decision_delay_per_hop=0.0, **kwargs
+        )
+        assert sf - ct == pytest.approx(
+            store_forward_penalty(hops=3, process_delay_per_hop=1e-4, **kwargs)
+        )
+
+    def test_negative_hops_rejected(self):
+        with pytest.raises(ValueError):
+            cut_through_delay(100, 1e6, -1, 0.0)
+        with pytest.raises(ValueError):
+            store_and_forward_delay(100, 1e6, -1, 0.0)

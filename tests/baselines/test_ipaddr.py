@@ -1,0 +1,50 @@
+"""Unit tests for the IP address allocator."""
+
+import pytest
+
+from repro.baselines.ip.ipaddr import IpAddressAllocator, format_ip, parse_ip
+
+
+def test_format_parse_roundtrip():
+    for text in ("10.0.0.1", "192.168.255.0", "0.0.0.0", "255.255.255.255"):
+        assert format_ip(parse_ip(text)) == text
+
+
+def test_parse_rejects_malformed():
+    for bad in ("10.0.0", "10.0.0.0.0", "300.1.1.1", "a.b.c.d"):
+        with pytest.raises(ValueError):
+            parse_ip(bad)
+
+
+def test_allocation_is_stable_per_name():
+    allocator = IpAddressAllocator()
+    first = allocator.allocate("hostA")
+    second = allocator.allocate("hostA")
+    assert first == second
+
+
+def test_allocations_unique():
+    allocator = IpAddressAllocator()
+    addresses = {allocator.allocate(f"h{i}") for i in range(100)}
+    assert len(addresses) == 100
+
+
+def test_bidirectional_lookup():
+    allocator = IpAddressAllocator()
+    address = allocator.allocate("router9")
+    assert allocator.address_of("router9") == address
+    assert allocator.name_of(address) == "router9"
+
+
+def test_unknown_lookups_raise():
+    allocator = IpAddressAllocator()
+    with pytest.raises(KeyError):
+        allocator.address_of("ghost")
+    with pytest.raises(KeyError):
+        allocator.name_of(parse_ip("10.9.9.9"))
+
+
+def test_addresses_in_ten_slash_eight():
+    allocator = IpAddressAllocator()
+    address = allocator.allocate("x")
+    assert format_ip(address).startswith("10.")

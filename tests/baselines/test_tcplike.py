@@ -1,0 +1,133 @@
+"""Unit tests for the TCP-like and UDP-like IP transports."""
+
+import pytest
+
+from repro.baselines.ip.tcplike import TcpLikeTransport, UdpLikeTransport
+from repro.scenarios import build_ip_line
+
+
+def converged_pair(n_routers=2, **kwargs):
+    scenario = build_ip_line(n_routers=n_routers, **kwargs)
+    scenario.converge()
+    return scenario
+
+
+class TestUdpLike:
+    def test_request_response(self):
+        scenario = converged_pair()
+        client = UdpLikeTransport(scenario.sim, scenario.hosts["src"])
+        server = UdpLikeTransport(scenario.sim, scenario.hosts["dst"])
+        server.serve(lambda payload, size: (b"pong", 150))
+        results = []
+        client.transact("dst", b"ping", 400, results.append)
+        scenario.sim.run(until=scenario.sim.now + 1.0)
+        assert results[0].ok
+        assert results[0].rtt > 0
+        assert results[0].retries == 0
+
+    def test_retransmission_after_outage(self):
+        scenario = converged_pair(n_routers=1)
+        client = UdpLikeTransport(
+            scenario.sim, scenario.hosts["src"], base_timeout=10e-3,
+        )
+        server = UdpLikeTransport(scenario.sim, scenario.hosts["dst"])
+        server.serve(lambda payload, size: (b"pong", 50))
+        link = "src--r1"
+        scenario.topology.fail_link(link)
+        scenario.sim.after(30e-3, scenario.topology.restore_link, link)
+        results = []
+        client.transact("dst", b"x", 100, results.append)
+        scenario.sim.run(until=scenario.sim.now + 2.0)
+        assert results[0].ok
+        assert results[0].retries >= 1
+
+    def test_gives_up_eventually(self):
+        scenario = converged_pair(n_routers=1)
+        client = UdpLikeTransport(
+            scenario.sim, scenario.hosts["src"],
+            base_timeout=5e-3, max_retries=2,
+        )
+        scenario.topology.fail_link("src--r1")
+        results = []
+        client.transact("dst", b"x", 100, results.append)
+        scenario.sim.run(until=scenario.sim.now + 2.0)
+        assert not results[0].ok
+        assert "exhausted" in results[0].error
+
+
+class TestTcpLike:
+    def test_transaction_with_handshake(self):
+        scenario = converged_pair()
+        client = TcpLikeTransport(scenario.sim, scenario.hosts["src"])
+        server = TcpLikeTransport(scenario.sim, scenario.hosts["dst"])
+        server.serve(lambda payload, size: (b"pong", 300))
+        results = []
+        client.transact("dst", b"query", 2500, results.append)
+        scenario.sim.run(until=scenario.sim.now + 2.0)
+        assert results[0].ok
+        assert results[0].handshake_time > 0
+        assert results[0].rtt > results[0].handshake_time
+        assert server.handshakes.count == 1
+
+    def test_handshake_costs_a_round_trip(self):
+        """§1's CVC critique applies to TCP too: setup delays the data."""
+        scenario = converged_pair(n_routers=2)
+        client = TcpLikeTransport(scenario.sim, scenario.hosts["src"])
+        server = TcpLikeTransport(scenario.sim, scenario.hosts["dst"])
+        server.serve(lambda payload, size: (b"pong", 50))
+        tcp_results = []
+        client.transact("dst", b"q", 200, tcp_results.append)
+        scenario.sim.run(until=scenario.sim.now + 2.0)
+        udp_client = UdpLikeTransport(scenario.sim, scenario.hosts["src"])
+        udp_server = UdpLikeTransport(scenario.sim, scenario.hosts["dst"])
+        udp_server.serve(lambda payload, size: (b"pong", 50))
+        udp_results = []
+        udp_client.transact("dst", b"q", 200, udp_results.append)
+        scenario.sim.run(until=scenario.sim.now + 2.0)
+        assert tcp_results[0].rtt > udp_results[0].rtt
+
+    def test_large_request_windowed(self):
+        scenario = converged_pair(n_routers=1)
+        client = TcpLikeTransport(scenario.sim, scenario.hosts["src"])
+        server = TcpLikeTransport(scenario.sim, scenario.hosts["dst"])
+        sizes = []
+
+        def handler(payload, size):
+            sizes.append(size)
+            return b"done", 100
+
+        server.serve(handler)
+        results = []
+        client.transact("dst", b"bulk", 20000, results.append)
+        scenario.sim.run(until=scenario.sim.now + 5.0)
+        assert results[0].ok
+        assert sizes == [20000]
+
+    def test_retransmission_recovers_lost_segments(self):
+        scenario = converged_pair(n_routers=1)
+        client = TcpLikeTransport(
+            scenario.sim, scenario.hosts["src"], base_timeout=20e-3,
+        )
+        server = TcpLikeTransport(scenario.sim, scenario.hosts["dst"])
+        server.serve(lambda payload, size: (b"ok", 50))
+        results = []
+        client.transact("dst", b"q", 5000, results.append)
+        # Briefly kill the path mid-request.
+        scenario.sim.after(1e-3, scenario.topology.fail_link, "src--r1")
+        scenario.sim.after(50e-3, scenario.topology.restore_link, "src--r1")
+        scenario.sim.run(until=scenario.sim.now + 5.0)
+        assert results[0].ok
+        assert client.retransmissions.count >= 1
+
+    def test_connect_timeout_fails(self):
+        scenario = converged_pair(n_routers=1)
+        client = TcpLikeTransport(
+            scenario.sim, scenario.hosts["src"],
+            base_timeout=5e-3, max_retries=2,
+        )
+        scenario.topology.fail_link("dst--r1")
+        results = []
+        client.transact("dst", b"q", 100, results.append)
+        scenario.sim.run(until=scenario.sim.now + 2.0)
+        assert not results[0].ok
+        assert results[0].error == "connect timeout"

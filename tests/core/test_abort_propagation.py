@@ -1,0 +1,96 @@
+"""Tests for abort propagation through cut-through chains (§2.1).
+
+When a preemptive packet aborts a lower-priority transmission whose
+head is already being cut-through forwarded downstream, the abort must
+ripple down the chain — the truncated tail never arrives, so every
+downstream hop's copy dies too.
+"""
+
+import pytest
+
+from repro.core.host import SirpentHost
+from repro.core.router import RouterConfig, SirpentRouter
+from repro.net.topology import Topology
+from repro.sim.engine import Simulator
+from repro.viper.flags import PRIORITY_PREEMPT_HIGH
+from repro.viper.wire import HeaderSegment
+
+
+class StaticRoute:
+    def __init__(self, segments, first_hop_port, first_hop_mac=None):
+        self.segments = segments
+        self.first_hop_port = first_hop_port
+        self.first_hop_mac = first_hop_mac
+
+
+def build_chain(n_routers=2, rate=1e6):
+    """Slow links so packets are in flight long enough to preempt."""
+    sim = Simulator()
+    topo = Topology(sim)
+    src = topo.add_node(SirpentHost(sim, "src"))
+    dst = topo.add_node(SirpentHost(sim, "dst"))
+    routers = [
+        topo.add_node(SirpentRouter(
+            sim, f"r{i + 1}", config=RouterConfig(congestion_enabled=False),
+        ))
+        for i in range(n_routers)
+    ]
+    _, src_port, _ = topo.connect(src, routers[0], rate_bps=rate)
+    ports = []
+    for a, b in zip(routers, routers[1:]):
+        _, pa, _ = topo.connect(a, b, rate_bps=rate)
+        ports.append(pa)
+    _, last, _ = topo.connect(routers[-1], dst, rate_bps=rate)
+    ports.append(last)
+    return sim, src, dst, routers, src_port, ports
+
+
+def test_preemption_aborts_the_whole_cut_through_chain():
+    sim, src, dst, routers, src_port, ports = build_chain()
+    got = []
+    dst.bind(0, got.append)
+    route = StaticRoute(
+        [HeaderSegment(port=p) for p in ports] + [HeaderSegment(port=0)],
+        src_port,
+    )
+    # 5000B at 1 Mb/s = 40 ms on the wire; r1 starts cutting through at
+    # ~0.1 ms.  Preempt at 10 ms: every downstream copy must die.
+    src.send(route, b"victim", 5000, priority=0)
+    sim.at(10e-3, lambda: src.send(route, b"urgent", 200,
+                                   priority=PRIORITY_PREEMPT_HIGH))
+    sim.run(until=1.0)
+    payloads = [d.payload for d in got]
+    assert payloads == [b"urgent"]
+    # Nothing stale remains in the routers' cut-through tracking.
+    for router in routers:
+        assert router._forwarding_out == {}
+
+
+def test_abort_does_not_disturb_unrelated_traffic():
+    sim, src, dst, routers, src_port, ports = build_chain()
+    got = []
+    dst.bind(0, got.append)
+    route = StaticRoute(
+        [HeaderSegment(port=p) for p in ports] + [HeaderSegment(port=0)],
+        src_port,
+    )
+    src.send(route, b"victim", 5000, priority=0)
+    sim.at(10e-3, lambda: src.send(route, b"urgent", 200,
+                                   priority=PRIORITY_PREEMPT_HIGH))
+    # A later normal packet flows normally after the dust settles.
+    sim.at(100e-3, lambda: src.send(route, b"later", 300, priority=0))
+    sim.run(until=1.0)
+    assert [d.payload for d in got] == [b"urgent", b"later"]
+
+
+def test_router_forwarding_records_cleaned_on_normal_delivery():
+    sim, src, dst, routers, src_port, ports = build_chain(n_routers=1)
+    dst.bind(0, lambda d: None)
+    route = StaticRoute(
+        [HeaderSegment(port=ports[0]), HeaderSegment(port=0)], src_port
+    )
+    for _ in range(3):
+        src.send(route, b"x", 500)
+    sim.run(until=1.0)
+    # The cut-through tracking map must not leak.
+    assert routers[0]._forwarding_out == {}

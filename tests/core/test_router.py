@@ -1,0 +1,237 @@
+"""Unit tests for the Sirpent router pipeline (§2, §2.1)."""
+
+import pytest
+
+from repro.core.blocked import BlockedPolicy
+from repro.core.host import SirpentHost
+from repro.core.router import RouterConfig, SirpentRouter
+from repro.net.topology import Topology
+from repro.sim.engine import Simulator
+from repro.tokens.cache import CachePolicy
+from repro.viper.packet import SirpentPacket
+from repro.viper.portinfo import EthernetInfo
+from repro.viper.wire import HeaderSegment
+
+
+def build_line(n_routers=1, config=None, rate=10e6, prop=10e-6, mtu=1500):
+    """src -- r1 .. rn -- dst; returns (sim, topo, src, routers, dst, ports).
+
+    ``ports[i]`` is the port on router i leading toward the destination.
+    """
+    sim = Simulator()
+    topo = Topology(sim)
+    src = topo.add_node(SirpentHost(sim, "src"))
+    dst = topo.add_node(SirpentHost(sim, "dst"))
+    routers = [
+        topo.add_node(SirpentRouter(sim, f"r{i + 1}", config=config))
+        for i in range(n_routers)
+    ]
+    _, src_port, _ = topo.connect(src, routers[0], rate_bps=rate,
+                                  propagation_delay=prop, mtu=mtu)
+    forward_ports = []
+    for a, b in zip(routers, routers[1:]):
+        _, pa, _ = topo.connect(a, b, rate_bps=rate,
+                                propagation_delay=prop, mtu=mtu)
+        forward_ports.append(pa)
+    _, last_port, _ = topo.connect(routers[-1], dst, rate_bps=rate,
+                                   propagation_delay=prop, mtu=mtu)
+    forward_ports.append(last_port)
+    return sim, topo, src, routers, dst, src_port, forward_ports
+
+
+class StaticRoute:
+    def __init__(self, segments, first_hop_port, first_hop_mac=None):
+        self.segments = segments
+        self.first_hop_port = first_hop_port
+        self.first_hop_mac = first_hop_mac
+
+
+def route_through(forward_ports, src_port, dest_socket=0, token=b""):
+    segments = [
+        HeaderSegment(port=p, token=token) for p in forward_ports
+    ] + [HeaderSegment(port=dest_socket)]
+    return StaticRoute(segments, src_port)
+
+
+def test_forwarding_strips_segment_and_builds_trailer():
+    sim, _topo, src, routers, dst, src_port, fwd = build_line(2)
+    got = []
+    dst.bind(0, got.append)
+    src.send(route_through(fwd, src_port), b"data", 400)
+    sim.run(until=1.0)
+    assert len(got) == 1
+    delivered = got[0]
+    # Both routers consumed their segment; only the final one remains.
+    assert len(delivered.packet.segments) == 1
+    assert len(delivered.packet.trailer) == 2
+    # The return route walks back through both routers in reverse; on a
+    # line each router's inbound port toward the source is port 1.
+    assert len(delivered.return_segments) == 2
+    assert all(s.rpf for s in delivered.return_segments)
+
+
+def test_cut_through_beats_store_and_forward():
+    """§6.1: per-hop serialization disappears with cut-through."""
+    results = {}
+    for label, config in (
+        ("cut", RouterConfig(cut_through=True, decision_delay=0.5e-6)),
+        ("sf", RouterConfig(cut_through=False,
+                            store_forward_process_delay=50e-6)),
+    ):
+        sim, _t, src, _r, dst, src_port, fwd = build_line(3, config=config)
+        got = []
+        dst.bind(0, got.append)
+        src.send(route_through(fwd, src_port), b"x", 1000)
+        sim.run(until=1.0)
+        results[label] = got[0].one_way_delay
+    serialization = 1000 * 8 / 10e6  # 0.8 ms
+    # Store-and-forward pays ~3 extra serializations (+ processing).
+    assert results["sf"] - results["cut"] > 2.5 * serialization
+    assert results["cut"] < 1.5 * serialization
+
+
+def test_router_counts_cut_through():
+    sim, _t, src, routers, dst, src_port, fwd = build_line(1)
+    dst.bind(0, lambda d: None)
+    src.send(route_through(fwd, src_port), b"x", 500)
+    sim.run(until=1.0)
+    assert routers[0].stats.cut_through_forwards.count == 1
+    assert routers[0].stats.store_forwards.count == 0
+
+
+def test_store_forward_mode_counted():
+    config = RouterConfig(cut_through=False)
+    sim, _t, src, routers, dst, src_port, fwd = build_line(1, config=config)
+    dst.bind(0, lambda d: None)
+    src.send(route_through(fwd, src_port), b"x", 500)
+    sim.run(until=1.0)
+    assert routers[0].stats.store_forwards.count == 1
+    assert routers[0].stats.cut_through_forwards.count == 0
+
+
+def test_rate_mismatch_falls_back_to_store_forward():
+    sim = Simulator()
+    topo = Topology(sim)
+    src = topo.add_node(SirpentHost(sim, "src"))
+    dst = topo.add_node(SirpentHost(sim, "dst"))
+    router = topo.add_node(SirpentRouter(sim, "r1"))
+    _, src_port, _ = topo.connect(src, router, rate_bps=10e6)
+    _, out_port, _ = topo.connect(router, dst, rate_bps=100e6)  # faster out
+    got = []
+    dst.bind(0, got.append)
+    src.send(route_through([out_port], src_port), b"x", 500)
+    sim.run(until=1.0)
+    assert got
+    assert router.stats.store_forwards.count == 1
+
+
+def test_no_route_dropped():
+    sim, _t, src, routers, dst, src_port, fwd = build_line(1)
+    bad = StaticRoute([HeaderSegment(port=99), HeaderSegment(port=0)], src_port)
+    src.send(bad, b"x", 100)
+    sim.run(until=1.0)
+    assert routers[0].stats.dropped_no_route.count == 1
+
+
+def test_route_exhausted_counted():
+    sim, _t, src, routers, _d, src_port, fwd = build_line(1)
+    empty = StaticRoute([], src_port)
+    packet = SirpentPacket(segments=[], payload_size=50)
+    src.output_ports[src_port].submit(packet, 50, 50)
+    sim.run(until=1.0)
+    assert routers[0].stats.route_exhausted.count == 1
+
+
+def test_local_delivery_port_zero():
+    sim, _t, src, routers, _d, src_port, fwd = build_line(1)
+    received = []
+    routers[0].local_handler = lambda packet, inport: received.append(packet)
+    local = StaticRoute([HeaderSegment(port=0)], src_port)
+    src.send(local, b"to-router", 100)
+    sim.run(until=1.0)
+    assert len(received) == 1
+    assert routers[0].stats.delivered_local.count == 1
+
+
+def test_token_rejection_with_require_tokens():
+    config = RouterConfig(require_tokens=True)
+    sim, _t, src, routers, dst, src_port, fwd = build_line(1, config=config)
+    got = []
+    dst.bind(0, got.append)
+    src.send(route_through(fwd, src_port), b"x", 100)  # no token
+    sim.run(until=1.0)
+    assert got == []
+    assert routers[0].stats.dropped_token.count == 1
+
+
+def test_valid_token_admitted_and_charged():
+    config = RouterConfig(require_tokens=True)
+    sim, _t, src, routers, dst, src_port, fwd = build_line(1, config=config)
+    token = routers[0].mint.mint(port=fwd[0], account=55)
+    got = []
+    dst.bind(0, got.append)
+    src.send(route_through(fwd, src_port, token=token), b"x", 100)
+    sim.run(until=1.0)
+    assert len(got) == 1
+    assert routers[0].token_cache.ledger.usage(55).packets == 1
+
+
+def test_reverse_authorized_token_survives_into_trailer():
+    sim, _t, src, routers, dst, src_port, fwd = build_line(1)
+    token = routers[0].mint.mint(port=fwd[0], account=1, reverse_ok=True)
+    got = []
+    dst.bind(0, got.append)
+    src.send(route_through(fwd, src_port, token=token), b"x", 100)
+    sim.run(until=1.0)
+    assert got[0].return_segments[0].token == token
+
+
+def test_non_reverse_token_stripped_from_trailer():
+    sim, _t, src, routers, dst, src_port, fwd = build_line(1)
+    token = routers[0].mint.mint(port=fwd[0], account=1, reverse_ok=False)
+    got = []
+    dst.bind(0, got.append)
+    src.send(route_through(fwd, src_port, token=token), b"x", 100)
+    sim.run(until=1.0)
+    assert got[0].return_segments[0].token == b""
+
+
+def test_mtu_truncation_on_forward():
+    """Oversized packets are truncated, never fragmented (§2)."""
+    sim = Simulator()
+    topo = Topology(sim)
+    src = topo.add_node(SirpentHost(sim, "src"))
+    dst = topo.add_node(SirpentHost(sim, "dst"))
+    router = topo.add_node(SirpentRouter(sim, "r1"))
+    _, src_port, _ = topo.connect(src, router, mtu=3000)
+    _, out_port, _ = topo.connect(router, dst, mtu=576)
+    got = []
+    dst.bind(0, got.append)
+    src.send(route_through([out_port], src_port), b"big", 2000)
+    sim.run(until=1.0)
+    assert len(got) == 1
+    assert got[0].truncated
+    assert got[0].packet.wire_size() <= 576
+    assert router.stats.truncated.count == 1
+
+
+def test_decision_delay_charged():
+    config = RouterConfig(decision_delay=100e-6)
+    sim, _t, src, routers, dst, src_port, fwd = build_line(1, config=config)
+    got = []
+    dst.bind(0, got.append)
+    src.send(route_through(fwd, src_port), b"x", 1000)
+    sim.run(until=1.0)
+    delay = routers[0].stats.router_delay
+    assert delay.count == 1
+    assert delay.mean == pytest.approx(100e-6, rel=0.01)
+
+
+def test_hop_log_records_path():
+    sim, _t, src, _r, dst, src_port, fwd = build_line(3)
+    got = []
+    dst.bind(0, got.append)
+    src.send(route_through(fwd, src_port), b"x", 100)
+    sim.run(until=1.0)
+    assert got[0].packet.hop_log == ["r1", "r2", "r3"]
+    assert got[0].packet.hops_taken == 3

@@ -1,0 +1,59 @@
+"""Unit tests for truncation-instead-of-fragmentation (§2)."""
+
+import pytest
+
+from repro.core.truncation import fits, truncate_to_mtu
+from repro.viper.packet import SirpentPacket, TRUNCATION_MARK
+from repro.viper.wire import HeaderSegment
+
+
+def make_packet(payload, n_segments=2):
+    return SirpentPacket(
+        segments=[HeaderSegment(port=i + 1) for i in range(n_segments)],
+        payload_size=payload,
+    )
+
+
+def test_fits():
+    packet = make_packet(100)  # 2*4 + 100 = 108
+    assert fits(packet, 108)
+    assert not fits(packet, 107)
+
+
+def test_truncate_cuts_payload_to_fit():
+    packet = make_packet(1000)
+    removed = truncate_to_mtu(packet, mtu=500)
+    assert packet.wire_size() <= 500
+    assert packet.truncated
+    assert removed == 1000 - packet.payload_size
+
+
+def test_truncate_reserves_room_for_mark():
+    packet = make_packet(1000)
+    truncate_to_mtu(packet, mtu=500)
+    # header 8 + payload + mark 2 == 500 exactly
+    assert packet.wire_size() == 500
+
+
+def test_double_truncation_adds_one_mark():
+    packet = make_packet(1000)
+    truncate_to_mtu(packet, mtu=500)
+    truncate_to_mtu(packet, mtu=300)
+    marks = sum(1 for e in packet.trailer if e is TRUNCATION_MARK)
+    assert marks == 1
+    assert packet.wire_size() <= 300
+
+
+def test_untruncatable_packet_raises():
+    """If even the headers do not fit, the source route was invalid —
+    the directory's MTU attribute exists to prevent this (§3)."""
+    packet = make_packet(10, n_segments=4)  # 16 bytes of headers
+    with pytest.raises(ValueError):
+        truncate_to_mtu(packet, mtu=10)
+
+
+def test_exact_fit_needs_no_cut():
+    packet = make_packet(100)
+    removed = truncate_to_mtu(packet, mtu=packet.wire_size() + 2)
+    assert removed == 0
+    assert packet.truncated  # still marked: the router decided to truncate

@@ -1,0 +1,64 @@
+"""Unit tests for hierarchical names (§3)."""
+
+import pytest
+
+from repro.directory.names import HierarchicalName
+
+
+def test_parse_and_render():
+    name = HierarchicalName.parse("Venus.CS.Stanford.EDU")
+    assert str(name) == "venus.cs.stanford.edu"  # normalized
+    assert name.leaf == "venus"
+
+
+def test_parent_chain():
+    name = HierarchicalName.parse("venus.cs.stanford.edu")
+    assert str(name.parent) == "cs.stanford.edu"
+    assert str(name.parent.parent) == "stanford.edu"
+    assert HierarchicalName.parse("edu").parent is None
+
+
+def test_region_path_root_first():
+    name = HierarchicalName.parse("venus.cs.stanford.edu")
+    path = [str(r) for r in name.region_path()]
+    assert path == ["edu", "stanford.edu", "cs.stanford.edu"]
+
+
+def test_is_within():
+    name = HierarchicalName.parse("venus.cs.stanford.edu")
+    assert name.is_within(HierarchicalName.parse("cs.stanford.edu"))
+    assert name.is_within(HierarchicalName.parse("edu"))
+    assert not name.is_within(HierarchicalName.parse("mit.edu"))
+    assert not name.is_within(name)  # a name is not within itself
+
+
+def test_common_region():
+    a = HierarchicalName.parse("venus.cs.stanford.edu")
+    b = HierarchicalName.parse("gregorio.ee.stanford.edu")
+    c = HierarchicalName.parse("milo.lcs.mit.edu")
+    assert str(a.common_region(b)) == "stanford.edu"
+    assert str(a.common_region(c)) == "edu"
+    sibling = HierarchicalName.parse("earth.cs.stanford.edu")
+    assert str(a.common_region(sibling)) == "cs.stanford.edu"
+
+
+def test_common_region_disjoint_roots():
+    a = HierarchicalName.parse("x.alpha")
+    b = HierarchicalName.parse("y.beta")
+    assert a.common_region(b) is None
+
+
+def test_invalid_labels_rejected():
+    with pytest.raises(ValueError):
+        HierarchicalName.parse("")
+    with pytest.raises(ValueError):
+        HierarchicalName.parse("host..edu")
+    with pytest.raises(ValueError):
+        HierarchicalName.parse("host name.edu")
+
+
+def test_equality_and_hashability():
+    a = HierarchicalName.parse("a.b.c")
+    b = HierarchicalName.parse("A.B.C")
+    assert a == b
+    assert len({a, b}) == 1

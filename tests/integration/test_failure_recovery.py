@@ -1,0 +1,129 @@
+"""Integration: reaction to link failure — Sirpent rebind vs IP (§6.3)."""
+
+import pytest
+
+from repro.scenarios import build_ip_parallel, build_sirpent_parallel
+from repro.transport import RouteManager, TransportConfig
+
+
+def test_sirpent_client_rebinds_quickly():
+    """A client holding k routes switches after its retransmission
+    timeout — no network-wide reconvergence required."""
+    scenario = build_sirpent_parallel(n_paths=2, path_delay_step=50e-6)
+    client = scenario.transport("src")
+    server = scenario.transport("dst")
+    entity = server.create_entity(lambda m: (b"ok", 64), hint="server")
+    routes = scenario.vmtp_routes("src", "dst", k=2)
+    manager = RouteManager(scenario.sim, routes)
+
+    # Warm up on the primary path.
+    warm = []
+    client.transact(manager, entity, b"warm", 64, warm.append)
+    scenario.sim.run(until=0.5)
+    assert warm[0].ok and warm[0].route_switches == 0
+
+    # Kill the primary; the next transaction must succeed via the spare.
+    scenario.topology.fail_link("rA--p1")
+    fail_time = scenario.sim.now
+    results = []
+    client.transact(manager, entity, b"recover", 64, results.append)
+    scenario.sim.run(until=fail_time + 2.0)
+    assert results[0].ok
+    assert results[0].route_switches >= 1
+    recovery = manager.last_switch_at - fail_time
+    assert recovery < 100e-3  # a few retransmission timeouts at most
+
+
+def test_ip_needs_full_reconvergence():
+    """The same failure under IP: traffic is black-holed until hellos
+    time out, LSAs flood and SPF runs."""
+    scenario = build_ip_parallel(n_paths=2)
+    scenario.converge()
+    entry = scenario.routers["rA"]
+    received = []
+    scenario.hosts["dst"].bind_protocol(42, received.append)
+    scenario.hosts["src"].send("dst", b"before", 100, protocol=42)
+    scenario.sim.run(until=scenario.sim.now + 0.1)
+    assert len(received) == 1
+
+    scenario.topology.fail_link("rA--p1")
+    fail_time = scenario.sim.now
+    # Probe every 5 ms; note when delivery resumes.
+    arrivals = []
+
+    def probe():
+        scenario.hosts["src"].send("dst", b"probe", 100, protocol=42)
+
+    for step in range(60):
+        scenario.sim.at(fail_time + step * 5e-3, probe)
+    scenario.hosts["dst"].bind_protocol(43, arrivals.append)  # unused
+    scenario.sim.run(until=fail_time + 0.5)
+    resumed = [p for p in received[1:]]
+    assert resumed, "IP never recovered"
+    first_resume = min(p.created_at for p in resumed)
+    ip_outage = first_resume - fail_time
+    # Detection needs the dead interval (30 ms) at minimum.
+    assert ip_outage > 25e-3
+    table_change = entry.routing.last_table_change - fail_time
+    assert table_change > 25e-3
+
+
+def test_sirpent_beats_ip_recovery_time():
+    """Head-to-head on twin topologies: client rebind is faster than
+    distributed reconvergence, the §6.3 conjecture."""
+    # --- Sirpent ---
+    sirpent = build_sirpent_parallel(n_paths=2, path_delay_step=50e-6)
+    client = sirpent.transport("src")
+    server = sirpent.transport("dst")
+    entity = server.create_entity(lambda m: (b"ok", 64))
+    manager = RouteManager(sirpent.sim, sirpent.vmtp_routes("src", "dst", k=2))
+    warm = []
+    client.transact(manager, entity, b"w", 64, warm.append)
+    sirpent.sim.run(until=0.5)
+    sirpent.topology.fail_link("rA--p1")
+    s_fail = sirpent.sim.now
+    done = []
+    client.transact(manager, entity, b"r", 64, done.append)
+    sirpent.sim.run(until=s_fail + 2.0)
+    sirpent_recovery = done[0].rtt  # includes detection + switch + retry
+
+    # --- IP twin ---
+    ip = build_ip_parallel(n_paths=2)
+    ip.converge()
+    received = []
+    ip.hosts["dst"].bind_protocol(42, received.append)
+    ip.topology.fail_link("rA--p1")
+    i_fail = ip.sim.now
+    for step in range(100):
+        ip.sim.at(i_fail + step * 5e-3,
+                  lambda: ip.hosts["src"].send("dst", b"p", 100, protocol=42))
+    ip.sim.run(until=i_fail + 1.0)
+    assert received
+    ip_recovery = min(p.created_at for p in received) - i_fail
+
+    assert done[0].ok
+    assert sirpent_recovery < ip_recovery
+
+
+def test_advisory_refreshes_dead_routes():
+    """Directory advisories push fresh routes after the topology view
+    catches up, so clients regain path diversity (§6.3)."""
+    scenario = build_sirpent_parallel(n_paths=3, path_delay_step=50e-6)
+    manager = RouteManager(
+        scenario.sim, scenario.vmtp_routes("src", "dst", k=3)
+    )
+    from repro.directory import RouteQuery
+
+    scenario.directory.subscribe(
+        "src",
+        RouteQuery("dst.lab.edu", k=3,
+                   dest_socket=TransportConfig().socket),
+        manager.adopt,
+    )
+    scenario.sim.run(until=0.2)
+    assert len(manager.routes) == 3
+    scenario.topology.fail_link("rA--p1")
+    scenario.sim.run(until=0.5)
+    # The advisory replaced the set: only live paths remain.
+    assert len(manager.routes) == 2
+    assert all("p1" not in r.destination for r in manager.routes)

@@ -1,0 +1,72 @@
+"""Unit tests for MAC addresses and the allocator."""
+
+import pytest
+
+from repro.net.addresses import BROADCAST, MacAddress, MacAllocator
+
+
+def test_roundtrip_string():
+    mac = MacAddress.parse("02:51:9e:00:01:0a")
+    assert str(mac) == "02:51:9e:00:01:0a"
+    assert MacAddress.parse(str(mac)) == mac
+
+
+def test_roundtrip_bytes():
+    mac = MacAddress(0x0251_9E00_010A)
+    assert MacAddress.from_bytes(mac.to_bytes()) == mac
+    assert len(mac.to_bytes()) == 6
+
+
+def test_equality_and_hash():
+    a = MacAddress(42)
+    b = MacAddress(42)
+    c = MacAddress(43)
+    assert a == b and hash(a) == hash(b)
+    assert a != c
+    assert a != 42  # no cross-type equality
+
+
+def test_immutable():
+    mac = MacAddress(1)
+    with pytest.raises(AttributeError):
+        mac.value = 2
+
+
+def test_out_of_range_rejected():
+    with pytest.raises(ValueError):
+        MacAddress(1 << 48)
+    with pytest.raises(ValueError):
+        MacAddress(-1)
+
+
+def test_malformed_parse_rejected():
+    with pytest.raises(ValueError):
+        MacAddress.parse("aa:bb:cc")
+    with pytest.raises(ValueError):
+        MacAddress.from_bytes(b"\x00" * 5)
+
+
+def test_broadcast_flag():
+    assert MacAddress(BROADCAST).is_broadcast
+    assert not MacAddress(7).is_broadcast
+
+
+def test_allocator_unique_across_segments():
+    allocator = MacAllocator()
+    macs = {allocator.allocate(segment_id=s) for s in range(4) for _ in range(8)}
+    # re-run allocations: 4 segments x 8 = 32 unique
+    assert len(macs) == 32
+
+
+def test_allocator_segment_encoded_in_address():
+    allocator = MacAllocator()
+    mac = allocator.allocate(segment_id=0x1234)
+    assert (mac.value >> 8) & 0xFFFF == 0x1234
+
+
+def test_allocator_exhaustion():
+    allocator = MacAllocator()
+    for _ in range(256):
+        allocator.allocate(segment_id=1)
+    with pytest.raises(ValueError):
+        allocator.allocate(segment_id=1)

@@ -1,0 +1,149 @@
+"""Unit tests for the shared Ethernet segment."""
+
+import pytest
+
+from repro.net.addresses import BROADCAST, MacAddress
+from repro.net.ethernet import EthernetSegment
+from repro.net.node import EthernetAttachment, Node
+from repro.sim.engine import Simulator
+
+
+class RecordingNode(Node):
+    def __init__(self, sim, name):
+        super().__init__(sim, name)
+        self.headers = []
+        self.packets = []
+        self.aborts = []
+
+    def on_header(self, packet, inport, tx):
+        self.headers.append((self.sim.now, packet, tx))
+
+    def on_packet(self, packet, inport, tx):
+        self.packets.append((self.sim.now, packet, tx))
+
+    def on_abort(self, packet, inport):
+        self.aborts.append((self.sim.now, packet))
+
+
+def make_segment(sim, n_stations=3, rate=10e6, prop=5e-6):
+    segment = EthernetSegment(sim, rate_bps=rate, propagation_delay=prop, name="eth")
+    stations = []
+    for index in range(n_stations):
+        node = RecordingNode(sim, f"n{index}")
+        attachment = EthernetAttachment(node, 1, segment, MacAddress(100 + index))
+        node.attach(1, attachment)
+        segment.register(attachment)
+        stations.append((node, attachment))
+    return segment, stations
+
+
+def test_unicast_reaches_only_destination():
+    sim = Simulator()
+    segment, stations = make_segment(sim)
+    (n0, a0), (n1, a1), (n2, a2) = stations
+    segment.transmit(a0, a1.mac, "pkt", 500, 50)
+    sim.run()
+    assert len(n1.packets) == 1
+    assert n2.packets == [] and n0.packets == []
+
+
+def test_timing_matches_channel_model():
+    sim = Simulator()
+    segment, stations = make_segment(sim, rate=10e6, prop=5e-6)
+    (_, a0), (n1, a1), _ = stations
+    segment.transmit(a0, a1.mac, "pkt", 1250, 125)
+    sim.run()
+    assert n1.headers[0][0] == pytest.approx(125 * 8 / 10e6 + 5e-6)
+    assert n1.packets[0][0] == pytest.approx(1250 * 8 / 10e6 + 5e-6)
+
+
+def test_transmission_carries_frame_macs():
+    sim = Simulator()
+    segment, stations = make_segment(sim)
+    (_, a0), (n1, a1), _ = stations
+    segment.transmit(a0, a1.mac, "pkt", 100, 10)
+    sim.run()
+    _, _, tx = n1.packets[0]
+    assert tx.src_mac == a0.mac
+    assert tx.dst_mac == a1.mac
+
+
+def test_broadcast_reaches_everyone_but_sender():
+    sim = Simulator()
+    segment, stations = make_segment(sim)
+    (n0, a0), (n1, _), (n2, _) = stations
+    segment.transmit(a0, MacAddress(BROADCAST), "pkt", 100, 10)
+    sim.run()
+    assert len(n1.packets) == 1 and len(n2.packets) == 1
+    assert n0.packets == []
+
+
+def test_medium_serializes_contending_frames():
+    sim = Simulator()
+    segment, stations = make_segment(sim, rate=10e6, prop=0.0)
+    (_, a0), (n1, a1), (_, a2) = stations
+    segment.transmit(a0, a1.mac, "first", 1250, 1250)   # 1ms
+    segment.transmit(a2, a1.mac, "second", 1250, 1250)  # queued behind
+    sim.run()
+    times = [t for t, _, _ in n1.packets]
+    assert times[0] == pytest.approx(1e-3)
+    assert times[1] == pytest.approx(2e-3)
+
+
+def test_busy_reflects_backlog():
+    sim = Simulator()
+    segment, stations = make_segment(sim)
+    (_, a0), (_, a1), (_, a2) = stations
+    assert not segment.busy
+    segment.transmit(a0, a1.mac, "a", 1000, 100)
+    segment.transmit(a2, a1.mac, "b", 1000, 100)
+    assert segment.busy
+
+
+def test_abort_by_sender_only():
+    sim = Simulator()
+    segment, stations = make_segment(sim, prop=0.0)
+    (n0, a0), (n1, a1), (_, a2) = stations
+    segment.transmit(a0, a1.mac, "victim", 1250, 10)
+    segment.abort_current(a2)  # not the sender: no-op
+    assert segment.current_priority(a0) == 0
+    segment.abort_current(a0)
+    sim.run()
+    assert n1.packets == []
+    assert len(n1.aborts) == 1
+
+
+def test_unknown_destination_vanishes():
+    sim = Simulator()
+    segment, stations = make_segment(sim)
+    (_, a0), _, _ = stations
+    segment.transmit(a0, MacAddress(0xDEAD), "pkt", 100, 10)
+    sim.run()  # no receiver: nothing delivered, nothing crashes
+    assert segment.frames_sent.count == 1
+
+
+def test_failed_segment_drops_everything():
+    sim = Simulator()
+    segment, stations = make_segment(sim)
+    (_, a0), (n1, a1), _ = stations
+    segment.fail()
+    segment.transmit(a0, a1.mac, "pkt", 100, 10)
+    sim.run()
+    assert n1.packets == []
+
+
+def test_duplicate_mac_rejected():
+    sim = Simulator()
+    segment, stations = make_segment(sim)
+    node = RecordingNode(sim, "dup")
+    attachment = EthernetAttachment(node, 1, segment, stations[0][1].mac)
+    with pytest.raises(ValueError):
+        segment.register(attachment)
+
+
+def test_station_node_name_lookup():
+    sim = Simulator()
+    segment, stations = make_segment(sim)
+    (_, a0), _, _ = stations
+    assert segment.station_node_name(a0.mac) == "n0"
+    assert segment.station_node_name(MacAddress(1)) is None

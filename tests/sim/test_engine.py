@@ -1,0 +1,140 @@
+"""Unit tests for the discrete-event scheduler."""
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.at(3.0, fired.append, "c")
+    sim.at(1.0, fired.append, "a")
+    sim.at(2.0, fired.append, "b")
+    sim.run()
+    assert fired == ["a", "b", "c"]
+    assert sim.now == 3.0
+
+
+def test_simultaneous_events_fire_in_scheduling_order():
+    sim = Simulator()
+    fired = []
+    for tag in "abcdef":
+        sim.at(1.0, fired.append, tag)
+    sim.run()
+    assert fired == list("abcdef")
+
+
+def test_after_is_relative_to_now():
+    sim = Simulator()
+    times = []
+    sim.at(5.0, lambda: sim.after(2.5, lambda: times.append(sim.now)))
+    sim.run()
+    assert times == [7.5]
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    handle = sim.at(1.0, fired.append, "x")
+    sim.at(2.0, fired.append, "y")
+    handle.cancel()
+    sim.run()
+    assert fired == ["y"]
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    handle = sim.at(1.0, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    sim.run()
+    assert sim.events_executed == 0
+
+
+def test_run_until_stops_before_later_events():
+    sim = Simulator()
+    fired = []
+    sim.at(1.0, fired.append, "early")
+    sim.at(10.0, fired.append, "late")
+    sim.run(until=5.0)
+    assert fired == ["early"]
+    assert sim.now == 5.0  # clock advanced to the requested horizon
+    sim.run()
+    assert fired == ["early", "late"]
+
+
+def test_run_max_events():
+    sim = Simulator()
+    fired = []
+    for i in range(10):
+        sim.at(float(i), fired.append, i)
+    sim.run(max_events=3)
+    assert fired == [0, 1, 2]
+
+
+def test_scheduling_in_the_past_raises():
+    sim = Simulator()
+    sim.at(5.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.at(1.0, lambda: None)
+
+
+def test_negative_delay_raises():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.after(-0.1, lambda: None)
+
+
+def test_events_scheduled_during_execution_run():
+    sim = Simulator()
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 5:
+            sim.after(1.0, chain, n + 1)
+
+    sim.after(0.0, chain, 0)
+    sim.run()
+    assert fired == [0, 1, 2, 3, 4, 5]
+    assert sim.now == 5.0
+
+
+def test_peek_time_skips_cancelled():
+    sim = Simulator()
+    h1 = sim.at(1.0, lambda: None)
+    sim.at(2.0, lambda: None)
+    h1.cancel()
+    assert sim.peek_time() == 2.0
+
+
+def test_pending_counts_live_events():
+    sim = Simulator()
+    handles = [sim.at(float(i + 1), lambda: None) for i in range(4)]
+    handles[0].cancel()
+    assert sim.pending() == 3
+
+
+def test_step_executes_one_event():
+    sim = Simulator()
+    fired = []
+    sim.at(1.0, fired.append, 1)
+    sim.at(2.0, fired.append, 2)
+    assert sim.step() is True
+    assert fired == [1]
+    assert sim.step() is True
+    assert sim.step() is False
+
+
+def test_determinism_across_runs():
+    def run_once():
+        sim = Simulator()
+        order = []
+        for i in range(50):
+            sim.at((i * 7) % 13 * 0.1, order.append, i)
+        sim.run()
+        return order
+
+    assert run_once() == run_once()

@@ -1,0 +1,175 @@
+"""Unit tests for generator-based processes and signals."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.process import Process, Signal, all_of
+
+
+def test_process_sleeps_for_yielded_delays():
+    sim = Simulator()
+    times = []
+
+    def proc():
+        times.append(sim.now)
+        yield 1.5
+        times.append(sim.now)
+        yield 2.5
+        times.append(sim.now)
+
+    Process(sim, proc(), name="sleeper")
+    sim.run()
+    assert times == [0.0, 1.5, 4.0]
+
+
+def test_process_result_is_captured():
+    sim = Simulator()
+
+    def proc():
+        yield 1.0
+        return 42
+
+    p = Process(sim, proc())
+    sim.run()
+    assert p.done
+    assert p.result == 42
+
+
+def test_signal_wakes_waiter_with_value():
+    sim = Simulator()
+    received = []
+    gate = Signal(sim, "gate")
+
+    def waiter():
+        value = yield gate
+        received.append(value)
+
+    Process(sim, waiter())
+    sim.at(2.0, gate.fire, "payload")
+    sim.run()
+    assert received == ["payload"]
+
+
+def test_signal_wakes_all_waiters():
+    sim = Simulator()
+    woken = []
+    gate = Signal(sim)
+
+    def waiter(tag):
+        yield gate
+        woken.append(tag)
+
+    for tag in range(3):
+        Process(sim, waiter(tag))
+    sim.at(1.0, gate.fire)
+    sim.run()
+    assert sorted(woken) == [0, 1, 2]
+
+
+def test_signal_can_fire_repeatedly():
+    sim = Simulator()
+    count = []
+    gate = Signal(sim)
+
+    def waiter():
+        yield gate
+        count.append(sim.now)
+        yield gate
+        count.append(sim.now)
+
+    Process(sim, waiter())
+    sim.at(1.0, gate.fire)
+    sim.at(2.0, gate.fire)
+    sim.run()
+    assert count == [1.0, 2.0]
+
+
+def test_done_signal_fires_with_result():
+    sim = Simulator()
+    results = []
+
+    def worker():
+        yield 3.0
+        return "done-value"
+
+    def watcher(p):
+        value = yield p.done_signal
+        results.append((sim.now, value))
+
+    p = Process(sim, worker())
+    Process(sim, watcher(p))
+    sim.run()
+    assert results == [(3.0, "done-value")]
+
+
+def test_invalid_yield_raises_type_error():
+    sim = Simulator()
+
+    def bad():
+        yield "not a delay"
+
+    Process(sim, bad())
+    with pytest.raises(TypeError):
+        sim.run()
+
+
+def test_process_exception_propagates():
+    sim = Simulator()
+
+    def boom():
+        yield 1.0
+        raise RuntimeError("model bug")
+
+    p = Process(sim, boom())
+    with pytest.raises(RuntimeError):
+        sim.run()
+    assert isinstance(p.error, RuntimeError)
+
+
+def test_stop_prevents_resume():
+    sim = Simulator()
+    steps = []
+
+    def proc():
+        steps.append("a")
+        yield 1.0
+        steps.append("b")
+
+    p = Process(sim, proc())
+    sim.run(until=0.5)
+    p.stop()
+    sim.run()
+    assert steps == ["a"]
+
+
+def test_all_of_waits_for_everything():
+    sim = Simulator()
+    finished = []
+
+    def worker(delay):
+        yield delay
+
+    workers = [Process(sim, worker(d)) for d in (1.0, 3.0, 2.0)]
+    gate = all_of(sim, workers)
+
+    def waiter():
+        yield gate
+        finished.append(sim.now)
+
+    Process(sim, waiter())
+    sim.run()
+    assert finished == [3.0]
+
+
+def test_all_of_with_no_processes_fires_immediately():
+    sim = Simulator()
+    finished = []
+    gate = all_of(sim, [])
+
+    def waiter():
+        yield gate
+        finished.append(sim.now)
+
+    Process(sim, waiter())
+    sim.run()
+    assert finished == [0.0]

@@ -1,0 +1,93 @@
+"""Unit tests for seeded RNG streams."""
+
+import pytest
+
+from repro.sim.rng import (
+    RngStreams,
+    exponential,
+    pareto_bounded,
+    poisson_times,
+    weighted_choice,
+)
+
+
+def test_same_name_same_stream_object():
+    streams = RngStreams(7)
+    assert streams.stream("a") is streams.stream("a")
+
+
+def test_streams_are_independent_of_request_order():
+    one = RngStreams(7)
+    a_first = one.stream("a").random()
+    two = RngStreams(7)
+    two.stream("b")  # request b first
+    a_second = two.stream("a").random()
+    assert a_first == a_second
+
+
+def test_different_names_differ():
+    streams = RngStreams(7)
+    assert streams.stream("a").random() != streams.stream("b").random()
+
+
+def test_different_master_seeds_differ():
+    assert (
+        RngStreams(1).stream("x").random()
+        != RngStreams(2).stream("x").random()
+    )
+
+
+def test_fork_is_deterministic_and_disjoint():
+    parent = RngStreams(7)
+    child_a = parent.fork("child")
+    child_b = RngStreams(7).fork("child")
+    assert child_a.stream("s").random() == child_b.stream("s").random()
+    assert child_a.stream("s").random() != parent.stream("s").random()
+
+
+def test_exponential_mean():
+    rng = RngStreams(3).stream("exp")
+    samples = [exponential(rng, 2.0) for _ in range(20000)]
+    mean = sum(samples) / len(samples)
+    assert abs(mean - 2.0) < 0.1
+
+
+def test_exponential_rejects_bad_mean():
+    rng = RngStreams(3).stream("exp")
+    with pytest.raises(ValueError):
+        exponential(rng, 0.0)
+
+
+def test_pareto_bounded_within_bounds():
+    rng = RngStreams(3).stream("pareto")
+    for _ in range(1000):
+        value = pareto_bounded(rng, alpha=1.2, low=1.0, high=100.0)
+        assert 1.0 <= value <= 100.0
+
+
+def test_pareto_bounded_validates():
+    rng = RngStreams(3).stream("pareto")
+    with pytest.raises(ValueError):
+        pareto_bounded(rng, 1.2, low=5.0, high=5.0)
+
+
+def test_weighted_choice_respects_weights():
+    rng = RngStreams(3).stream("choice")
+    picks = [weighted_choice(rng, ["a", "b"], [9.0, 1.0]) for _ in range(5000)]
+    fraction_a = picks.count("a") / len(picks)
+    assert 0.85 < fraction_a < 0.95
+
+
+def test_weighted_choice_length_mismatch():
+    rng = RngStreams(3).stream("choice")
+    with pytest.raises(ValueError):
+        weighted_choice(rng, ["a"], [1.0, 2.0])
+
+
+def test_poisson_times_sorted_and_bounded():
+    rng = RngStreams(3).stream("poisson")
+    times = list(poisson_times(rng, rate=100.0, horizon=1.0))
+    assert times == sorted(times)
+    assert all(0 <= t < 1.0 for t in times)
+    # ~100 events expected
+    assert 60 < len(times) < 140

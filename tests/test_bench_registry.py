@@ -1,0 +1,50 @@
+"""The benchmark suite's own integrity.
+
+Every bench file must appear in the standalone runner's registry and in
+the documentation's experiment index, so nothing silently drops out of
+the reproduction.
+"""
+
+import os
+import re
+
+BENCH_DIR = os.path.join(os.path.dirname(__file__), "..", "benchmarks")
+REPO_ROOT = os.path.join(os.path.dirname(__file__), "..")
+
+
+def _bench_modules():
+    return sorted(
+        name[:-3] for name in os.listdir(BENCH_DIR)
+        if name.startswith("bench_") and name.endswith(".py")
+    )
+
+
+def test_run_all_registry_is_complete():
+    with open(os.path.join(BENCH_DIR, "run_all.py")) as handle:
+        registry = handle.read()
+    missing = [m for m in _bench_modules() if f'"{m}"' not in registry]
+    assert not missing, f"run_all.py is missing: {missing}"
+
+
+def test_experiments_md_mentions_every_bench():
+    with open(os.path.join(REPO_ROOT, "EXPERIMENTS.md")) as handle:
+        text = handle.read()
+    missing = [m for m in _bench_modules() if m not in text]
+    assert not missing, f"EXPERIMENTS.md is missing: {missing}"
+
+
+def test_each_bench_has_exactly_one_bench_function():
+    for module in _bench_modules():
+        with open(os.path.join(BENCH_DIR, f"{module}.py")) as handle:
+            text = handle.read()
+        functions = re.findall(r"^def (bench_\w+)", text, re.MULTILINE)
+        assert len(functions) == 1, (module, functions)
+        # The function name carries the module's experiment id.
+        assert functions[0].split("_")[1] == module.split("_")[1], module
+
+
+def test_each_bench_publishes_a_results_table():
+    for module in _bench_modules():
+        with open(os.path.join(BENCH_DIR, f"{module}.py")) as handle:
+            text = handle.read()
+        assert "publish(" in text, f"{module} never publishes its table"

@@ -1,0 +1,87 @@
+"""Repository hygiene checks: docstrings, exports, leftovers."""
+
+import ast
+import os
+
+import pytest
+
+SRC_ROOT = os.path.join(os.path.dirname(__file__), "..", "src", "repro")
+
+
+def _python_files():
+    for dirpath, _dirs, files in os.walk(SRC_ROOT):
+        for name in files:
+            if name.endswith(".py"):
+                yield os.path.join(dirpath, name)
+
+
+def _module_name(path):
+    relative = os.path.relpath(path, os.path.join(SRC_ROOT, ".."))
+    return relative[:-3].replace(os.sep, ".").replace(".__init__", "")
+
+
+def test_every_module_has_a_docstring():
+    missing = []
+    for path in _python_files():
+        with open(path) as handle:
+            tree = ast.parse(handle.read())
+        if ast.get_docstring(tree) is None:
+            missing.append(path)
+    assert not missing, f"modules without docstrings: {missing}"
+
+
+def test_no_stray_debug_prints_in_library_code():
+    offenders = []
+    for path in _python_files():
+        with open(path) as handle:
+            tree = ast.parse(handle.read())
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                offenders.append(f"{path}:{node.lineno}")
+    assert not offenders, f"print() calls in library code: {offenders}"
+
+
+def test_no_todo_markers():
+    offenders = []
+    for path in _python_files():
+        with open(path) as handle:
+            for lineno, line in enumerate(handle, 1):
+                if "TODO" in line or "FIXME" in line or "XXX" in line:
+                    offenders.append(f"{path}:{lineno}")
+    assert not offenders, f"leftover work markers: {offenders}"
+
+
+def test_all_exports_resolve():
+    import importlib
+
+    packages = [
+        "repro", "repro.sim", "repro.net", "repro.viper", "repro.core",
+        "repro.tokens", "repro.directory", "repro.transport",
+        "repro.baselines.ip", "repro.baselines.cvc", "repro.analysis",
+        "repro.workloads", "repro.scenarios",
+    ]
+    for name in packages:
+        module = importlib.import_module(name)
+        for export in getattr(module, "__all__", []):
+            assert hasattr(module, export), f"{name}.__all__ lists {export}"
+
+
+def test_public_classes_and_functions_are_documented():
+    undocumented = []
+    for path in _python_files():
+        with open(path) as handle:
+            tree = ast.parse(handle.read())
+        for node in tree.body:
+            if isinstance(node, (ast.ClassDef, ast.FunctionDef)):
+                if node.name.startswith("_"):
+                    continue
+                if ast.get_docstring(node) is None:
+                    undocumented.append(f"{path}:{node.name}")
+    assert not undocumented, (
+        f"{len(undocumented)} public items lack docstrings: "
+        f"{undocumented[:10]}"
+    )

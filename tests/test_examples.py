@@ -1,0 +1,43 @@
+"""Every shipped example must run to completion and tell its story."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+EXPECTATIONS = {
+    "quickstart.py": ["no directory query", "route to milo", "ms"],
+    "policy_routing.py": ["carrier ledgers", "forged"],
+    "congestion_backpressure.py": ["soft state", "bottleneck"],
+    "failure_rebinding.py": ["rebound", "transactions completed"],
+    "realtime_video.py": ["playout", "preemptive"],
+    "multicast_tree_agents.py": ["6/6", "exploded"],
+}
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTATIONS))
+def test_example_runs(script):
+    path = os.path.join(EXAMPLES_DIR, script)
+    result = subprocess.run(
+        [sys.executable, path],
+        capture_output=True, text=True, timeout=120,
+    )
+    assert result.returncode == 0, result.stderr
+    output = result.stdout.lower()
+    for needle in EXPECTATIONS[script]:
+        assert needle.lower() in output, (
+            f"{script} output missing {needle!r}:\n{result.stdout}"
+        )
+
+
+def test_every_example_is_listed():
+    scripts = {
+        name for name in os.listdir(EXAMPLES_DIR)
+        if name.endswith(".py") and not name.startswith("_")
+    }
+    assert scripts == set(EXPECTATIONS), (
+        "examples/ and the test expectations drifted apart"
+    )

@@ -1,0 +1,125 @@
+"""Unit tests for the prebuilt scenario builders."""
+
+import pytest
+
+from repro.scenarios import (
+    build_cvc_line,
+    build_ip_line,
+    build_ip_parallel,
+    build_sirpent_campus,
+    build_sirpent_dumbbell,
+    build_sirpent_line,
+    build_sirpent_parallel,
+)
+
+
+class TestSirpentLine:
+    def test_shape(self):
+        scenario = build_sirpent_line(n_routers=3)
+        assert set(scenario.routers) == {"r1", "r2", "r3"}
+        assert {"src", "dst"} <= set(scenario.hosts)
+        route = scenario.routes("src", "dst")[0]
+        assert route.hop_count == 3
+
+    def test_extra_pairs_share_end_routers(self):
+        scenario = build_sirpent_line(n_routers=2, extra_host_pairs=2)
+        assert {"src2", "dst2", "src3", "dst3"} <= set(scenario.hosts)
+        r1 = scenario.routes("src2", "dst2")[0]
+        assert r1.hop_count == 2
+
+    def test_transport_is_cached(self):
+        scenario = build_sirpent_line()
+        assert scenario.transport("src") is scenario.transport("src")
+
+    def test_vmtp_routes_target_transport_socket(self):
+        scenario = build_sirpent_line()
+        route = scenario.vmtp_routes("src", "dst")[0]
+        assert route.segments[-1].port == 1  # the VMTP socket
+
+    def test_needs_at_least_one_router(self):
+        with pytest.raises(ValueError):
+            build_sirpent_line(n_routers=0)
+
+
+class TestSirpentParallel:
+    def test_disjoint_paths_in_delay_order(self):
+        scenario = build_sirpent_parallel(n_paths=3, path_delay_step=1e-4)
+        routes = scenario.routes("src", "dst", k=3)
+        assert len(routes) == 3
+        delays = [r.propagation_delay for r in routes]
+        assert delays == sorted(delays)
+        middles = {r.segments[1].port for r in routes}
+        assert len(middles) >= 1  # distinct second hops exist
+
+    def test_link_names_are_predictable(self):
+        scenario = build_sirpent_parallel(n_paths=2)
+        assert "rA--p1" in scenario.topology.links
+        assert "p2--rB" in scenario.topology.links
+
+
+class TestSirpentDumbbell:
+    def test_pairs_and_bottleneck(self):
+        scenario = build_sirpent_dumbbell(n_pairs=2)
+        assert {"sender1", "receiver1", "sender2", "receiver2"} <= set(
+            scenario.hosts
+        )
+        assert "bottleneck" in scenario.topology.links
+        route = scenario.routes("sender1", "receiver1")[0]
+        assert route.hop_count == 2  # rL, rR
+
+    def test_access_routers_add_a_hop(self):
+        scenario = build_sirpent_dumbbell(n_pairs=2, access_routers=True)
+        assert {"a1", "a2"} <= set(scenario.routers)
+        route = scenario.routes("sender1", "receiver1")[0]
+        assert route.hop_count == 3  # a1, rL, rR
+
+
+class TestCampus:
+    def test_hierarchical_names_resolve(self):
+        scenario = build_sirpent_campus()
+        from repro.directory import RouteQuery
+
+        routes = scenario.directory.query(
+            "venus", RouteQuery("zermatt.lcs.mit.edu")
+        )
+        assert routes and routes[0].hop_count == 2
+        local = scenario.directory.query(
+            "venus", RouteQuery("gregorio.cs.stanford.edu")
+        )
+        assert local and local[0].hop_count == 0  # same Ethernet
+
+    def test_ethernet_first_hop_mac_present(self):
+        scenario = build_sirpent_campus()
+        from repro.directory import RouteQuery
+
+        route = scenario.directory.query(
+            "venus", RouteQuery("milo.lcs.mit.edu")
+        )[0]
+        assert route.first_hop_mac is not None
+
+
+class TestIpScenarios:
+    def test_line_converges(self):
+        scenario = build_ip_line(n_routers=2)
+        scenario.converge()
+        assert len(scenario.routers["r1"].routing.table) == 3
+
+    def test_parallel_costs_prefer_first_path(self):
+        scenario = build_ip_parallel(n_paths=3)
+        scenario.converge()
+        port, _ = scenario.routers["rA"].routing.next_hop("dst")
+        to_p1 = next(e for e in scenario.topology.edges_from("rA")
+                     if e.dst == "p1")
+        assert port == to_p1.port_id
+
+
+class TestCvcLine:
+    def test_routes_installed(self):
+        scenario = build_cvc_line(n_switches=2)
+        for switch in scenario.switches.values():
+            assert "dst" in switch.static_routes
+            assert "src" in switch.static_routes
+
+    def test_extra_pairs(self):
+        scenario = build_cvc_line(n_switches=1, extra_host_pairs=1)
+        assert {"src2", "dst2"} <= set(scenario.hosts)

@@ -1,0 +1,118 @@
+"""Unit tests for token minting and verification (§2.2)."""
+
+import pytest
+
+from repro.tokens.capability import (
+    InvalidTokenError,
+    TOKEN_BYTES,
+    TokenClaims,
+    TokenMint,
+    WILDCARD_PORT,
+)
+
+
+@pytest.fixture
+def mint():
+    return TokenMint(b"router-secret", issuer="r1")
+
+
+def test_token_is_fixed_size(mint):
+    token = mint.mint(port=3, account=42)
+    assert len(token) == TOKEN_BYTES
+
+
+def test_mint_verify_roundtrip(mint):
+    token = mint.mint(
+        port=3, account=42, max_priority=5, byte_limit=1000,
+        reverse_ok=True, expiry_ms=99999,
+    )
+    claims = mint.verify(token, now_ms=10)
+    assert claims.port == 3
+    assert claims.account == 42
+    assert claims.max_priority == 5
+    assert claims.byte_limit == 1000
+    assert claims.reverse_ok is True
+    assert claims.expiry_ms == 99999
+
+
+def test_forged_seal_rejected(mint):
+    token = bytearray(mint.mint(port=3, account=42))
+    token[-1] ^= 0xFF
+    with pytest.raises(InvalidTokenError):
+        mint.verify(bytes(token))
+
+
+def test_tampered_claims_rejected(mint):
+    """Raising one's own priority ceiling must break the seal."""
+    token = bytearray(mint.mint(port=3, account=42, max_priority=2))
+    token[1] = 7  # max_priority byte
+    with pytest.raises(InvalidTokenError):
+        mint.verify(bytes(token))
+
+
+def test_other_mint_cannot_verify(mint):
+    other = TokenMint(b"different-secret", issuer="r2")
+    token = mint.mint(port=3, account=42)
+    with pytest.raises(InvalidTokenError):
+        other.verify(token)
+
+
+def test_expired_token_rejected(mint):
+    token = mint.mint(port=1, account=1, expiry_ms=1000)
+    assert mint.verify(token, now_ms=1000)
+    with pytest.raises(InvalidTokenError):
+        mint.verify(token, now_ms=1001)
+
+
+def test_zero_expiry_never_expires(mint):
+    token = mint.mint(port=1, account=1, expiry_ms=0)
+    assert mint.verify(token, now_ms=1 << 40)
+
+
+def test_wrong_size_rejected(mint):
+    with pytest.raises(InvalidTokenError):
+        mint.verify(b"short")
+
+
+def test_peek_decodes_without_seal_check(mint):
+    token = bytearray(mint.mint(port=9, account=7))
+    token[-1] ^= 0xFF  # break the seal
+    claims = TokenMint.peek(bytes(token))
+    assert claims.port == 9  # structure still readable
+
+
+def test_port_authorization():
+    claims = TokenClaims(port=5, max_priority=7, account=1)
+    assert claims.authorizes_port(5)
+    assert not claims.authorizes_port(6)
+    wildcard = TokenClaims(port=WILDCARD_PORT, max_priority=7, account=1)
+    assert wildcard.authorizes_port(1) and wildcard.authorizes_port(254)
+
+
+def test_priority_authorization():
+    claims = TokenClaims(port=1, max_priority=3, account=1)
+    assert claims.authorizes_priority(0)
+    assert claims.authorizes_priority(3)
+    assert not claims.authorizes_priority(4)
+    assert not claims.authorizes_priority(7)
+    # Low priorities (high bit set) are always within any authorization.
+    assert claims.authorizes_priority(0x8)
+    assert claims.authorizes_priority(0xF)
+
+
+def test_mint_validates_arguments(mint):
+    with pytest.raises(ValueError):
+        mint.mint(port=256, account=1)
+    with pytest.raises(ValueError):
+        mint.mint(port=1, account=1 << 32)
+    with pytest.raises(ValueError):
+        mint.mint(port=1, account=1, max_priority=16)
+    with pytest.raises(ValueError):
+        mint.mint(port=1, account=1, byte_limit=-5)
+    with pytest.raises(ValueError):
+        TokenMint(b"", issuer="no-secret")
+
+
+def test_tokens_differ_per_claims(mint):
+    assert mint.mint(port=1, account=1) != mint.mint(port=2, account=1)
+    assert mint.mint(port=1, account=1) != mint.mint(port=1, account=2)

@@ -1,0 +1,38 @@
+"""Unit tests for 64-bit entity identifiers (§4.1)."""
+
+import pytest
+
+from repro.transport.ids import EntityId, EntityIdAllocator
+
+
+def test_entity_id_range():
+    assert EntityId(1) == 1
+    assert EntityId((1 << 64) - 1)
+    with pytest.raises(ValueError):
+        EntityId(0)
+    with pytest.raises(ValueError):
+        EntityId(1 << 64)
+
+
+def test_allocator_uniqueness():
+    allocator = EntityIdAllocator("domain")
+    ids = {allocator.allocate() for _ in range(1000)}
+    assert len(ids) == 1000
+
+
+def test_allocator_deterministic_per_domain():
+    a = EntityIdAllocator("d1").allocate("host")
+    b = EntityIdAllocator("d1").allocate("host")
+    assert a == b
+
+
+def test_allocator_domains_disjoint():
+    a = EntityIdAllocator("d1").allocate("host")
+    b = EntityIdAllocator("d2").allocate("host")
+    assert a != b
+
+
+def test_entity_id_is_an_int():
+    entity = EntityIdAllocator().allocate()
+    assert isinstance(entity, int)
+    assert entity.bit_length() <= 64

@@ -1,0 +1,161 @@
+"""Unit tests for the Sirpent packet and trailer algebra (§2)."""
+
+import random
+
+import pytest
+
+from repro.viper.errors import SegmentLimitError
+from repro.viper.packet import (
+    SirpentPacket,
+    TRUNCATION_MARK,
+    TrailerElement,
+    build_return_route,
+    decode_packet,
+    decode_trailer,
+    encode_packet,
+)
+from repro.viper.wire import HeaderSegment
+
+
+def make_packet(ports=(1, 2, 0), payload=100):
+    segments = [HeaderSegment(port=p) for p in ports]
+    return SirpentPacket(segments=segments, payload_size=payload)
+
+
+def test_wire_size_composition():
+    packet = make_packet()
+    assert packet.wire_size() == 3 * 4 + 100
+    packet.trailer.append(TrailerElement(HeaderSegment(port=9)))
+    assert packet.wire_size() == 3 * 4 + 100 + (4 + 2)
+
+
+def test_decision_prefix_is_first_segment():
+    packet = make_packet()
+    assert packet.decision_prefix_bytes() == 4
+    packet.segments[0] = HeaderSegment(port=1, token=b"12345678")
+    assert packet.decision_prefix_bytes() == 12
+
+
+def test_advance_moves_segment_to_trailer():
+    packet = make_packet(ports=(1, 2, 0))
+    return_segment = HeaderSegment(port=7)
+    stripped = packet.advance(return_segment)
+    assert stripped.port == 1
+    assert [s.port for s in packet.segments] == [2, 0]
+    assert packet.trailer_segments() == [return_segment]
+    assert packet.hops_taken == 1
+
+
+def test_size_preserved_when_return_mirrors_forward():
+    """The paper's streaming story: a segment leaves the front, a
+    same-size reversed element joins the back (plus framing)."""
+    packet = make_packet()
+    before = packet.wire_size()
+    segment = packet.segments[0]
+    packet.advance(segment.copy(port=5))
+    assert packet.wire_size() == before + 2  # only the trailer length field
+
+
+def test_truncation_marks_and_cuts():
+    packet = make_packet(payload=1000)
+    packet.mark_truncated(keep_bytes=300)
+    assert packet.truncated
+    assert packet.payload_size == 300
+    # Marking again never grows the payload and adds no second mark.
+    packet.mark_truncated(keep_bytes=500)
+    assert packet.payload_size == 300
+    assert sum(1 for e in packet.trailer if e is TRUNCATION_MARK) == 1
+
+
+def test_return_route_reverses_trailer():
+    packet = make_packet(ports=(1, 2, 3, 0))
+    for return_port in (11, 12, 13):
+        packet.advance(HeaderSegment(port=return_port))
+    route = build_return_route(packet)
+    assert [s.port for s in route] == [13, 12, 11]
+    assert all(s.rpf for s in route)
+
+
+def test_return_route_skips_truncation_mark():
+    packet = make_packet(ports=(1, 0), payload=500)
+    packet.advance(HeaderSegment(port=9))
+    packet.mark_truncated(keep_bytes=100)
+    route = build_return_route(packet)
+    assert [s.port for s in route] == [9]
+
+
+def test_segment_limit():
+    with pytest.raises(SegmentLimitError):
+        SirpentPacket(
+            segments=[HeaderSegment(port=1)] * 49, payload_size=0
+        )
+
+
+def test_negative_payload_rejected():
+    with pytest.raises(ValueError):
+        SirpentPacket(segments=[], payload_size=-1)
+
+
+def test_corrupted_copy_flags_and_preserves_original():
+    rng = random.Random(1)
+    packet = make_packet()
+    clone = packet.corrupted_copy(rng)
+    assert clone.corrupted and not packet.corrupted
+    assert clone.packet_id != packet.packet_id
+    assert packet.segments[0].port == 1  # original untouched
+
+
+def test_corrupted_copy_sometimes_misroutes():
+    rng = random.Random(7)
+    ports = set()
+    for _ in range(50):
+        clone = make_packet().corrupted_copy(rng)
+        ports.add(clone.segments[0].port)
+    assert len(ports) > 1  # some copies got a flipped port field
+
+
+def test_packet_ids_unique():
+    ids = {make_packet().packet_id for _ in range(100)}
+    assert len(ids) == 100
+
+
+class TestWholePacketCodec:
+    def test_roundtrip_with_trailer(self):
+        packet = make_packet(ports=(1, 2, 0), payload=64)
+        packet.advance(HeaderSegment(port=7, portinfo=bytes(14)))
+        packet.advance(HeaderSegment(port=8))
+        payload = bytes(range(64))
+        encoded = encode_packet(packet, payload)
+        decoded, got_payload = decode_packet(encoded, segment_count=1)
+        assert got_payload == payload
+        assert [s.port for s in decoded.segments] == [0]
+        assert [e.segment.port for e in decoded.trailer] == [7, 8]
+
+    def test_roundtrip_with_truncation_mark(self):
+        packet = make_packet(ports=(1, 0), payload=200)
+        packet.advance(HeaderSegment(port=5))
+        packet.mark_truncated(keep_bytes=50)
+        encoded = encode_packet(packet)
+        decoded, payload = decode_packet(encoded, segment_count=1)
+        assert decoded.truncated
+        assert len(payload) == 50
+
+    def test_payload_size_mismatch_rejected(self):
+        packet = make_packet(payload=10)
+        with pytest.raises(ValueError):
+            encode_packet(packet, b"wrong length")
+
+    def test_trailer_walk_stops_at_payload(self):
+        packet = make_packet(ports=(0,), payload=128)
+        packet.trailer.append(TrailerElement(HeaderSegment(port=3)))
+        encoded = encode_packet(packet)
+        elements, boundary = decode_trailer(encoded)
+        assert len(elements) == 1
+        assert boundary == 4 + 128  # one segment + payload
+
+    def test_empty_trailer(self):
+        packet = make_packet(ports=(0,), payload=16)
+        encoded = encode_packet(packet)
+        elements, boundary = decode_trailer(encoded)
+        assert elements == []
+        assert boundary == len(encoded)

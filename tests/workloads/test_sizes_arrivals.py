@@ -1,0 +1,140 @@
+"""Unit tests for packet-size mixtures and arrival processes."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngStreams
+from repro.workloads.arrivals import (
+    OnOffArrivals,
+    PoissonArrivals,
+    rate_for_utilization,
+)
+from repro.workloads.sizes import PacketSizeMixture
+
+
+class TestPacketSizeMixture:
+    def test_mean_formula(self):
+        mixture = PacketSizeMixture(min_size=64, max_size=1500)
+        expected = 0.5 * 64 + 0.25 * 1500 + 0.25 * (64 + 1500) / 2
+        assert mixture.mean() == pytest.approx(expected)
+        # With a tiny minimum the 3/8-of-max rule emerges (§6.2).
+        near_zero = PacketSizeMixture(min_size=1, max_size=2048)
+        assert near_zero.mean() == pytest.approx(3 / 8 * 2048, rel=0.01)
+
+    def test_samples_match_mixture(self):
+        rng = RngStreams(5).stream("sizes")
+        mixture = PacketSizeMixture(min_size=64, max_size=1500)
+        samples = mixture.samples(rng, 20000)
+        fraction_min = samples.count(64) / len(samples)
+        fraction_max = samples.count(1500) / len(samples)
+        assert 0.47 < fraction_min < 0.53
+        assert 0.22 < fraction_max < 0.28
+        assert all(64 <= s <= 1500 for s in samples)
+        empirical_mean = sum(samples) / len(samples)
+        assert empirical_mean == pytest.approx(mixture.mean(), rel=0.03)
+
+    def test_variance_positive_and_cv(self):
+        mixture = PacketSizeMixture(64, 1500)
+        assert mixture.variance() > 0
+        # The mixture is noticeably more variable than deterministic
+        # service but in the same ballpark as exponential.
+        assert 0.5 < mixture.squared_cv() < 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PacketSizeMixture(min_size=0, max_size=100)
+        with pytest.raises(ValueError):
+            PacketSizeMixture(100, 50)
+        with pytest.raises(ValueError):
+            PacketSizeMixture(64, 1500, p_min=0.9, p_max=0.2)
+
+
+class TestRateForUtilization:
+    def test_formula(self):
+        # 50% of 10 Mbps with 625-byte packets = 1000 pps.
+        assert rate_for_utilization(0.5, 10e6, 625) == pytest.approx(1000.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            rate_for_utilization(0.0, 1e6, 100)
+        with pytest.raises(ValueError):
+            rate_for_utilization(1.0, 1e6, 100)
+        with pytest.raises(ValueError):
+            rate_for_utilization(0.5, 1e6, 0)
+
+
+class TestPoissonArrivals:
+    def test_rate_achieved(self):
+        sim = Simulator()
+        rng = RngStreams(9).stream("arrivals")
+        emitted = []
+        PoissonArrivals(sim, rate_pps=1000.0, emit=emitted.append,
+                        rng=rng, fixed_size=100, stop_at=5.0)
+        sim.run(until=5.0)
+        assert 4500 < len(emitted) < 5500
+        assert all(size == 100 for size in emitted)
+
+    def test_stop(self):
+        sim = Simulator()
+        rng = RngStreams(9).stream("arrivals2")
+        emitted = []
+        process = PoissonArrivals(sim, 1000.0, emitted.append, rng,
+                                  fixed_size=10)
+        sim.after(1.0, process.stop)
+        sim.run(until=5.0)
+        assert 800 < len(emitted) < 1200
+
+    def test_sizes_from_mixture(self):
+        sim = Simulator()
+        rng = RngStreams(9).stream("arrivals3")
+        mixture = PacketSizeMixture(64, 1500)
+        emitted = []
+        PoissonArrivals(sim, 500.0, emitted.append, rng, sizes=mixture,
+                        stop_at=2.0)
+        sim.run(until=2.0)
+        assert {64, 1500} & set(emitted)
+
+    def test_requires_size_source(self):
+        sim = Simulator()
+        rng = RngStreams(9).stream("x")
+        with pytest.raises(ValueError):
+            PoissonArrivals(sim, 100.0, lambda s: None, rng)
+
+
+class TestOnOffArrivals:
+    def test_mean_rate(self):
+        sim = Simulator()
+        rng = RngStreams(11).stream("onoff")
+        emitted = []
+        process = OnOffArrivals(
+            sim, burst_rate_pps=10000.0, mean_on=10e-3, mean_off=90e-3,
+            emit=emitted.append, rng=rng, fixed_size=100, stop_at=20.0,
+        )
+        assert process.mean_rate_pps() == pytest.approx(1000.0)
+        sim.run(until=20.0)
+        achieved = len(emitted) / 20.0
+        assert 700 < achieved < 1300
+
+    def test_burstiness(self):
+        """Interarrival gaps are bimodal: back-to-back or long idle."""
+        sim = Simulator()
+        rng = RngStreams(11).stream("onoff2")
+        times = []
+        OnOffArrivals(
+            sim, burst_rate_pps=10000.0, mean_on=5e-3, mean_off=50e-3,
+            emit=lambda s: times.append(sim.now), rng=rng, fixed_size=1,
+            stop_at=10.0,
+        )
+        sim.run(until=10.0)
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        in_burst = sum(1 for g in gaps if g < 0.2e-3)
+        long_idle = sum(1 for g in gaps if g > 10e-3)
+        assert in_burst > 10 and long_idle > 10
+
+    def test_validation(self):
+        sim = Simulator()
+        rng = RngStreams(1).stream("v")
+        with pytest.raises(ValueError):
+            OnOffArrivals(sim, 0, 1, 1, lambda s: None, rng, fixed_size=1)
+        with pytest.raises(ValueError):
+            OnOffArrivals(sim, 10, 1, 1, lambda s: None, rng)
