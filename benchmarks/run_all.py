@@ -3,7 +3,7 @@
 
 Usage:  python benchmarks/run_all.py [experiment-id ...]
 
-With no arguments every Exx/Axx/Fxx experiment runs in order; with
+With no arguments every Exx/Axx/Fxx/Lxx experiment runs in order; with
 arguments (e.g. ``e05 a03``) only those run.  Tables also land in
 ``benchmarks/results/``.
 """
@@ -44,6 +44,7 @@ EXPERIMENTS = [
     ("a05", "bench_a05_nab_host_overhead"),
     ("a06", "bench_a06_hierarchical_fanout"),
     ("a07", "bench_a07_blocked_policies"),
+    ("l01", "bench_l01_live_loopback"),
 ]
 
 

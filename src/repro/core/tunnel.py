@@ -21,14 +21,20 @@ nothing is idealized away.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Optional, TYPE_CHECKING
 
-from repro.baselines.ip.host import IpHost
-from repro.baselines.ip.packet import IpPacket
 from repro.net.addresses import MacAddress
 from repro.net.link import Transmission
 from repro.net.node import Attachment, Node
 from repro.viper.packet import SirpentPacket
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    # Imported lazily: repro.baselines.ip.host itself imports
+    # repro.core.queues, so a module-level import here closes a cycle
+    # (core.__init__ -> tunnel -> ip.host -> core.queues) that breaks
+    # `import repro.baselines.ip` when it happens first.
+    from repro.baselines.ip.host import IpHost
+    from repro.baselines.ip.packet import IpPacket
 
 #: IP protocol number carrying encapsulated Sirpent packets (an
 #: unassigned value in 1989; 94 is used by other encapsulations today —

@@ -1,0 +1,304 @@
+"""The live directory: route queries over newline-delimited JSON TCP.
+
+§3 makes routes *directory attributes*: a client asks the directory for
+a route to a destination and receives stacked VIPER segments plus the
+route's advertised parameters.  In the live overlay that query is a
+real network round trip — a TCP connection carrying one JSON object per
+line in each direction::
+
+    -> {"id": "q-1-ab12cd34", "method": "routes",
+        "params": {"client": "client", "destination": "server", "k": 2}}
+    <- {"id": "q-1-ab12cd34",
+        "result": {"routes": [{"destination": "server",
+                               "segments": ["0000020e", ...],
+                               "first_hop_port": 2, ...}]}}
+
+Every request carries an ``X-Request-ID``-style correlation id; the
+server echoes it verbatim so responses can be matched (and traced)
+regardless of ordering, and errors name the id they answer.  Header
+segments travel as hex of the *existing* VIPER wire codec
+(:func:`repro.viper.wire.encode_segment`), so a route fetched over TCP
+is byte-identical to one handed out inside the simulator — tokens
+minted by the directory verify unchanged on live routers.
+
+The server wraps any ``(client_node, RouteQuery) -> List[Route]``
+callable — in practice :meth:`repro.directory.service.DirectoryService.
+query`, which is how the sim's directory logic (path selection, token
+minting, load adjustment) serves the live overlay without duplication.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import os
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.directory.routes import Route
+from repro.directory.service import RouteQuery
+from repro.live.host import LiveRoute
+from repro.live.link import Address
+from repro.viper.errors import ViperDecodeError
+from repro.viper.wire import HeaderSegment, decode_segment, encode_segment
+
+#: Newline-delimited JSON: one object per line, UTF-8.
+ENCODING = "utf-8"
+
+#: Fallback advertised RTT when a route predicts zero (e.g. loopback).
+DEFAULT_BASE_RTT_S = 1e-3
+
+#: Reference payload size used to turn a Route's model into one number.
+RTT_PROBE_BYTES = 64
+
+
+def route_to_json(route: Route) -> Dict[str, object]:
+    """Serialize one directory Route into its wire (JSON) form."""
+    base_rtt = route.expected_rtt(RTT_PROBE_BYTES)
+    return {
+        "destination": route.destination,
+        "segments": [encode_segment(s).hex() for s in route.segments],
+        "first_hop_port": route.first_hop_port,
+        "base_rtt_s": base_rtt if base_rtt > 0.0 else DEFAULT_BASE_RTT_S,
+        "hop_count": route.hop_count,
+        "mtu": route.mtu,
+    }
+
+
+def route_from_json(obj: Dict[str, object]) -> LiveRoute:
+    """Parse one JSON route into the live host's :class:`LiveRoute`."""
+    segments: List[HeaderSegment] = []
+    for hexed in obj["segments"]:  # type: ignore[union-attr]
+        raw = bytes.fromhex(str(hexed))
+        segment, consumed = decode_segment(raw, 0)
+        if consumed != len(raw):
+            raise ViperDecodeError(
+                f"route segment has {len(raw) - consumed} trailing bytes"
+            )
+        segments.append(segment)
+    return LiveRoute(
+        destination=str(obj["destination"]),
+        segments=segments,
+        first_hop_port=int(obj["first_hop_port"]),  # type: ignore[arg-type]
+        base_rtt_s=float(obj.get("base_rtt_s", DEFAULT_BASE_RTT_S)),  # type: ignore[arg-type]
+        hop_count=int(obj.get("hop_count", 0)),  # type: ignore[arg-type]
+        mtu=int(obj.get("mtu", 1500)),  # type: ignore[arg-type]
+    )
+
+
+class DirectoryError(Exception):
+    """An error response from the live directory (or a protocol fault)."""
+
+
+class LiveDirectoryServer:
+    """Serves route queries over an NDJSON TCP listener.
+
+    ``query`` is any callable with the shape of
+    :meth:`~repro.directory.service.DirectoryService.query`; the server
+    is pure protocol plumbing and holds no routing state of its own.
+    """
+
+    def __init__(
+        self, query: Callable[[str, RouteQuery], List[Route]]
+    ) -> None:
+        self.query = query
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._writers: Set[asyncio.StreamWriter] = set()
+        self.address: Optional[Address] = None
+        self.queries_served = 0
+        self.errors = 0
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> Address:
+        """Start listening; returns the bound ``(host, port)``."""
+        self._server = await asyncio.start_server(
+            self._on_connection, host=host, port=port
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self.address = (sockname[0], sockname[1])
+        return self.address
+
+    def stop(self) -> None:
+        """Stop listening and drop every open connection."""
+        if self._server is not None:
+            self._server.close()
+            self._server = None
+        for writer in list(self._writers):
+            writer.close()
+        self._writers.clear()
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._writers.add(writer)
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                response = self._handle_line(line)
+                writer.write(
+                    (json.dumps(response) + "\n").encode(ENCODING)
+                )
+                await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            self._writers.discard(writer)
+            writer.close()
+
+    def _handle_line(self, line: bytes) -> Dict[str, object]:
+        request_id: object = None
+        try:
+            request = json.loads(line.decode(ENCODING))
+            if not isinstance(request, dict):
+                raise ValueError("request is not a JSON object")
+            request_id = request.get("id")
+            method = request.get("method")
+            params = request.get("params") or {}
+            if not isinstance(params, dict):
+                raise ValueError("params is not a JSON object")
+            if method == "ping":
+                return {"id": request_id, "result": {"pong": True}}
+            if method == "routes":
+                return {"id": request_id, "result": self._serve_routes(params)}
+            raise ValueError(f"unknown method {method!r}")
+        except (ValueError, KeyError, TypeError, ViperDecodeError) as exc:
+            self.errors += 1
+            return {"id": request_id, "error": str(exc)}
+
+    def _serve_routes(self, params: Dict[str, object]) -> Dict[str, object]:
+        query = RouteQuery(
+            destination=str(params["destination"]),
+            k=int(params.get("k", 1)),  # type: ignore[arg-type]
+            dest_socket=int(params.get("dest_socket", 0)),  # type: ignore[arg-type]
+            with_tokens=bool(params.get("with_tokens", False)),
+            reverse_ok=bool(params.get("reverse_ok", True)),
+        )
+        routes = self.query(str(params["client"]), query)
+        self.queries_served += 1
+        return {"routes": [route_to_json(r) for r in routes]}
+
+
+class LiveDirectoryClient:
+    """One TCP connection to the live directory, with correlated requests.
+
+    Requests may be issued concurrently; responses are matched to their
+    callers by correlation id, not arrival order.  Ids are generated
+    ``q-<n>-<random hex>`` so traces of interleaved clients stay
+    unambiguous, in the spirit of ``X-Request-ID`` headers.
+    """
+
+    def __init__(self, name: str = "client") -> None:
+        self.name = name
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._reader_task: Optional[asyncio.Task] = None
+        self._pending: Dict[str, asyncio.Future] = {}
+        self._counter = itertools.count(1)
+
+    async def connect(self, address: Address) -> None:
+        """Open the TCP connection and start the response demultiplexer."""
+        self._reader, self._writer = await asyncio.open_connection(
+            address[0], address[1]
+        )
+        self._reader_task = asyncio.get_running_loop().create_task(
+            self._read_responses()
+        )
+
+    def close(self) -> None:
+        """Tear the connection down; pending requests fail."""
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            self._reader_task = None
+        if self._writer is not None:
+            self._writer.close()
+            self._writer = None
+        for future in self._pending.values():
+            if not future.done():
+                future.set_exception(DirectoryError("directory client closed"))
+        self._pending.clear()
+
+    def _next_id(self) -> str:
+        return f"q-{next(self._counter)}-{os.urandom(4).hex()}"
+
+    async def _request(
+        self, method: str, params: Dict[str, object], timeout_s: float
+    ) -> Dict[str, object]:
+        if self._writer is None:
+            raise DirectoryError("directory client is not connected")
+        request_id = self._next_id()
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        line = json.dumps(
+            {"id": request_id, "method": method, "params": params}
+        )
+        self._writer.write((line + "\n").encode(ENCODING))
+        await self._writer.drain()
+        try:
+            return await asyncio.wait_for(future, timeout_s)
+        except asyncio.TimeoutError:
+            raise DirectoryError(
+                f"directory request {request_id} timed out "
+                f"after {timeout_s}s"
+            ) from None
+        finally:
+            self._pending.pop(request_id, None)
+
+    async def _read_responses(self) -> None:
+        assert self._reader is not None
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                self._dispatch(line)
+        except (ConnectionError, asyncio.CancelledError):
+            return
+
+    def _dispatch(self, line: bytes) -> None:
+        try:
+            response = json.loads(line.decode(ENCODING))
+        except ValueError:
+            return  # an unparseable response correlates with nothing
+        if not isinstance(response, dict):
+            return
+        future = self._pending.get(str(response.get("id")))
+        if future is None or future.done():
+            return
+        if "error" in response:
+            future.set_exception(DirectoryError(str(response["error"])))
+        else:
+            future.set_result(response.get("result") or {})
+
+    async def ping(self, timeout_s: float = 1.0) -> bool:
+        """Round-trip liveness probe."""
+        result = await self._request("ping", {}, timeout_s)
+        return bool(result.get("pong"))
+
+    async def routes(
+        self,
+        destination: str,
+        k: int = 1,
+        dest_socket: int = 0,
+        with_tokens: bool = False,
+        timeout_s: float = 1.0,
+    ) -> List[LiveRoute]:
+        """Fetch up to ``k`` routes to ``destination`` (§3 over TCP)."""
+        result = await self._request(
+            "routes",
+            {
+                "client": self.name,
+                "destination": destination,
+                "k": k,
+                "dest_socket": dest_socket,
+                "with_tokens": with_tokens,
+            },
+            timeout_s,
+        )
+        raw_routes = result.get("routes")
+        if not isinstance(raw_routes, list):
+            raise DirectoryError("malformed routes response")
+        return [route_from_json(obj) for obj in raw_routes]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<LiveDirectoryClient {self.name!r}>"

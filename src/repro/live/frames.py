@@ -1,0 +1,266 @@
+"""Framing for VIPER packets carried in real UDP datagrams.
+
+On the sim's links a packet travels *structurally*; on a real socket it
+must be bytes.  A live datagram is the byte-exact VIPER packet body
+(stacked header segments ++ payload ++ return-route trailer, produced
+by the *existing* codec in :mod:`repro.viper.wire` and
+:mod:`repro.viper.packet`) behind an 11-byte overlay preamble::
+
+     0        1        2        3
+    +--------+--------+--------+--------+
+    |  'V'   |  'L'   |version |  kind  |
+    +--------+--------+--------+--------+
+    |           hop sequence            |
+    +--------+--------+--------+--------+
+    |segCount|   payloadLen    |  ...body
+    +--------+--------+--------+
+
+* ``kind`` — :data:`FRAME_DATA` or :data:`FRAME_ACK` (per-hop ack).
+* ``hop sequence`` — per-hop reliability cookie; 0 means "fire and
+  forget", anything else is acked by the receiving endpoint and retried
+  by the sender (:mod:`repro.live.link`).
+* ``segCount`` — remaining header segments, so a receiver knows the
+  segment/payload boundary deterministically (the role Ethernet frame
+  typing plays in the paper).
+* ``payloadLen`` — bytes of payload between the last segment and the
+  first trailer element, making the trailer walk exact rather than
+  heuristic.
+
+The preamble is per-UDP-hop overlay plumbing, *not* part of VIPER:
+routers rewrite it on every hop (decrementing ``segCount``), exactly as
+a link layer would re-frame.  Everything after it is untouched VIPER
+bytes, which is what lets the live router strip/reverse/append with the
+same codec the simulator uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple, Union
+
+from repro.viper.errors import ViperDecodeError
+from repro.viper.packet import (
+    SirpentPacket,
+    TRAILER_LENGTH_BYTES,
+    TRUNCATION_MARK,
+    TRUNCATION_SENTINEL,
+    TrailerElement,
+    decode_trailer,
+)
+from repro.viper.wire import (
+    HeaderSegment,
+    MAX_SEGMENTS,
+    decode_segment,
+    encode_segment,
+)
+
+#: Leading magic of every live datagram.
+MAGIC = b"VL"
+
+#: Overlay framing version.
+VERSION = 1
+
+#: A data frame: preamble + VIPER packet body.
+FRAME_DATA = 0
+
+#: A per-hop acknowledgement: preamble only, ``seq`` names the acked frame.
+FRAME_ACK = 1
+
+#: Size of the fixed preamble.
+PREAMBLE_BYTES = 11
+
+#: Largest representable payload (16-bit length field).
+MAX_PAYLOAD_BYTES = 0xFFFF
+
+#: ``seq`` value meaning "unreliable, do not ack".
+SEQ_NONE = 0
+
+
+@dataclass(frozen=True)
+class Preamble:
+    """Decoded overlay preamble of one live datagram."""
+
+    kind: int
+    seq: int
+    seg_count: int
+    payload_len: int
+
+
+def encode_preamble(kind: int, seq: int, seg_count: int, payload_len: int) -> bytes:
+    """Serialize the 11-byte overlay preamble."""
+    if kind not in (FRAME_DATA, FRAME_ACK):
+        raise ValueError(f"unknown frame kind {kind}")
+    if not 0 <= seq <= 0xFFFFFFFF:
+        raise ValueError(f"sequence {seq} outside 32 bits")
+    if not 0 <= seg_count <= MAX_SEGMENTS:
+        raise ValueError(f"segment count {seg_count} outside 0..{MAX_SEGMENTS}")
+    if not 0 <= payload_len <= MAX_PAYLOAD_BYTES:
+        raise ValueError(f"payload length {payload_len} outside 16 bits")
+    return (
+        MAGIC
+        + bytes((VERSION, kind))
+        + seq.to_bytes(4, "big")
+        + bytes((seg_count,))
+        + payload_len.to_bytes(2, "big")
+    )
+
+
+def decode_preamble(datagram: bytes) -> Preamble:
+    """Parse the overlay preamble; total over arbitrary bytes."""
+    if len(datagram) < PREAMBLE_BYTES:
+        raise ViperDecodeError(
+            f"datagram of {len(datagram)} bytes is shorter than the "
+            f"{PREAMBLE_BYTES}-byte preamble"
+        )
+    if datagram[0:2] != MAGIC:
+        raise ViperDecodeError("bad live-frame magic")
+    if datagram[2] != VERSION:
+        raise ViperDecodeError(f"unsupported live-frame version {datagram[2]}")
+    kind = datagram[3]
+    if kind not in (FRAME_DATA, FRAME_ACK):
+        raise ViperDecodeError(f"unknown live-frame kind {kind}")
+    seg_count = datagram[8]
+    if seg_count > MAX_SEGMENTS:
+        raise ViperDecodeError(
+            f"segment count {seg_count} exceeds VIPER's {MAX_SEGMENTS}"
+        )
+    return Preamble(
+        kind=kind,
+        seq=int.from_bytes(datagram[4:8], "big"),
+        seg_count=seg_count,
+        payload_len=int.from_bytes(datagram[9:11], "big"),
+    )
+
+
+def encode_ack(seq: int) -> bytes:
+    """A per-hop acknowledgement frame for ``seq``."""
+    return encode_preamble(FRAME_ACK, seq, 0, 0)
+
+
+# -- whole-frame codec (endpoints) ------------------------------------------
+
+
+def encode_live_frame(
+    packet: SirpentPacket, payload_bytes: bytes, seq: int = SEQ_NONE
+) -> bytes:
+    """Serialize a structural packet into one live datagram.
+
+    The body bytes are produced by the same per-structure encoders the
+    simulator's edge codec uses, so a live frame *is* a VIPER packet.
+    """
+    if len(payload_bytes) != packet.payload_size:
+        raise ValueError(
+            f"payload is {len(payload_bytes)} bytes but payload_size="
+            f"{packet.payload_size}"
+        )
+    if packet.payload_size > MAX_PAYLOAD_BYTES:
+        raise ValueError(
+            f"payload of {packet.payload_size} bytes exceeds the live "
+            f"frame's {MAX_PAYLOAD_BYTES}-byte limit"
+        )
+    out = bytearray(
+        encode_preamble(
+            FRAME_DATA, seq, len(packet.segments), packet.payload_size
+        )
+    )
+    for segment in packet.segments:
+        out += encode_segment(segment)
+    out += payload_bytes
+    for element in packet.trailer:
+        if element is TRUNCATION_MARK:
+            out += TRUNCATION_SENTINEL.to_bytes(TRAILER_LENGTH_BYTES, "big")
+        else:
+            encoded = encode_segment(element.segment)
+            out += encoded
+            out += len(encoded).to_bytes(TRAILER_LENGTH_BYTES, "big")
+    return bytes(out)
+
+
+def decode_live_frame(datagram: bytes) -> Tuple[Preamble, SirpentPacket, bytes]:
+    """Parse one live datagram into ``(preamble, packet, payload_bytes)``.
+
+    Unlike the simulator's edge decoder — which locates the payload by a
+    heuristic backwards trailer walk — the explicit ``segCount`` and
+    ``payloadLen`` make this parse deterministic: the trailer region is
+    exactly the bytes after the payload, and it must decode completely.
+    Total over arbitrary bytes: malformed input raises
+    :class:`~repro.viper.errors.ViperDecodeError`.
+    """
+    preamble = decode_preamble(datagram)
+    if preamble.kind != FRAME_DATA:
+        raise ViperDecodeError("not a data frame")
+    segments: List[HeaderSegment] = []
+    offset = PREAMBLE_BYTES
+    for _ in range(preamble.seg_count):
+        segment, offset = decode_segment(datagram, offset)
+        segments.append(segment)
+    payload_end = offset + preamble.payload_len
+    if payload_end > len(datagram):
+        raise ViperDecodeError(
+            f"payload of {preamble.payload_len} bytes overruns the "
+            f"{len(datagram)}-byte datagram"
+        )
+    payload_bytes = datagram[offset:payload_end]
+    trailer_region = datagram[payload_end:]
+    trailer: List[Union[TrailerElement, object]]
+    trailer, boundary = decode_trailer(trailer_region)
+    if boundary != 0:
+        raise ViperDecodeError(
+            f"trailer region does not frame: {boundary} undecodable "
+            "leading bytes"
+        )
+    packet = SirpentPacket(
+        segments=segments,
+        payload_size=len(payload_bytes),
+        payload=payload_bytes,
+        trailer=trailer,
+    )
+    return preamble, packet, payload_bytes
+
+
+# -- router fast path --------------------------------------------------------
+
+
+def peek_leading_segment(datagram: bytes) -> Tuple[Preamble, HeaderSegment]:
+    """Decode only what a cut-through router needs: preamble + first segment.
+
+    This is the live analogue of the paper's observation that the fixed
+    fields lead so the switching decision can start before the rest of
+    the packet arrives — the router never parses payload or trailer.
+    """
+    preamble = decode_preamble(datagram)
+    if preamble.kind != FRAME_DATA:
+        raise ViperDecodeError("not a data frame")
+    if preamble.seg_count == 0:
+        raise ViperDecodeError("no header segments remain")
+    segment, _ = decode_segment(datagram, PREAMBLE_BYTES)
+    return preamble, segment
+
+
+def strip_and_append(
+    datagram: bytes, return_segment: HeaderSegment, seq: int = SEQ_NONE
+) -> bytes:
+    """The router's core move, on raw bytes.
+
+    Strip the leading header segment, append the reversed return hop
+    (plus its 2-byte back-length) to the trailer, decrement the
+    preamble's segment count and restamp the hop sequence.  Payload and
+    the other segments are copied through untouched — byte-for-byte the
+    same strip/reverse/append the simulator's router performs
+    structurally.
+    """
+    preamble = decode_preamble(datagram)
+    if preamble.kind != FRAME_DATA or preamble.seg_count == 0:
+        raise ViperDecodeError("cannot forward: no leading segment")
+    _, next_offset = decode_segment(datagram, PREAMBLE_BYTES)
+    encoded_return = encode_segment(return_segment)
+    if len(encoded_return) >= TRUNCATION_SENTINEL:
+        raise ValueError("return segment too large to frame in the trailer")
+    return (
+        encode_preamble(
+            FRAME_DATA, seq, preamble.seg_count - 1, preamble.payload_len
+        )
+        + datagram[next_offset:]
+        + encoded_return
+        + len(encoded_return).to_bytes(TRAILER_LENGTH_BYTES, "big")
+    )

@@ -1,0 +1,267 @@
+"""Asyncio UDP endpoints: the live overlay's point-to-point channels.
+
+Each live node (router, host) owns one :class:`LiveEndpoint` — a bound
+UDP socket wrapped in ``asyncio``'s datagram machinery.  The endpoint
+provides:
+
+* **framed delivery** — datagrams that do not carry a valid overlay
+  preamble are dropped and counted, never raised (the live analogue of
+  "a router must survive line noise"),
+* **per-hop reliability** — frames sent with :meth:`LiveEndpoint.send`
+  under ``reliable=True`` carry a hop sequence number; the receiving
+  endpoint acks it immediately and the sender retries on an ack
+  timeout, finally declaring the peer dead (:attr:`on_peer_dead`) —
+  this is what makes a killed router *observable* instead of a silent
+  black hole,
+* **injected impairments** — deterministic, seeded loss/delay/jitter/
+  reordering applied on transmit, so the loopback overlay can rehearse
+  a lossy WAN.
+
+The endpoint knows nothing about routing; routers and hosts subscribe
+via :attr:`on_frame` and receive ``(datagram, source_address)``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import random
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, Optional, Set, Tuple
+
+from repro.live.frames import (
+    FRAME_ACK,
+    FRAME_DATA,
+    SEQ_NONE,
+    decode_preamble,
+    encode_ack,
+)
+from repro.live.metrics import EndpointMetrics
+from repro.viper.errors import ViperDecodeError
+
+#: A UDP peer address.
+Address = Tuple[str, int]
+
+
+@dataclass
+class Impairments:
+    """Transmit-side network impairments, seeded for reproducibility."""
+
+    loss_rate: float = 0.0
+    delay_s: float = 0.0
+    jitter_s: float = 0.0
+    reorder_rate: float = 0.0
+    seed: Optional[int] = None
+
+    def any(self) -> bool:
+        """True when at least one impairment is active."""
+        return (
+            self.loss_rate > 0.0 or self.delay_s > 0.0
+            or self.jitter_s > 0.0 or self.reorder_rate > 0.0
+        )
+
+
+@dataclass
+class ReliabilityConfig:
+    """Per-hop ack/retry policy for reliable sends."""
+
+    ack_timeout_s: float = 0.05
+    max_retries: int = 3
+    #: Remembered sequence numbers per peer, for duplicate suppression.
+    dedup_window: int = 1024
+
+
+class _Protocol(asyncio.DatagramProtocol):
+    """Thin adapter forwarding asyncio callbacks into the endpoint."""
+
+    def __init__(self, endpoint: "LiveEndpoint") -> None:
+        self.endpoint = endpoint
+
+    def datagram_received(self, data: bytes, addr: Address) -> None:
+        """Hand every received datagram to the owning endpoint."""
+        self.endpoint._on_datagram(data, addr)
+
+    def error_received(self, exc: OSError) -> None:
+        """Count asynchronous socket errors (e.g. ICMP port unreachable)."""
+        self.endpoint.metrics.drop("socket_error")
+
+
+class LiveEndpoint:
+    """One bound UDP socket with framing, acks, retries and impairments."""
+
+    def __init__(
+        self,
+        name: str,
+        metrics: Optional[EndpointMetrics] = None,
+        impairments: Optional[Impairments] = None,
+        reliability: Optional[ReliabilityConfig] = None,
+    ) -> None:
+        self.name = name
+        self.metrics = metrics if metrics is not None else EndpointMetrics(name)
+        self.impairments = impairments if impairments is not None else Impairments()
+        self.reliability = (
+            reliability if reliability is not None else ReliabilityConfig()
+        )
+        self._rng = random.Random(self.impairments.seed)
+        self._transport: Optional[asyncio.DatagramTransport] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self.address: Optional[Address] = None
+        #: Delivery callback: ``on_frame(datagram, source_address)``.
+        self.on_frame: Optional[Callable[[bytes, Address], None]] = None
+        #: Called once per reliable frame abandoned after all retries.
+        self.on_peer_dead: Optional[Callable[[Address], None]] = None
+        self._seq = itertools.count(1)
+        self._pending: Dict[int, Tuple[bytes, Address, int]] = {}
+        self._retry_timers: Dict[int, asyncio.TimerHandle] = {}
+        self._seen: Dict[Address, Tuple[Set[int], Deque[int]]] = {}
+        self.closed = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def open(self, host: str = "127.0.0.1", port: int = 0) -> Address:
+        """Bind the socket; returns the bound ``(host, port)``."""
+        self._loop = asyncio.get_running_loop()
+        self._transport, _ = await self._loop.create_datagram_endpoint(
+            lambda: _Protocol(self), local_addr=(host, port)
+        )
+        self.address = self._transport.get_extra_info("sockname")[:2]
+        return self.address
+
+    def close(self) -> None:
+        """Close the socket and cancel every pending retry."""
+        self.closed = True
+        for timer in self._retry_timers.values():
+            timer.cancel()
+        self._retry_timers.clear()
+        self._pending.clear()
+        if self._transport is not None:
+            self._transport.close()
+            self._transport = None
+
+    # -- transmit ----------------------------------------------------------
+
+    def send(self, datagram: bytes, addr: Address, reliable: bool = False) -> int:
+        """Transmit one framed datagram; returns the hop sequence used.
+
+        With ``reliable=True`` the frame is restamped with a fresh
+        nonzero sequence number, acked by the receiving endpoint and
+        retried on timeout; the caller's preamble must carry seq 0 (use
+        :func:`repro.live.frames.strip_and_append` /
+        :func:`~repro.live.frames.encode_live_frame` with their default
+        ``seq``) — this method owns the sequence space.
+        """
+        if self.closed or self._transport is None:
+            return SEQ_NONE
+        seq = SEQ_NONE
+        if reliable:
+            seq = next(self._seq)
+            datagram = datagram[:4] + seq.to_bytes(4, "big") + datagram[8:]
+            self._pending[seq] = (
+                datagram, addr, self.reliability.max_retries
+            )
+            self._arm_retry(seq)
+        self.metrics.record_out(len(datagram))
+        self._impaired_send(datagram, addr)
+        return seq
+
+    def _impaired_send(self, datagram: bytes, addr: Address) -> None:
+        imp = self.impairments
+        if imp.loss_rate > 0.0 and self._rng.random() < imp.loss_rate:
+            self.metrics.drop("loss_injected")
+            return
+        delay = imp.delay_s
+        if imp.jitter_s > 0.0:
+            delay += self._rng.random() * imp.jitter_s
+        if imp.reorder_rate > 0.0 and self._rng.random() < imp.reorder_rate:
+            # Reordering = holding this datagram past its successors.
+            delay += imp.jitter_s + 2e-3
+        if delay > 0.0 and self._loop is not None:
+            self._loop.call_later(delay, self._raw_send, datagram, addr)
+        else:
+            self._raw_send(datagram, addr)
+
+    def _raw_send(self, datagram: bytes, addr: Address) -> None:
+        if self.closed or self._transport is None:
+            return
+        try:
+            self._transport.sendto(datagram, addr)
+        except OSError:
+            self.metrics.drop("socket_error")
+
+    # -- per-hop reliability -----------------------------------------------
+
+    def _arm_retry(self, seq: int) -> None:
+        if self._loop is None:
+            return
+        self._retry_timers[seq] = self._loop.call_later(
+            self.reliability.ack_timeout_s, self._on_ack_timeout, seq
+        )
+
+    def _on_ack_timeout(self, seq: int) -> None:
+        self._retry_timers.pop(seq, None)
+        entry = self._pending.get(seq)
+        if entry is None:
+            return
+        datagram, addr, retries_left = entry
+        if retries_left <= 0:
+            # Peer is unresponsive: give up on this frame.
+            self._pending.pop(seq, None)
+            self.metrics.drop("peer_dead")
+            if self.on_peer_dead is not None:
+                self.on_peer_dead(addr)
+            return
+        self._pending[seq] = (datagram, addr, retries_left - 1)
+        self.metrics.retries += 1
+        self._impaired_send(datagram, addr)
+        self._arm_retry(seq)
+
+    def _on_ack(self, seq: int) -> None:
+        self.metrics.acks_in += 1
+        timer = self._retry_timers.pop(seq, None)
+        if timer is not None:
+            timer.cancel()
+        self._pending.pop(seq, None)
+
+    def _is_duplicate(self, addr: Address, seq: int) -> bool:
+        seen = self._seen.get(addr)
+        if seen is None:
+            window: Deque[int] = deque(maxlen=self.reliability.dedup_window)
+            seen = (set(), window)
+            self._seen[addr] = seen
+        values, order = seen
+        if seq in values:
+            return True
+        if len(order) == order.maxlen and order.maxlen:
+            values.discard(order[0])
+        order.append(seq)
+        values.add(seq)
+        return False
+
+    # -- receive -----------------------------------------------------------
+
+    def _on_datagram(self, data: bytes, addr: Address) -> None:
+        try:
+            preamble = decode_preamble(data)
+        except ViperDecodeError:
+            self.metrics.drop("undecodable")
+            return
+        if preamble.kind == FRAME_ACK:
+            self._on_ack(preamble.seq)
+            return
+        if preamble.kind != FRAME_DATA:  # pragma: no cover - decoder guards
+            self.metrics.drop("undecodable")
+            return
+        if preamble.seq != SEQ_NONE:
+            # Ack first (even duplicates — their ack may have been lost).
+            self.metrics.acks_out += 1
+            self._raw_send(encode_ack(preamble.seq), addr)
+            if self._is_duplicate(addr, preamble.seq):
+                self.metrics.drop("duplicate")
+                return
+        self.metrics.record_in(len(data))
+        if self.on_frame is not None:
+            self.on_frame(data, addr)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<LiveEndpoint {self.name!r} at {self.address}>"

@@ -1,0 +1,100 @@
+"""Per-endpoint counters for the live overlay.
+
+Every live endpoint (router, host, directory) owns an
+:class:`EndpointMetrics` instance; the UDP machinery in
+:mod:`repro.live.link` feeds it frames/bytes/acks/retries and the
+routers/hosts add their drop reasons.  The smoke benchmark
+(``bench_l01_live_loopback``) renders these tables after the run, which
+is how we see — over real sockets — where every frame went.
+
+The counters deliberately mirror the names of
+:class:`repro.core.router.RouterStats` so the sim and live worlds can
+be compared line by line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+@dataclass
+class EndpointMetrics:
+    """Frame/byte/drop/retry accounting for one live endpoint."""
+
+    name: str = ""
+    frames_in: int = 0
+    frames_out: int = 0
+    bytes_in: int = 0
+    bytes_out: int = 0
+    acks_in: int = 0
+    acks_out: int = 0
+    retries: int = 0
+    forwarded: int = 0
+    delivered_local: int = 0
+    #: Drop reasons -> counts ("undecodable", "no_route", "token_reject",
+    #: "route_exhausted", "peer_dead", "duplicate", "loss_injected", ...).
+    drops: Dict[str, int] = field(default_factory=dict)
+
+    def record_in(self, nbytes: int) -> None:
+        """Count one received data frame of ``nbytes``."""
+        self.frames_in += 1
+        self.bytes_in += nbytes
+
+    def record_out(self, nbytes: int) -> None:
+        """Count one transmitted data frame of ``nbytes``."""
+        self.frames_out += 1
+        self.bytes_out += nbytes
+
+    def drop(self, reason: str) -> None:
+        """Count one dropped frame under ``reason``."""
+        self.drops[reason] = self.drops.get(reason, 0) + 1
+
+    def dropped(self, reason: str) -> int:
+        """Drops recorded under ``reason`` (0 when never seen)."""
+        return self.drops.get(reason, 0)
+
+    def total_drops(self) -> int:
+        """Sum of every drop reason."""
+        return sum(self.drops.values())
+
+    def snapshot(self) -> Dict[str, int]:
+        """A flat dict of all counters (drop reasons prefixed ``drop_``)."""
+        flat = {
+            "frames_in": self.frames_in,
+            "frames_out": self.frames_out,
+            "bytes_in": self.bytes_in,
+            "bytes_out": self.bytes_out,
+            "acks_in": self.acks_in,
+            "acks_out": self.acks_out,
+            "retries": self.retries,
+            "forwarded": self.forwarded,
+            "delivered_local": self.delivered_local,
+        }
+        for reason, count in sorted(self.drops.items()):
+            flat[f"drop_{reason}"] = count
+        return flat
+
+
+def render_metrics(all_metrics: List[EndpointMetrics]) -> str:
+    """An aligned text table over several endpoints' counters."""
+    columns = ["endpoint", "frames_in", "frames_out", "fwd", "local",
+               "retries", "drops"]
+    rows: List[Tuple[str, ...]] = []
+    for m in all_metrics:
+        drops = ",".join(
+            f"{reason}:{count}" for reason, count in sorted(m.drops.items())
+        ) or "-"
+        rows.append((
+            m.name or "?", str(m.frames_in), str(m.frames_out),
+            str(m.forwarded), str(m.delivered_local), str(m.retries), drops,
+        ))
+    widths = [len(c) for c in columns]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = ["  ".join(c.ljust(w) for c, w in zip(columns, widths))]
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,233 @@
+"""A Sirpent router as a live asyncio UDP daemon.
+
+:class:`LiveRouter` receives VIPER frames on a real socket, decodes the
+*leading* header segment with the existing codec
+(:func:`repro.live.frames.peek_leading_segment`), runs the same
+strip/reverse/append pipeline and token-cache admission logic as the
+simulator's :class:`~repro.core.router.SirpentRouter`, and forwards the
+rewritten bytes out the named port — which in the overlay is a UDP peer
+address.  Port 0 delivers locally, exactly as §5 reserves it.
+
+The switching decision is factored into the side-effect-free
+:meth:`LiveRouter.decide` so tests can assert *decision parity* between
+the live router and the simulator's router on identical frames.
+
+Unsupported in the live overlay (v1): multicast fan-out/tree ports and
+logical-port splicing — frames naming them are dropped and counted,
+never crash the daemon.  Undecodable datagrams are likewise
+dropped-and-counted (the decoder totality the fuzz suite enforces is
+what makes this safe).
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.multicast import BROADCAST_PORT, TREE_PORT
+from repro.live.frames import Preamble, peek_leading_segment, strip_and_append
+from repro.live.link import Address, Impairments, LiveEndpoint, ReliabilityConfig
+from repro.live.metrics import EndpointMetrics
+from repro.tokens.cache import CachePolicy, TokenCache, Verdict
+from repro.tokens.capability import TokenMint
+from repro.viper.errors import ViperDecodeError
+from repro.viper.portinfo import ETHERNET_INFO_BYTES, EthernetInfo
+from repro.viper.wire import LOCAL_PORT, HeaderSegment
+
+
+class Action(enum.Enum):
+    """What the router decided to do with one frame."""
+
+    FORWARD = "forward"
+    DELIVER_LOCAL = "local"
+    DROP = "drop"
+
+
+@dataclass(frozen=True)
+class Decision:
+    """Outcome of the switching decision for one frame.
+
+    ``reason`` names the drop counter on :class:`.metrics.EndpointMetrics`
+    when ``action`` is :attr:`Action.DROP`; ``out_port`` is the VIPER
+    port to forward out of otherwise.
+    """
+
+    action: Action
+    out_port: int = -1
+    reason: str = ""
+
+
+@dataclass
+class LiveRouterConfig:
+    """Tunables of one live router daemon."""
+
+    token_policy: CachePolicy = CachePolicy.OPTIMISTIC
+    require_tokens: bool = False
+    #: Per-hop forwarding uses ack/retry when True (dead peers become
+    #: detectable instead of silent loss).
+    reliable_hops: bool = True
+
+
+class LiveRouter:
+    """One Sirpent switching node running over a real UDP socket."""
+
+    def __init__(
+        self,
+        name: str,
+        config: Optional[LiveRouterConfig] = None,
+        mint_secret: Optional[bytes] = None,
+        impairments: Optional[Impairments] = None,
+        reliability: Optional[ReliabilityConfig] = None,
+    ) -> None:
+        self.name = name
+        self.config = config if config is not None else LiveRouterConfig()
+        # The same default secret scheme as the simulator's router, so a
+        # directory that mints against the sim topology produces tokens
+        # this live router verifies.
+        self.mint = TokenMint(
+            mint_secret if mint_secret is not None else f"secret:{name}".encode(),
+            issuer=name,
+        )
+        self.token_cache = TokenCache(
+            self.mint,
+            policy=self.config.token_policy,
+            require_tokens=self.config.require_tokens,
+        )
+        self.metrics = EndpointMetrics(name)
+        self.endpoint = LiveEndpoint(
+            name, metrics=self.metrics,
+            impairments=impairments, reliability=reliability,
+        )
+        self.endpoint.on_frame = self._on_frame
+        #: VIPER port id -> peer UDP address.
+        self.ports: Dict[int, Address] = {}
+        #: Peer UDP address -> the VIPER port frames from it arrive on.
+        self.addr_port: Dict[Address, int] = {}
+        #: Optional hook receiving ``(datagram, source)`` for port-0 frames.
+        self.local_handler = None
+        self._started_at = time.monotonic()
+
+    # -- wiring ------------------------------------------------------------
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> Address:
+        """Bind the router's socket; returns its address."""
+        return await self.endpoint.open(host, port)
+
+    def stop(self) -> None:
+        """Shut the router down (its peers will see a dead hop)."""
+        self.endpoint.close()
+
+    def connect_port(self, port_id: int, peer: Address) -> None:
+        """Map VIPER ``port_id`` to the UDP address of the next node."""
+        if not 0 < port_id <= 255:
+            raise ValueError(f"port {port_id} invalid: VIPER ports are 1..255")
+        self.ports[port_id] = peer
+        self.addr_port[peer] = port_id
+
+    @property
+    def address(self) -> Optional[Address]:
+        """The router's bound UDP address (None before :meth:`start`)."""
+        return self.endpoint.address
+
+    # -- the pipeline ------------------------------------------------------
+
+    def decide(self, preamble: Preamble, segment: HeaderSegment) -> Decision:
+        """The pure switching decision — shared shape with the simulator.
+
+        Mirrors :class:`~repro.core.router.SirpentRouter` hop for hop:
+        route-exhaustion, local delivery on port 0, token-cache
+        admission (§2.2) and the no-route drop.  Side effects are
+        limited to the token cache's own accounting, which is exactly
+        the state the sim router also mutates per packet.
+        """
+        if preamble.seg_count == 0:
+            return Decision(Action.DROP, reason="route_exhausted")
+        port = segment.port
+        if port == LOCAL_PORT:
+            return Decision(Action.DELIVER_LOCAL)
+        if port in (TREE_PORT, BROADCAST_PORT):
+            return Decision(Action.DROP, reason="multicast_unsupported")
+        size = preamble.payload_len  # charged size, as the sim charges wire size
+        verdict, _delay = self.token_cache.admit(
+            segment.token, port, segment.priority, size,
+            now_ms=self._now_ms(), rpf=segment.rpf,
+        )
+        if verdict is Verdict.REJECT:
+            return Decision(Action.DROP, reason="token_reject")
+        if port not in self.ports:
+            return Decision(Action.DROP, reason="no_route")
+        return Decision(Action.FORWARD, out_port=port)
+
+    def build_return_segment(
+        self, segment: HeaderSegment, in_port: int
+    ) -> HeaderSegment:
+        """The reversed hop appended to the trailer (§2).
+
+        Return port = the port the frame arrived on; an Ethernet-shaped
+        portInfo is reversed (src/dst swap), a point-to-point hop's is
+        empty; the token rides along only when its claims authorize
+        reverse-route charging — the same rules as the sim router's
+        ``_build_return_segment``.
+        """
+        portinfo = b""
+        if len(segment.portinfo) == ETHERNET_INFO_BYTES:
+            try:
+                portinfo = EthernetInfo.from_bytes(
+                    segment.portinfo
+                ).reversed().to_bytes()
+            except ViperDecodeError:  # pragma: no cover - length-checked
+                portinfo = b""
+        token = b""
+        entry = self.token_cache.entry(segment.token) if segment.token else None
+        if entry is not None and entry.valid and entry.claims is not None:
+            if entry.claims.reverse_ok:
+                token = segment.token
+        return HeaderSegment(
+            port=in_port,
+            priority=segment.priority,
+            token=token,
+            portinfo=portinfo,
+        )
+
+    def _on_frame(self, datagram: bytes, source: Address) -> None:
+        try:
+            preamble, segment = peek_leading_segment(datagram)
+        except ViperDecodeError:
+            # Line noise / malformed frame: drop and count, never crash.
+            self.metrics.drop("undecodable")
+            return
+        decision = self.decide(preamble, segment)
+        if decision.action is Action.DROP:
+            self.metrics.drop(decision.reason)
+            return
+        if decision.action is Action.DELIVER_LOCAL:
+            self.metrics.delivered_local += 1
+            if self.local_handler is not None:
+                self.local_handler(datagram, source)
+            return
+        in_port = self.addr_port.get(source)
+        if in_port is None:
+            # A frame from an unwired peer cannot get a correct return
+            # hop; refusing it mirrors Sirpent's "routes only work when
+            # every hop is reversible".
+            self.metrics.drop("unknown_peer")
+            return
+        return_segment = self.build_return_segment(segment, in_port)
+        try:
+            forwarded = strip_and_append(datagram, return_segment)
+        except (ViperDecodeError, ValueError):
+            self.metrics.drop("undecodable")
+            return
+        self.metrics.forwarded += 1
+        self.endpoint.send(
+            forwarded, self.ports[decision.out_port],
+            reliable=self.config.reliable_hops,
+        )
+
+    def _now_ms(self) -> int:
+        return int((time.monotonic() - self._started_at) * 1000)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<LiveRouter {self.name!r} ports={sorted(self.ports)}>"

@@ -1,0 +1,192 @@
+"""Booting a live UDP overlay from a simulator topology description.
+
+The simulator and the live overlay describe networks the same way: a
+:class:`repro.net.topology.Topology` of named routers/hosts joined by
+point-to-point edges with VIPER port ids.  :class:`LiveOverlay` walks
+that description and stands up the *live* twin — one
+:class:`~repro.live.router.LiveRouter` or
+:class:`~repro.live.host.LiveHost` per node, each on its own loopback
+UDP socket, ports wired to the peers' bound addresses — plus a
+:class:`~repro.directory.service.DirectoryService` (the simulator's own
+directory logic, with its timed refresh/advisory machinery disabled)
+exposed over the NDJSON TCP endpoint of
+:class:`~repro.live.directory.LiveDirectoryServer`.
+
+Because live routers copy each sim router's mint secret and token
+policy, tokens the directory mints against the sim topology verify
+unchanged on the live routers — one configuration, two substrates.
+
+v1 supports point-to-point edges only; an Ethernet segment in the
+description raises at boot rather than silently misrouting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.host import SirpentHost
+from repro.core.router import SirpentRouter
+from repro.directory.service import DirectoryService, RouteQuery
+from repro.live.directory import (
+    LiveDirectoryServer,
+    route_from_json,
+    route_to_json,
+)
+from repro.live.host import LiveHost, LiveRoute
+from repro.live.link import Address, Impairments, ReliabilityConfig
+from repro.live.metrics import EndpointMetrics, render_metrics
+from repro.live.router import LiveRouter, LiveRouterConfig
+from repro.net.topology import Topology
+
+
+def as_live_route(route) -> LiveRoute:
+    """Convert a directory :class:`~repro.directory.routes.Route`.
+
+    Round-trips through the JSON wire form so in-process conversions
+    and TCP-fetched routes are constructed identically.
+    """
+    return route_from_json(route_to_json(route))
+
+
+class LiveOverlay:
+    """A live UDP twin of a simulator topology, on loopback sockets."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        impairments: Optional[Impairments] = None,
+        reliability: Optional[ReliabilityConfig] = None,
+        host: str = "127.0.0.1",
+    ) -> None:
+        self.topology = topology
+        self.impairments = impairments
+        self.reliability = reliability
+        self.bind_host = host
+        self.routers: Dict[str, LiveRouter] = {}
+        self.hosts: Dict[str, LiveHost] = {}
+        self.addresses: Dict[str, Address] = {}
+        #: The simulator's directory logic, reused verbatim (timers off).
+        self.directory = DirectoryService(
+            topology.sim, topology, refresh_interval=None,
+            advisory_interval=None,
+        )
+        self.directory_server = LiveDirectoryServer(self.directory.query)
+        self.directory_address: Optional[Address] = None
+        self._started = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        """Instantiate, bind and wire every node, then the directory."""
+        if self._started:
+            raise RuntimeError("overlay already started")
+        for name, node in self.topology.nodes.items():
+            if isinstance(node, SirpentRouter):
+                live: object = LiveRouter(
+                    name,
+                    config=LiveRouterConfig(
+                        token_policy=node.config.token_policy,
+                        require_tokens=node.config.require_tokens,
+                    ),
+                    mint_secret=node.mint.secret,
+                    impairments=self.impairments,
+                    reliability=self.reliability,
+                )
+                self.routers[name] = live  # type: ignore[assignment]
+            elif isinstance(node, SirpentHost):
+                live = LiveHost(
+                    name,
+                    impairments=self.impairments,
+                    reliability=self.reliability,
+                )
+                self.hosts[name] = live  # type: ignore[assignment]
+                self.directory.register_host(name, name)
+            else:
+                raise ValueError(
+                    f"node {name!r} of type {type(node).__name__} has no "
+                    "live twin"
+                )
+        for name in self.routers:
+            self.addresses[name] = await self.routers[name].start(
+                self.bind_host
+            )
+        for name in self.hosts:
+            self.addresses[name] = await self.hosts[name].start(
+                self.bind_host
+            )
+        for edge in self.topology.all_edges():
+            if edge.medium != "p2p":
+                raise ValueError(
+                    f"edge {edge.src}->{edge.dst} uses medium "
+                    f"{edge.medium!r}; the live overlay v1 is "
+                    "point-to-point only"
+                )
+            self._node(edge.src).connect_port(
+                edge.port_id, self.addresses[edge.dst]
+            )
+        self.directory_address = await self.directory_server.start(
+            self.bind_host
+        )
+        self._started = True
+
+    def stop(self) -> None:
+        """Shut every live node and the directory endpoint down."""
+        self.directory_server.stop()
+        for router in self.routers.values():
+            router.stop()
+        for live_host in self.hosts.values():
+            live_host.stop()
+        self._started = False
+
+    def kill(self, name: str) -> None:
+        """Failure injection: abruptly stop one node (socket closes).
+
+        Peers discover the death through per-hop ack timeouts — exactly
+        the observable the rebinding transport reacts to.
+        """
+        self._node(name).stop()
+
+    def _node(self, name: str):
+        if name in self.routers:
+            return self.routers[name]
+        if name in self.hosts:
+            return self.hosts[name]
+        raise KeyError(f"no live node {name!r}")
+
+    # -- routes ------------------------------------------------------------
+
+    def routes(
+        self,
+        client: str,
+        destination: str,
+        k: int = 1,
+        dest_socket: int = 0,
+        with_tokens: bool = False,
+    ) -> List[LiveRoute]:
+        """In-process route query (same logic the TCP endpoint serves)."""
+        found = self.directory.query(
+            client,
+            RouteQuery(
+                destination=destination, k=k, dest_socket=dest_socket,
+                with_tokens=with_tokens,
+            ),
+        )
+        return [as_live_route(r) for r in found]
+
+    # -- observability -----------------------------------------------------
+
+    def metrics(self) -> List[EndpointMetrics]:
+        """Every live node's counters, hosts first then routers, by name."""
+        ordered = [self.hosts[n].metrics for n in sorted(self.hosts)]
+        ordered += [self.routers[n].metrics for n in sorted(self.routers)]
+        return ordered
+
+    def render_metrics(self) -> str:
+        """The per-endpoint counter table for reports and benchmarks."""
+        return render_metrics(self.metrics())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<LiveOverlay routers={sorted(self.routers)} "
+            f"hosts={sorted(self.hosts)}>"
+        )

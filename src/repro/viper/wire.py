@@ -146,6 +146,13 @@ def _decode_field(
         true_length = int.from_bytes(
             buffer[offset:offset + EXTENDED_LENGTH_BYTES], "big"
         )
+        if true_length < LENGTH_ESCAPE:
+            # The escape is only legal when the field genuinely needs it;
+            # accepting the short form here would make the decoder accept
+            # bytes it cannot re-encode (decode∘encode must be identity).
+            raise DecodeError(
+                f"non-canonical extended length {true_length} for {what}"
+            )
         offset += EXTENDED_LENGTH_BYTES
     else:
         true_length = length_octet
@@ -157,21 +164,42 @@ def _decode_field(
     return buffer[offset:offset + true_length], offset + true_length
 
 
+#: Mask of the defined flag bits in the flags nibble; the remaining bit
+#: is reserved-must-be-zero, and the decoder rejects it so that every
+#: accepted segment re-encodes to exactly the bytes consumed.
+_DEFINED_FLAGS_MASK = 0x8 | 0x4 | 0x2
+
+
 def decode_segment(buffer: bytes, offset: int = 0) -> Tuple[HeaderSegment, int]:
-    """Parse one header segment; returns ``(segment, next_offset)``."""
+    """Parse one header segment; returns ``(segment, next_offset)``.
+
+    Total over arbitrary bytes: any malformed, truncated, reserved-bit
+    or non-canonical input raises :class:`~repro.viper.errors.DecodeError`
+    (a.k.a. ``ViperDecodeError``) — never an assertion or index error.
+    """
+    if offset < 0:
+        raise DecodeError(f"negative segment offset {offset}")
     if offset + FIXED_SEGMENT_BYTES > len(buffer):
         raise DecodeError("buffer too short for fixed segment fields")
     portinfo_len = buffer[offset]
     token_len = buffer[offset + 1]
     port = buffer[offset + 2]
-    vnt, dib, rpf, priority = unpack_flags_priority(buffer[offset + 3])
+    flag_byte = buffer[offset + 3]
+    if (flag_byte >> 4) & ~_DEFINED_FLAGS_MASK:
+        raise DecodeError(
+            f"reserved flag bit set in flags byte {flag_byte:#04x}"
+        )
+    vnt, dib, rpf, priority = unpack_flags_priority(flag_byte)
     offset += FIXED_SEGMENT_BYTES
     token, offset = _decode_field(buffer, offset, token_len, "portToken")
     portinfo, offset = _decode_field(buffer, offset, portinfo_len, "portInfo")
-    segment = HeaderSegment(
-        port=port, priority=priority, vnt=vnt, dib=dib, rpf=rpf,
-        token=token, portinfo=portinfo,
-    )
+    try:
+        segment = HeaderSegment(
+            port=port, priority=priority, vnt=vnt, dib=dib, rpf=rpf,
+            token=token, portinfo=portinfo,
+        )
+    except ValueError as error:  # pragma: no cover - defensive totality
+        raise DecodeError(f"invalid segment fields: {error}") from error
     return segment, offset
 
 

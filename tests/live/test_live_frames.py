@@ -1,0 +1,132 @@
+"""The live overlay's byte framing, without any sockets.
+
+The live datagram must carry the *byte-exact* VIPER packet behind its
+preamble, survive the router's strip/reverse/append performed on raw
+bytes, and reject malformed input with a single exception type — the
+same totality contract the wire codec's fuzz suite enforces.
+"""
+
+import pytest
+
+from repro.live.frames import (
+    FRAME_ACK,
+    FRAME_DATA,
+    PREAMBLE_BYTES,
+    SEQ_NONE,
+    decode_live_frame,
+    decode_preamble,
+    encode_ack,
+    encode_live_frame,
+    encode_preamble,
+    peek_leading_segment,
+    strip_and_append,
+)
+from repro.viper.errors import ViperDecodeError
+from repro.viper.packet import SirpentPacket, TrailerElement, build_return_route
+from repro.viper.wire import HeaderSegment
+
+
+def _packet(payload: bytes) -> SirpentPacket:
+    segments = [
+        HeaderSegment(port=7, priority=3, token=b"T" * 28, portinfo=b"\x01\x02"),
+        HeaderSegment(port=2),
+        HeaderSegment(port=1, rpf=True),
+    ]
+    trailer = [TrailerElement(HeaderSegment(port=9, rpf=True))]
+    return SirpentPacket(
+        segments=segments,
+        payload_size=len(payload),
+        payload=payload,
+        trailer=trailer,
+    )
+
+
+def test_preamble_roundtrip():
+    raw = encode_preamble(FRAME_DATA, 0xDEADBEEF, 5, 1234)
+    assert len(raw) == PREAMBLE_BYTES
+    preamble = decode_preamble(raw)
+    assert preamble.kind == FRAME_DATA
+    assert preamble.seq == 0xDEADBEEF
+    assert preamble.seg_count == 5
+    assert preamble.payload_len == 1234
+
+
+def test_ack_frame_roundtrip():
+    preamble = decode_preamble(encode_ack(42))
+    assert preamble.kind == FRAME_ACK
+    assert preamble.seq == 42
+
+
+def test_live_frame_roundtrip():
+    payload = b"the quick brown fox"
+    packet = _packet(payload)
+    datagram = encode_live_frame(packet, payload)
+    preamble, decoded, decoded_payload = decode_live_frame(datagram)
+    assert preamble.seg_count == 3
+    assert decoded_payload == payload
+    assert decoded.segments == packet.segments
+    assert [e.segment for e in decoded.trailer] == [
+        e.segment for e in packet.trailer
+    ]
+
+
+def test_peek_matches_full_decode():
+    payload = b"x" * 64
+    packet = _packet(payload)
+    datagram = encode_live_frame(packet, payload)
+    preamble, leading = peek_leading_segment(datagram)
+    assert leading == packet.segments[0]
+    assert preamble.payload_len == len(payload)
+
+
+def test_strip_and_append_is_the_router_move():
+    payload = b"payload-bytes"
+    packet = _packet(payload)
+    datagram = encode_live_frame(packet, payload)
+    return_hop = HeaderSegment(port=4, priority=3, rpf=True)
+    forwarded = strip_and_append(datagram, return_hop)
+    preamble, decoded, decoded_payload = decode_live_frame(forwarded)
+    # One segment consumed, payload untouched, return hop appended last.
+    assert preamble.seg_count == 2
+    assert decoded.segments == packet.segments[1:]
+    assert decoded_payload == payload
+    assert decoded.trailer[-1].segment == return_hop
+    # The receiver's reversal yields the hops in return-send order.
+    assert build_return_route(decoded)[0].port == 4
+
+
+def test_strip_and_append_restamps_sequence():
+    payload = b"p"
+    packet = _packet(payload)
+    datagram = encode_live_frame(packet, payload, seq=77)
+    forwarded = strip_and_append(datagram, HeaderSegment(port=4), seq=SEQ_NONE)
+    assert decode_preamble(forwarded).seq == SEQ_NONE
+
+
+@pytest.mark.parametrize(
+    "mutant",
+    [
+        b"",
+        b"V",
+        b"XX" + b"\x00" * 9,                     # bad magic
+        b"VL\x09\x00" + b"\x00" * 7,             # bad version
+        b"VL\x01\x07" + b"\x00" * 7,             # unknown kind
+        encode_preamble(FRAME_DATA, 0, 2, 0),    # promises 2 segments, has 0
+        encode_preamble(FRAME_DATA, 0, 0, 50),   # payload overruns datagram
+        encode_preamble(FRAME_DATA, 0, 0, 0) + b"\x01",  # junk trailer
+    ],
+)
+def test_decoder_is_total(mutant):
+    with pytest.raises(ViperDecodeError):
+        decode_live_frame(mutant)
+
+
+def test_exhausted_frame_cannot_be_forwarded():
+    payload = b"z"
+    packet = SirpentPacket(
+        segments=[HeaderSegment(port=1)], payload_size=1, payload=payload,
+    )
+    datagram = encode_live_frame(packet, payload)
+    stripped = strip_and_append(datagram, HeaderSegment(port=2))
+    with pytest.raises(ViperDecodeError):
+        strip_and_append(stripped, HeaderSegment(port=3))

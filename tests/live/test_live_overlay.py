@@ -1,0 +1,225 @@
+"""The live overlay over real loopback sockets.
+
+Marked ``live``: these tests bind UDP/TCP sockets on 127.0.0.1 and run
+an asyncio loop.  They are fast (sub-second waits) but environment-
+dependent, so CI runs them in a dedicated job.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.core.host import SirpentHost
+from repro.core.router import SirpentRouter
+from repro.live import (
+    LiveDirectoryClient,
+    LiveEndpoint,
+    LiveOverlay,
+    LiveTransactor,
+    WallClock,
+    encode_live_frame,
+)
+from repro.net.topology import Topology
+from repro.sim.engine import Simulator
+from repro.transport.rebind import RouteManager
+from repro.viper.packet import SirpentPacket
+from repro.viper.wire import HeaderSegment
+
+pytestmark = pytest.mark.live
+
+
+async def _eventually(predicate, timeout_s: float = 2.0) -> None:
+    """Poll ``predicate`` until true or fail the test."""
+    loop = asyncio.get_running_loop()
+    deadline = loop.time() + timeout_s
+    while not predicate():
+        assert loop.time() < deadline, "condition never became true"
+        await asyncio.sleep(0.005)
+
+
+def _line_topology():
+    """client — r1 — r2 — server, point-to-point."""
+    sim = Simulator()
+    topo = Topology(sim)
+    client = SirpentHost(sim, "client")
+    server = SirpentHost(sim, "server")
+    r1 = SirpentRouter(sim, "r1")
+    r2 = SirpentRouter(sim, "r2")
+    topo.connect(client, r1)
+    topo.connect(r1, r2)
+    topo.connect(r2, server)
+    return topo
+
+
+def _diamond_topology():
+    """client — r1 — {r2 | r4} — r3 — server: two disjoint mid paths."""
+    sim = Simulator()
+    topo = Topology(sim)
+    client = SirpentHost(sim, "client")
+    server = SirpentHost(sim, "server")
+    r1 = SirpentRouter(sim, "r1")
+    r2 = SirpentRouter(sim, "r2")
+    r3 = SirpentRouter(sim, "r3")
+    r4 = SirpentRouter(sim, "r4")
+    topo.connect(client, r1)
+    topo.connect(r1, r2)
+    topo.connect(r1, r4)
+    topo.connect(r2, r3)
+    topo.connect(r4, r3)
+    topo.connect(r3, server)
+    return topo
+
+
+def test_udp_socketpair_roundtrip():
+    """A live frame crosses a real UDP socketpair byte-for-byte."""
+
+    async def scenario():
+        sender = LiveEndpoint("a")
+        receiver = LiveEndpoint("b")
+        received = []
+        receiver.on_frame = lambda data, addr: received.append(data)
+        await sender.open()
+        addr = await receiver.open()
+        payload = b"over a real socket"
+        packet = SirpentPacket(
+            segments=[HeaderSegment(port=3, token=b"t" * 28),
+                      HeaderSegment(port=0)],
+            payload_size=len(payload),
+            payload=payload,
+        )
+        datagram = encode_live_frame(packet, payload)
+        sender.send(datagram, addr)
+        await _eventually(lambda: received)
+        assert received[0] == datagram
+        # Line noise on the same socket is dropped and counted, not raised.
+        sender.send(b"\xde\xad\xbe\xef", addr)
+        await _eventually(lambda: receiver.metrics.dropped("undecodable") == 1)
+        sender.close()
+        receiver.close()
+
+    asyncio.run(scenario())
+
+
+def test_reliable_send_acks_and_dead_peer():
+    """Nonzero-seq frames are acked; a dead peer is detected via retries."""
+
+    async def scenario():
+        sender = LiveEndpoint("a")
+        sender.reliability.ack_timeout_s = 0.02
+        receiver = LiveEndpoint("b")
+        receiver.on_frame = lambda data, addr: None
+        await sender.open()
+        addr = await receiver.open()
+        payload = b"x"
+        packet = SirpentPacket(
+            segments=[HeaderSegment(port=0)], payload_size=1, payload=payload,
+        )
+        sender.send(encode_live_frame(packet, payload), addr, reliable=True)
+        await _eventually(lambda: sender.metrics.acks_in == 1)
+        dead = []
+        sender.on_peer_dead = dead.append
+        receiver.close()
+        sender.send(encode_live_frame(packet, payload), addr, reliable=True)
+        await _eventually(lambda: dead, timeout_s=3.0)
+        assert sender.metrics.retries >= 1
+        assert sender.metrics.dropped("peer_dead") == 1
+        sender.close()
+
+    asyncio.run(scenario())
+
+
+def test_two_router_e2e_return_route_works():
+    """A delivered frame's trailer reverses into a *working* return route."""
+
+    async def scenario():
+        overlay = LiveOverlay(_line_topology())
+        await overlay.start()
+        try:
+            client, server = overlay.hosts["client"], overlay.hosts["server"]
+            requests, replies = [], []
+            client.bind(6, replies.append)
+
+            def on_request(delivered):
+                requests.append(delivered)
+                server.send_return(delivered, b"pong", reply_socket=6)
+
+            server.bind(5, on_request)
+            route = overlay.routes("client", "server", dest_socket=5)[0]
+            client.send(route, b"ping")
+            await _eventually(lambda: replies)
+            assert requests[0].payload == b"ping"
+            # The return route the server used is the reversed hop list.
+            return_ports = [s.port for s in requests[0].return_segments]
+            assert len(return_ports) == 2  # one per router crossed
+            assert all(s.rpf for s in requests[0].return_segments)
+            assert replies[0].payload == b"pong"
+            assert replies[0].socket == 6
+            # Both routers forwarded once per direction, dropped nothing.
+            for name in ("r1", "r2"):
+                assert overlay.routers[name].metrics.forwarded == 2
+                assert overlay.routers[name].metrics.total_drops() == 0
+        finally:
+            overlay.stop()
+        await asyncio.sleep(0.01)
+
+    asyncio.run(scenario())
+
+
+def test_directory_over_tcp_matches_in_process():
+    """The NDJSON TCP directory serves byte-identical routes."""
+
+    async def scenario():
+        overlay = LiveOverlay(_diamond_topology())
+        await overlay.start()
+        try:
+            local = overlay.routes("client", "server", k=2, with_tokens=True)
+            dir_client = LiveDirectoryClient("client")
+            await dir_client.connect(overlay.directory_address)
+            assert await dir_client.ping()
+            over_tcp = await dir_client.routes("server", k=2, with_tokens=True)
+            assert [r.segments for r in over_tcp] == [
+                r.segments for r in local
+            ]
+            assert [r.first_hop_port for r in over_tcp] == [
+                r.first_hop_port for r in local
+            ]
+            dir_client.close()
+        finally:
+            overlay.stop()
+        await asyncio.sleep(0.01)
+
+    asyncio.run(scenario())
+
+
+def test_transactor_survives_router_kill():
+    """Killing the mid-path router rebinds the client to the alternate."""
+
+    async def scenario():
+        overlay = LiveOverlay(_diamond_topology())
+        await overlay.start()
+        try:
+            client_tx = LiveTransactor(overlay.hosts["client"])
+            server_tx = LiveTransactor(overlay.hosts["server"])
+            server_tx.serve(lambda payload: b"echo:" + payload)
+            routes = overlay.routes(
+                "client", "server", k=2,
+                dest_socket=client_tx.config.socket, with_tokens=True,
+            )
+            manager = RouteManager(WallClock(), routes)
+            first = await client_tx.transact(manager, b"before")
+            assert first.ok and first.payload == b"echo:before"
+            # Kill whichever mid router the current route traverses.
+            port_to_mid = {
+                e.port_id: e.dst for e in overlay.topology.all_edges()
+                if e.src == "r1" and e.dst in ("r2", "r4")
+            }
+            overlay.kill(port_to_mid[manager.current().segments[0].port])
+            second = await client_tx.transact(manager, b"after")
+            assert second.ok and second.payload == b"echo:after"
+            assert manager.switches.count == 1
+            assert second.retries >= 1
+        finally:
+            overlay.stop()
+        await asyncio.sleep(0.05)
+
+    asyncio.run(scenario())
