@@ -43,7 +43,10 @@ class _Route:
         self.first_hop_mac = None
 
 
-def run_point(utilization: float, seed: int = 1):
+def run_point(utilization: float, seed: int = 1, tracer=None):
+    """One utilization point; ``tracer`` (repro.obs) is installed on
+    every node when given — the observability overhead benchmark
+    (``bench_o01``) re-runs this exact workload with tracing on."""
     sim = Simulator()
     topo = Topology(sim)
     rngs = RngStreams(seed)
@@ -73,6 +76,8 @@ def run_point(utilization: float, seed: int = 1):
             rng=rngs.stream(f"sender{index}"),
             fixed_size=wire_size, stop_at=SIM_SECONDS,
         )
+    if tracer is not None:
+        tracer.install(router, dst, *[host for host, _ in senders])
     sim.run(until=SIM_SECONDS)
     outport = router.output_ports[out_port]
     service_time = wire_size * 8 / RATE_BPS

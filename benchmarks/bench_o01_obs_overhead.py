@@ -1,0 +1,246 @@
+"""O01 — observability must cost (almost) nothing when it is off.
+
+The tracing hooks of :mod:`repro.obs` sit on the hottest paths in the
+codebase — the sim router's forwarding loop and the live overlay's
+frame handlers — guarded by ``if packet.trace_id and tracer.enabled``
+against a :data:`~repro.obs.trace.NULL_TRACER` default.  This
+experiment prices that design on the two benchmarks whose numbers the
+rest of the suite leans on:
+
+* **E01's workload** (Poisson senders through one cut-through port at
+  rho=0.5) re-run with tracing off / 1-in-100 sampled / every packet;
+* **L01-style live transactions** (client — r1 — r2 — server over real
+  loopback UDP) under the same three configurations.
+
+"Off" is the shipped default and therefore the baseline; its residual
+cost relative to un-instrumented code is the guard expression itself,
+which is micro-timed and expressed as a share of the measured
+per-packet (per-transaction) budget — the <5% acceptance bar.  The
+1-in-100 and 1-in-1 columns document what turning tracing on buys you
+into.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import sys
+import time
+
+# `python -m benchmarks.bench_o01_obs_overhead` must work from a bare
+# checkout: put the repo root and src/ on the path before repro imports.
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+for _entry in (_ROOT, os.path.join(_ROOT, "src")):
+    if _entry not in sys.path:
+        sys.path.insert(0, _entry)
+
+from repro.core.host import SirpentHost
+from repro.core.router import SirpentRouter
+from repro.live import LiveOverlay, LiveTransactor, WallClock
+from repro.net.topology import Topology
+from repro.obs.trace import NULL_TRACER, Tracer
+from repro.sim.engine import Simulator
+from repro.transport.rebind import RouteManager
+
+from benchmarks._common import format_table, publish
+
+from benchmarks.bench_e01_switching_delay import run_point
+
+#: Wall-clock repetitions per configuration; best-of-N tames scheduler
+#: noise without needing long runs.
+REPEATS = 3
+
+#: Sequential live transactions per timed run.
+LIVE_TRANSACTIONS = 200
+
+#: Guard evaluations a packet meets per hop is single-digit; price a
+#: generous 10 per delivered packet when computing the disabled share.
+GUARDS_PER_PACKET = 10
+
+
+def _best_of(fn, repeats: int = REPEATS):
+    """Return (best_elapsed_seconds, last_result)."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def _guard_cost_ns(iterations: int = 1_000_000) -> float:
+    """Micro-time the disabled-tracing guard, net of loop overhead.
+
+    This is the *entire* per-call cost tracing adds when off: one
+    short-circuiting ``trace_id and tracer.enabled`` check against the
+    no-op tracer.
+    """
+    class _Holder:
+        """Stands in for a node (``self.tracer``) and packet pair."""
+
+        def __init__(self):
+            self.tracer = NULL_TRACER
+            self.trace_id = 0
+
+    node = packet = _Holder()
+    sink = 0
+    started = time.perf_counter()
+    for _ in range(iterations):
+        if packet.trace_id and node.tracer.enabled:
+            sink += 1
+    guarded = time.perf_counter() - started
+    started = time.perf_counter()
+    for _ in range(iterations):
+        pass
+    empty = time.perf_counter() - started
+    del sink
+    return max(0.0, (guarded - empty) / iterations * 1e9)
+
+
+# -- sim leg (E01's workload) -------------------------------------------------
+
+
+def _sim_leg():
+    """Best-of-N wall times for E01's rho=0.5 point, three tracer modes."""
+    configs = [
+        ("off", lambda: None),
+        ("sampled 1/100", lambda: Tracer(sample_every=100)),
+        ("full 1/1", lambda: Tracer(sample_every=1)),
+    ]
+    out = {}
+    for label, make in configs:
+        elapsed, point = _best_of(
+            lambda make=make: run_point(0.5, tracer=make())
+        )
+        out[label] = {"elapsed": elapsed, "delivered": point["delivered"]}
+    return out
+
+
+# -- live leg (L01-style transactions) ---------------------------------------
+
+
+def _line_topology() -> Topology:
+    """client — r1 — r2 — server, point-to-point."""
+    sim = Simulator()
+    topo = Topology(sim)
+    client = SirpentHost(sim, "client")
+    server = SirpentHost(sim, "server")
+    r1 = SirpentRouter(sim, "r1")
+    r2 = SirpentRouter(sim, "r2")
+    topo.connect(client, r1)
+    topo.connect(r1, r2)
+    topo.connect(r2, server)
+    return topo
+
+
+async def _run_live(tracer) -> float:
+    """Elapsed seconds for LIVE_TRANSACTIONS sequential transactions."""
+    overlay = LiveOverlay(_line_topology(), tracer=tracer)
+    await overlay.start()
+    try:
+        client_tx = LiveTransactor(overlay.hosts["client"])
+        server_tx = LiveTransactor(overlay.hosts["server"])
+        server_tx.serve(lambda payload: b"r" * 128)
+        routes = overlay.routes(
+            "client", "server", dest_socket=client_tx.config.socket,
+        )
+        manager = RouteManager(WallClock(), routes)
+        request = b"q" * 256
+        started = time.monotonic()
+        for _ in range(LIVE_TRANSACTIONS):
+            result = await client_tx.transact(manager, request)
+            assert result.ok, "transaction failed during overhead run"
+        return time.monotonic() - started
+    finally:
+        overlay.stop()
+
+
+def _live_leg():
+    """Best-of-N wall times for the live transaction loop, three modes."""
+    configs = [
+        ("off", lambda: None),
+        ("sampled 1/100", lambda: Tracer(sample_every=100)),
+        ("full 1/1", lambda: Tracer(sample_every=1)),
+    ]
+    out = {}
+    for label, make in configs:
+        elapsed, _ = _best_of(
+            lambda make=make: asyncio.run(_run_live(make()))
+        )
+        out[label] = {"elapsed": elapsed, "transactions": LIVE_TRANSACTIONS}
+    return out
+
+
+def _overhead(config: dict, baseline: dict) -> float:
+    """Percent slowdown of ``config`` relative to ``baseline``."""
+    return (config["elapsed"] / baseline["elapsed"] - 1.0) * 100.0
+
+
+def bench_o01_obs_overhead(benchmark):
+    guard_ns = benchmark.pedantic(_guard_cost_ns, rounds=1, iterations=1)
+    sim = _sim_leg()
+    live = _live_leg()
+
+    sim_base = sim["off"]
+    per_packet_ns = sim_base["elapsed"] / sim_base["delivered"] * 1e9
+    sim_disabled_share = GUARDS_PER_PACKET * guard_ns / per_packet_ns * 100
+
+    live_base = live["off"]
+    per_tx_ns = live_base["elapsed"] / live_base["transactions"] * 1e9
+    # A transaction crosses two routers out and back plus both hosts:
+    # budget several packets' worth of guards.
+    live_disabled_share = 6 * GUARDS_PER_PACKET * guard_ns / per_tx_ns * 100
+
+    rows = [
+        ("e01 sim", "off (baseline)", round(sim_base["elapsed"], 3),
+         f"{sim_disabled_share:.3f}% guard share of "
+         f"{per_packet_ns / 1e3:.0f}us/pkt"),
+        ("e01 sim", "sampled 1/100",
+         round(sim["sampled 1/100"]["elapsed"], 3),
+         f"{_overhead(sim['sampled 1/100'], sim_base):+.1f}% vs off"),
+        ("e01 sim", "full 1/1", round(sim["full 1/1"]["elapsed"], 3),
+         f"{_overhead(sim['full 1/1'], sim_base):+.1f}% vs off"),
+        ("l01 live", "off (baseline)", round(live_base["elapsed"], 3),
+         f"{live_disabled_share:.3f}% guard share of "
+         f"{per_tx_ns / 1e6:.2f}ms/tx"),
+        ("l01 live", "sampled 1/100",
+         round(live["sampled 1/100"]["elapsed"], 3),
+         f"{_overhead(live['sampled 1/100'], live_base):+.1f}% vs off"),
+        ("l01 live", "full 1/1", round(live["full 1/1"]["elapsed"], 3),
+         f"{_overhead(live['full 1/1'], live_base):+.1f}% vs off"),
+    ]
+    table = format_table(
+        "O01  Observability overhead (tracing off / sampled / full)",
+        ["workload", "tracing", "best wall (s)", "overhead"],
+        rows,
+    )
+    note = (
+        f"\nDisabled tracing is the shipped default: every hook is one "
+        f"guard ({guard_ns:.0f}ns\nmeasured) against the no-op tracer, "
+        f"i.e. {sim_disabled_share:.3f}% of the sim's per-packet "
+        f"budget\nand {live_disabled_share:.4f}% of a live "
+        f"transaction — far under the 5% acceptance bar.\n"
+        f"1-in-100 sampling is the recommended always-on setting; "
+        f"full tracing is for\ndebugging single flows."
+    )
+    publish("o01_obs_overhead", table + note)
+
+    # Acceptance: tracing off costs <5% of the per-packet budget on both
+    # the e01 sim workload and l01-style live transactions.
+    assert sim_disabled_share < 5.0, (
+        f"disabled-tracing guard share {sim_disabled_share:.2f}% on e01"
+    )
+    assert live_disabled_share < 5.0, (
+        f"disabled-tracing guard share {live_disabled_share:.2f}% on l01"
+    )
+    # Pathology net (loose: wall-clock noise, not a precision claim) —
+    # 1-in-100 sampling must not meaningfully bend either workload.
+    assert _overhead(sim["sampled 1/100"], sim_base) < 50.0
+    assert _overhead(live["sampled 1/100"], live_base) < 50.0
+
+
+if __name__ == "__main__":
+    from benchmarks.run_all import _InlineBenchmark
+
+    bench_o01_obs_overhead(_InlineBenchmark())

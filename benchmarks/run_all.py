@@ -45,6 +45,7 @@ EXPERIMENTS = [
     ("a06", "bench_a06_hierarchical_fanout"),
     ("a07", "bench_a07_blocked_policies"),
     ("l01", "bench_l01_live_loopback"),
+    ("o01", "bench_o01_obs_overhead"),
 ]
 
 

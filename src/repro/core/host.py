@@ -25,6 +25,7 @@ from repro.core.queues import OutputPort
 from repro.net.addresses import MacAddress
 from repro.net.link import Transmission
 from repro.net.node import Attachment, Node
+from repro.obs.trace import NULL_TRACER
 from repro.sim.engine import Simulator
 from repro.sim.monitor import Counter, Histogram
 from repro.viper.packet import SirpentPacket, build_return_route
@@ -73,14 +74,25 @@ class SirpentHost(Node):
         self.received_truncated = Counter(f"{name}.truncated")
         self.undeliverable = Counter(f"{name}.undeliverable")
         self.delivery_delay = Histogram(f"{name}.delay")
+        #: Hop tracer (repro.obs); NULL_TRACER = tracing disabled.
+        self.tracer = NULL_TRACER
         if control_plane is not None:
             control_plane.register(name, self._on_control_message)
 
     # -- wiring ---------------------------------------------------------------
 
+    def set_tracer(self, tracer) -> None:
+        """Install a :class:`repro.obs.trace.Tracer` on this host and
+        every output port (existing and future attachments)."""
+        self.tracer = tracer
+        for outport in self.output_ports.values():
+            outport.tracer = tracer
+
     def attach(self, port_id: int, attachment: Attachment) -> None:
         super().attach(port_id, attachment)
-        self.output_ports[port_id] = OutputPort(self.sim, attachment)
+        outport = OutputPort(self.sim, attachment)
+        outport.tracer = self.tracer
+        self.output_ports[port_id] = outport
 
     def bind(self, socket: int, handler: Callable[[DeliveredPacket], None]) -> None:
         """Register a receive handler for an intra-host port."""
@@ -108,6 +120,7 @@ class SirpentHost(Node):
         dib: bool = False,
         host_port: Optional[int] = None,
         first_hop_mac: Optional[MacAddress] = None,
+        trace_id: Optional[int] = None,
     ) -> SirpentPacket:
         """Build a VIPER packet for ``route`` and clock it out.
 
@@ -117,6 +130,10 @@ class SirpentHost(Node):
         ``first_hop_mac`` (who to frame it to, None on p2p).  The
         priority is stamped into every segment — the type of service
         travels with each hop's header (§2).
+
+        ``trace_id``: None asks the installed tracer to (maybe) sample
+        this packet; a non-zero value continues an existing trace (the
+        reply path); 0 forces "untraced".
         """
         segments = [
             s.copy(priority=priority, dib=dib) for s in route.segments
@@ -128,6 +145,14 @@ class SirpentHost(Node):
             created_at=self.sim.now,
             source=self.name,
         )
+        if self.tracer.enabled:
+            if trace_id is None:
+                packet.trace_id = self.tracer.begin(self.name, self.sim.now)
+            elif trace_id:
+                packet.trace_id = trace_id
+                self.tracer.event(
+                    trace_id, self.sim.now, self.name, "send_return",
+                )
         port_id = host_port if host_port is not None else route.first_hop_port
         mac = first_hop_mac if first_hop_mac is not None else route.first_hop_mac
         outport = self.output_ports.get(port_id)
@@ -165,7 +190,10 @@ class SirpentHost(Node):
             first_hop_port=delivered.arrival_port,
             first_hop_mac=delivered.return_first_hop_mac,
         )
-        return self.send(route, payload, payload_size, priority=priority)
+        return self.send(
+            route, payload, payload_size, priority=priority,
+            trace_id=delivered.packet.trace_id,
+        )
 
     # -- receiving --------------------------------------------------------------
 
@@ -174,6 +202,10 @@ class SirpentHost(Node):
             return
         if not packet.segments:
             self.undeliverable.add()
+            if packet.trace_id and self.tracer.enabled:
+                self.tracer.drop(
+                    packet.trace_id, self.sim.now, self.name, "undeliverable",
+                )
             return
         final = packet.segments[0]
         socket = final.port
@@ -184,6 +216,11 @@ class SirpentHost(Node):
         if packet.truncated:
             self.received_truncated.add()
         self.delivery_delay.add(self.sim.now - packet.created_at)
+        if packet.trace_id and self.tracer.enabled:
+            self.tracer.deliver(
+                packet.trace_id, self.sim.now, self.name,
+                socket=socket, hops=packet.hops_taken,
+            )
         if handler is None:
             self.undeliverable.add()
             return

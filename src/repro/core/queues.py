@@ -20,6 +20,7 @@ from typing import Any, Callable, List, Optional, Tuple
 from repro.core.blocked import BlockedPolicy
 from repro.net.addresses import MacAddress
 from repro.net.node import Attachment
+from repro.obs.trace import NULL_TRACER
 from repro.sim.engine import Simulator
 from repro.sim.monitor import Counter, Histogram, RateMeter, TimeWeighted
 from repro.viper.flags import effective_priority, is_preemptive, outranks
@@ -90,6 +91,9 @@ class OutputPort:
         self._seq = 0
         self.queued_bytes = 0
         self.on_transmit_start: Optional[Callable[[_QueuedPacket], None]] = None
+        #: Hop tracer (repro.obs): NULL_TRACER unless installed by the
+        #: owning node — every use is guarded by ``tracer.enabled``.
+        self.tracer = NULL_TRACER
         # -- statistics the benchmarks consume --
         self.queue_length = TimeWeighted(name=f"{self.name}.qlen", start=sim.now)
         self.queue_bytes_tw = TimeWeighted(name=f"{self.name}.qbytes", start=sim.now)
@@ -162,6 +166,14 @@ class OutputPort:
         self.queued_bytes += entry.size
         self.queue_length.update(self.sim.now, len(self._heap))
         self.queue_bytes_tw.update(self.sim.now, self.queued_bytes)
+        if self.tracer.enabled:
+            trace_id = getattr(entry.packet, "trace_id", 0)
+            if trace_id:
+                self.tracer.event(
+                    trace_id, self.sim.now, self.attachment.node.name,
+                    "enqueue", port=self.attachment.port_id,
+                    depth=len(self._heap), queued_bytes=self.queued_bytes,
+                )
         return SubmitResult.QUEUED
 
     def _delay_loop(self, entry: _QueuedPacket) -> SubmitResult:
@@ -184,17 +196,38 @@ class OutputPort:
         self.wait_time.add(self.sim.now - entry.submitted_at)
         if self.on_transmit_start is not None:
             self.on_transmit_start(entry)
+        on_done: Callable[[], None] = self._on_port_free
+        if self.tracer.enabled:
+            trace_id = getattr(entry.packet, "trace_id", 0)
+            if trace_id:
+                self.tracer.event(
+                    trace_id, self.sim.now, self.attachment.node.name,
+                    "tx_start", port=self.attachment.port_id,
+                    bytes=entry.size,
+                    waited_s=self.sim.now - entry.submitted_at,
+                )
+                on_done = self._traced_on_done(trace_id)
         self.attachment.send(
             entry.packet,
             entry.size,
             entry.header_bytes,
             dst_mac=entry.dst_mac,
             priority=entry.priority,
-            on_done=self._on_port_free,
+            on_done=on_done,
             on_abort=self._on_aborted,
         )
         self.sent.add()
         self.departures.add(self.sim.now, 1.0)
+
+    def _traced_on_done(self, trace_id: int) -> Callable[[], None]:
+        """An ``on_done`` that stamps ``tx_complete`` before freeing."""
+        def done() -> None:
+            self.tracer.event(
+                trace_id, self.sim.now, self.attachment.node.name,
+                "tx_complete", port=self.attachment.port_id,
+            )
+            self._on_port_free()
+        return done
 
     def _on_port_free(self) -> None:
         self._start_next()

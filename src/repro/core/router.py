@@ -40,6 +40,7 @@ from repro.core.truncation import truncate_to_mtu
 from repro.net.addresses import MacAddress
 from repro.net.link import Transmission
 from repro.net.node import Attachment, Node
+from repro.obs.trace import NULL_TRACER
 from repro.sim.engine import Simulator
 from repro.sim.monitor import Counter, Histogram
 from repro.tokens.cache import CachePolicy, TokenCache, Verdict
@@ -131,8 +132,17 @@ class SirpentRouter(Node):
             )
         self._header_handled: Set[int] = set()
         self._forwarding_out: Dict[int, Attachment] = {}
+        #: Hop tracer (repro.obs); NULL_TRACER = tracing disabled.
+        self.tracer = NULL_TRACER
 
     # -- wiring -----------------------------------------------------------
+
+    def set_tracer(self, tracer) -> None:
+        """Install a :class:`repro.obs.trace.Tracer` on this router and
+        every output port (existing and future attachments)."""
+        self.tracer = tracer
+        for outport in self.output_ports.values():
+            outport.tracer = tracer
 
     def attach(self, port_id: int, attachment: Attachment) -> None:
         super().attach(port_id, attachment)
@@ -145,6 +155,7 @@ class SirpentRouter(Node):
             max_delay_loops=self.config.max_delay_loops,
         )
         outport.on_transmit_start = self._stamp_feed_forward(outport)
+        outport.tracer = self.tracer
         self.output_ports[port_id] = outport
         if self.congestion is not None:
             self.congestion.watch_port(port_id, outport)
@@ -177,6 +188,11 @@ class SirpentRouter(Node):
                 return  # fall back to store-and-forward at completion
         self._header_handled.add(packet.packet_id)
         self.stats.cut_through_forwards.add()
+        if packet.trace_id and self.tracer.enabled:
+            self.tracer.event(
+                packet.trace_id, self.sim.now, self.name,
+                "cut_through_start", in_port=inport.port_id,
+            )
         self._process(packet, inport, tx, arrival_time=self.sim.now,
                       extra_process_delay=0.0)
 
@@ -188,11 +204,21 @@ class SirpentRouter(Node):
             return
         if not packet.segments:
             self.stats.route_exhausted.add()
+            if packet.trace_id and self.tracer.enabled:
+                self.tracer.drop(
+                    packet.trace_id, self.sim.now, self.name,
+                    "route_exhausted",
+                )
             return
         if packet.current_segment.port == LOCAL_PORT:
             self._deliver_local(packet, inport)
             return
         self.stats.store_forwards.add()
+        if packet.trace_id and self.tracer.enabled:
+            self.tracer.event(
+                packet.trace_id, self.sim.now, self.name,
+                "store_forward_start", in_port=inport.port_id,
+            )
         self._process(
             packet, inport, tx,
             arrival_time=self.sim.now,
@@ -256,6 +282,11 @@ class SirpentRouter(Node):
         )
         if verdict is Verdict.REJECT:
             self.stats.dropped_token.add()
+            if packet.trace_id and self.tracer.enabled:
+                self.tracer.drop(
+                    packet.trace_id, self.sim.now, self.name,
+                    "token_reject", port=port,
+                )
             return
 
         # Logical port resolution (§2.2).
@@ -267,12 +298,22 @@ class SirpentRouter(Node):
             )
             if physical is None:
                 self.stats.dropped_no_route.add()
+                if packet.trace_id and self.tracer.enabled:
+                    self.tracer.drop(
+                        packet.trace_id, self.sim.now, self.name,
+                        "no_route", port=port,
+                    )
                 return
             port = physical
 
         attachment = self.ports.get(port)
         if attachment is None:
             self.stats.dropped_no_route.add()
+            if packet.trace_id and self.tracer.enabled:
+                self.tracer.drop(
+                    packet.trace_id, self.sim.now, self.name,
+                    "no_route", port=port,
+                )
             return
 
         # Strip the segment, append the return hop to the trailer (§2).
@@ -281,6 +322,13 @@ class SirpentRouter(Node):
         )
         return_segment = self._build_return_segment(segment, inport, tx)
         packet.advance(return_segment)
+        if packet.trace_id and self.tracer.enabled:
+            self.tracer.event(
+                packet.trace_id, self.sim.now, self.name,
+                "strip_reverse_append", out_port=port,
+                segments_left=len(packet.segments),
+                trailer_len=len(packet.trailer),
+            )
         if spliced is not None and len(spliced) > 1:
             packet.segments[0:0] = [
                 s.copy(priority=segment.priority) for s in spliced[1:]
@@ -294,6 +342,11 @@ class SirpentRouter(Node):
         dst_mac = self._resolve_dst_mac(effective, attachment)
         if attachment.kind == "ethernet" and dst_mac is None:
             self.stats.dropped_bad_portinfo.add()
+            if packet.trace_id and self.tracer.enabled:
+                self.tracer.drop(
+                    packet.trace_id, self.sim.now, self.name,
+                    "bad_portinfo", port=port,
+                )
             return
 
         delay = self.config.decision_delay + token_delay + extra_process_delay
@@ -317,6 +370,11 @@ class SirpentRouter(Node):
             branches = decode_tree_info(segment.portinfo)
         except DecodeError:
             self.stats.dropped_bad_portinfo.add()
+            if packet.trace_id and self.tracer.enabled:
+                self.tracer.drop(
+                    packet.trace_id, self.sim.now, self.name,
+                    "bad_portinfo", port=TREE_PORT,
+                )
             return
         for branch in branches:
             clone = SirpentPacket(
@@ -328,6 +386,7 @@ class SirpentRouter(Node):
                 source=packet.source,
                 hops_taken=packet.hops_taken,
                 hop_log=list(packet.hop_log[:-1]),  # _process re-appends
+                trace_id=packet.trace_id,
             )
             self.stats.multicast_copies.add()
             # Each clone is processed as a fresh arrival through the
@@ -360,6 +419,7 @@ class SirpentRouter(Node):
                 source=packet.source,
                 hops_taken=packet.hops_taken,
                 hop_log=list(packet.hop_log[:-1]),  # _process re-appends
+                trace_id=packet.trace_id,
             )
             self.stats.multicast_copies.add()
             self._process(clone, inport, tx, arrival_time, extra_process_delay)
@@ -461,6 +521,11 @@ class SirpentRouter(Node):
     def _deliver_local(self, packet: SirpentPacket, inport: Attachment) -> None:
         self.stats.delivered_local.add()
         packet.hop_log.append(self.name)
+        if packet.trace_id and self.tracer.enabled:
+            self.tracer.deliver(
+                packet.trace_id, self.sim.now, self.name,
+                hops=packet.hops_taken,
+            )
         if self.local_handler is not None:
             self.local_handler(packet, inport)
 

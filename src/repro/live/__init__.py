@@ -17,6 +17,7 @@ from repro.live.directory import (
     LiveDirectoryServer,
 )
 from repro.live.frames import (
+    FLAG_TRACED,
     FRAME_ACK,
     FRAME_DATA,
     Preamble,
@@ -45,6 +46,7 @@ __all__ = [
     "Decision",
     "DirectoryError",
     "EndpointMetrics",
+    "FLAG_TRACED",
     "FRAME_ACK",
     "FRAME_DATA",
     "Impairments",

@@ -26,6 +26,16 @@ by the *existing* codec in :mod:`repro.viper.wire` and
   first trailer element, making the trailer walk exact rather than
   heuristic.
 
+**Traced frames** (the debug option the observability layer rides on):
+when the high bit of ``kind`` is set (:data:`FLAG_TRACED`), an 8-byte
+big-endian trace id follows the fixed preamble and the VIPER body
+starts at byte 19 instead of 11.  Routers copy the id through on every
+hop (:func:`strip_and_append` preserves it), so one 64-bit transport
+identifier names the transaction at every node it crosses — the live
+analogue of the sim's ``SirpentPacket.trace_id`` metadata.  A traced
+flag with a zero id, or on an ACK frame, is a decode error; untraced
+frames are byte-identical to the pre-tracing wire format.
+
 The preamble is per-UDP-hop overlay plumbing, *not* part of VIPER:
 routers rewrite it on every hop (decrementing ``segCount``), exactly as
 a link layer would re-frame.  Everything after it is untouched VIPER
@@ -69,6 +79,12 @@ FRAME_ACK = 1
 #: Size of the fixed preamble.
 PREAMBLE_BYTES = 11
 
+#: High bit of ``kind``: an 8-byte trace id follows the fixed preamble.
+FLAG_TRACED = 0x80
+
+#: Size of the optional trace id field.
+TRACE_ID_BYTES = 8
+
 #: Largest representable payload (16-bit length field).
 MAX_PAYLOAD_BYTES = 0xFFFF
 
@@ -84,10 +100,19 @@ class Preamble:
     seq: int
     seg_count: int
     payload_len: int
+    #: 64-bit trace id carried by the traced-frame option; 0 = untraced.
+    trace_id: int = 0
+
+    @property
+    def header_len(self) -> int:
+        """Bytes before the VIPER body (11, or 19 when traced)."""
+        return PREAMBLE_BYTES + (TRACE_ID_BYTES if self.trace_id else 0)
 
 
-def encode_preamble(kind: int, seq: int, seg_count: int, payload_len: int) -> bytes:
-    """Serialize the 11-byte overlay preamble."""
+def encode_preamble(
+    kind: int, seq: int, seg_count: int, payload_len: int, trace_id: int = 0
+) -> bytes:
+    """Serialize the overlay preamble (11 bytes, 19 when ``trace_id``)."""
     if kind not in (FRAME_DATA, FRAME_ACK):
         raise ValueError(f"unknown frame kind {kind}")
     if not 0 <= seq <= 0xFFFFFFFF:
@@ -96,13 +121,21 @@ def encode_preamble(kind: int, seq: int, seg_count: int, payload_len: int) -> by
         raise ValueError(f"segment count {seg_count} outside 0..{MAX_SEGMENTS}")
     if not 0 <= payload_len <= MAX_PAYLOAD_BYTES:
         raise ValueError(f"payload length {payload_len} outside 16 bits")
-    return (
+    if not 0 <= trace_id <= 0xFFFFFFFFFFFFFFFF:
+        raise ValueError(f"trace id {trace_id} outside 64 bits")
+    if trace_id and kind != FRAME_DATA:
+        raise ValueError("only data frames carry the traced option")
+    wire_kind = kind | (FLAG_TRACED if trace_id else 0)
+    out = (
         MAGIC
-        + bytes((VERSION, kind))
+        + bytes((VERSION, wire_kind))
         + seq.to_bytes(4, "big")
         + bytes((seg_count,))
         + payload_len.to_bytes(2, "big")
     )
+    if trace_id:
+        out += trace_id.to_bytes(TRACE_ID_BYTES, "big")
+    return out
 
 
 def decode_preamble(datagram: bytes) -> Preamble:
@@ -116,7 +149,9 @@ def decode_preamble(datagram: bytes) -> Preamble:
         raise ViperDecodeError("bad live-frame magic")
     if datagram[2] != VERSION:
         raise ViperDecodeError(f"unsupported live-frame version {datagram[2]}")
-    kind = datagram[3]
+    wire_kind = datagram[3]
+    traced = bool(wire_kind & FLAG_TRACED)
+    kind = wire_kind & ~FLAG_TRACED
     if kind not in (FRAME_DATA, FRAME_ACK):
         raise ViperDecodeError(f"unknown live-frame kind {kind}")
     seg_count = datagram[8]
@@ -124,11 +159,23 @@ def decode_preamble(datagram: bytes) -> Preamble:
         raise ViperDecodeError(
             f"segment count {seg_count} exceeds VIPER's {MAX_SEGMENTS}"
         )
+    trace_id = 0
+    if traced:
+        if kind != FRAME_DATA:
+            raise ViperDecodeError("traced flag on a non-data frame")
+        if len(datagram) < PREAMBLE_BYTES + TRACE_ID_BYTES:
+            raise ViperDecodeError("traced frame shorter than its trace id")
+        trace_id = int.from_bytes(
+            datagram[PREAMBLE_BYTES:PREAMBLE_BYTES + TRACE_ID_BYTES], "big"
+        )
+        if trace_id == 0:
+            raise ViperDecodeError("traced flag with zero trace id")
     return Preamble(
         kind=kind,
         seq=int.from_bytes(datagram[4:8], "big"),
         seg_count=seg_count,
         payload_len=int.from_bytes(datagram[9:11], "big"),
+        trace_id=trace_id,
     )
 
 
@@ -141,12 +188,15 @@ def encode_ack(seq: int) -> bytes:
 
 
 def encode_live_frame(
-    packet: SirpentPacket, payload_bytes: bytes, seq: int = SEQ_NONE
+    packet: SirpentPacket, payload_bytes: bytes, seq: int = SEQ_NONE,
+    trace_id: int = 0,
 ) -> bytes:
     """Serialize a structural packet into one live datagram.
 
     The body bytes are produced by the same per-structure encoders the
     simulator's edge codec uses, so a live frame *is* a VIPER packet.
+    ``trace_id`` (or a non-zero ``packet.trace_id``) selects the traced
+    debug option.
     """
     if len(payload_bytes) != packet.payload_size:
         raise ValueError(
@@ -160,7 +210,8 @@ def encode_live_frame(
         )
     out = bytearray(
         encode_preamble(
-            FRAME_DATA, seq, len(packet.segments), packet.payload_size
+            FRAME_DATA, seq, len(packet.segments), packet.payload_size,
+            trace_id=trace_id or packet.trace_id,
         )
     )
     for segment in packet.segments:
@@ -190,7 +241,7 @@ def decode_live_frame(datagram: bytes) -> Tuple[Preamble, SirpentPacket, bytes]:
     if preamble.kind != FRAME_DATA:
         raise ViperDecodeError("not a data frame")
     segments: List[HeaderSegment] = []
-    offset = PREAMBLE_BYTES
+    offset = preamble.header_len
     for _ in range(preamble.seg_count):
         segment, offset = decode_segment(datagram, offset)
         segments.append(segment)
@@ -214,6 +265,7 @@ def decode_live_frame(datagram: bytes) -> Tuple[Preamble, SirpentPacket, bytes]:
         payload_size=len(payload_bytes),
         payload=payload_bytes,
         trailer=trailer,
+        trace_id=preamble.trace_id,
     )
     return preamble, packet, payload_bytes
 
@@ -233,7 +285,7 @@ def peek_leading_segment(datagram: bytes) -> Tuple[Preamble, HeaderSegment]:
         raise ViperDecodeError("not a data frame")
     if preamble.seg_count == 0:
         raise ViperDecodeError("no header segments remain")
-    segment, _ = decode_segment(datagram, PREAMBLE_BYTES)
+    segment, _ = decode_segment(datagram, preamble.header_len)
     return preamble, segment
 
 
@@ -252,13 +304,14 @@ def strip_and_append(
     preamble = decode_preamble(datagram)
     if preamble.kind != FRAME_DATA or preamble.seg_count == 0:
         raise ViperDecodeError("cannot forward: no leading segment")
-    _, next_offset = decode_segment(datagram, PREAMBLE_BYTES)
+    _, next_offset = decode_segment(datagram, preamble.header_len)
     encoded_return = encode_segment(return_segment)
     if len(encoded_return) >= TRUNCATION_SENTINEL:
         raise ValueError("return segment too large to frame in the trailer")
     return (
         encode_preamble(
-            FRAME_DATA, seq, preamble.seg_count - 1, preamble.payload_len
+            FRAME_DATA, seq, preamble.seg_count - 1, preamble.payload_len,
+            trace_id=preamble.trace_id,
         )
         + datagram[next_offset:]
         + encoded_return

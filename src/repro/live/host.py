@@ -31,6 +31,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.live.frames import decode_live_frame, encode_live_frame
 from repro.live.link import Address, Impairments, LiveEndpoint, ReliabilityConfig
 from repro.live.metrics import EndpointMetrics
+from repro.obs.trace import NULL_TRACER
 from repro.transport.flowcontrol import DeliveryMask, split_into_group
 from repro.transport.rebind import RouteManager
 from repro.viper.errors import ViperDecodeError
@@ -112,6 +113,9 @@ class LiveHost:
         self.ports: Dict[int, Address] = {}
         self.addr_port: Dict[Address, int] = {}
         self.sockets: Dict[int, Callable[[LiveDelivered], None]] = {}
+        #: Hop tracer (repro.obs); NULL_TRACER = tracing disabled.
+        #: Timestamps are ``time.monotonic()`` seconds.
+        self.tracer = NULL_TRACER
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -122,6 +126,10 @@ class LiveHost:
     def stop(self) -> None:
         """Close the socket."""
         self.endpoint.close()
+
+    def set_tracer(self, tracer) -> None:
+        """Install a :class:`repro.obs.trace.Tracer` on this host."""
+        self.tracer = tracer
 
     def connect_port(self, port_id: int, peer: Address) -> None:
         """Map live ``port_id`` to the UDP address of the adjacent node."""
@@ -155,8 +163,15 @@ class LiveHost:
         payload: bytes,
         priority: int = 0,
         dib: bool = False,
+        trace_id: Optional[int] = None,
     ) -> SirpentPacket:
-        """Frame ``payload`` for ``route`` and transmit it."""
+        """Frame ``payload`` for ``route`` and transmit it.
+
+        ``trace_id``: None asks the installed tracer to (maybe) sample
+        this frame — the id then rides the wire in the traced-frame
+        preamble option; a non-zero value continues an existing trace
+        (the reply path); 0 forces "untraced".
+        """
         segments = [s.copy(priority=priority, dib=dib) for s in route.segments]
         packet = SirpentPacket(
             segments=segments,
@@ -165,6 +180,14 @@ class LiveHost:
             created_at=time.monotonic(),
             source=self.name,
         )
+        if self.tracer.enabled:
+            if trace_id is None:
+                packet.trace_id = self.tracer.begin(self.name, time.monotonic())
+            elif trace_id:
+                packet.trace_id = trace_id
+                self.tracer.event(
+                    trace_id, time.monotonic(), self.name, "send_return",
+                )
         peer = self.ports.get(route.first_hop_port)
         if peer is None:
             raise KeyError(
@@ -195,7 +218,10 @@ class LiveHost:
             segments=segments,
             first_hop_port=delivered.arrival_port,
         )
-        return self.send(route, payload, priority=priority)
+        return self.send(
+            route, payload, priority=priority,
+            trace_id=delivered.packet.trace_id,
+        )
 
     # -- receiving ---------------------------------------------------------
 
@@ -205,16 +231,32 @@ class LiveHost:
         except ViperDecodeError:
             self.metrics.drop("undecodable")
             return
+        traced = packet.trace_id and self.tracer.enabled
         if not packet.segments:
             self.metrics.drop("route_exhausted")
+            if traced:
+                self.tracer.drop(
+                    packet.trace_id, time.monotonic(), self.name,
+                    "route_exhausted",
+                )
             return
         socket = packet.segments[0].port
         handler = self.sockets.get(socket)
         if handler is None:
             self.metrics.drop("no_socket")
+            if traced:
+                self.tracer.drop(
+                    packet.trace_id, time.monotonic(), self.name,
+                    "no_socket", socket=socket,
+                )
             return
         arrival_port = self.addr_port.get(source, 0)
         self.metrics.delivered_local += 1
+        if traced:
+            self.tracer.deliver(
+                packet.trace_id, time.monotonic(), self.name,
+                socket=socket,
+            )
         handler(LiveDelivered(
             packet=packet,
             payload=payload,

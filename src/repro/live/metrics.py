@@ -77,24 +77,37 @@ class EndpointMetrics:
 
 
 def render_metrics(all_metrics: List[EndpointMetrics]) -> str:
-    """An aligned text table over several endpoints' counters."""
-    columns = ["endpoint", "frames_in", "frames_out", "fwd", "local",
-               "retries", "drops"]
+    """An aligned text table over several endpoints' counters.
+
+    Numeric columns are right-justified under their headers; the
+    byte counters sit next to their frame counters so per-frame sizes
+    can be eyeballed straight off the table.
+    """
+    columns = ["endpoint", "frames_in", "bytes_in", "frames_out",
+               "bytes_out", "fwd", "local", "retries", "drops"]
     rows: List[Tuple[str, ...]] = []
     for m in all_metrics:
         drops = ",".join(
             f"{reason}:{count}" for reason, count in sorted(m.drops.items())
         ) or "-"
         rows.append((
-            m.name or "?", str(m.frames_in), str(m.frames_out),
+            m.name or "?", str(m.frames_in), str(m.bytes_in),
+            str(m.frames_out), str(m.bytes_out),
             str(m.forwarded), str(m.delivered_local), str(m.retries), drops,
         ))
     widths = [len(c) for c in columns]
     for row in rows:
         for i, cell in enumerate(row):
             widths[i] = max(widths[i], len(cell))
-    lines = ["  ".join(c.ljust(w) for c, w in zip(columns, widths))]
+    numeric = set(range(1, len(columns) - 1))  # all but endpoint and drops
+
+    def _cell(text: str, index: int) -> str:
+        if index in numeric:
+            return text.rjust(widths[index])
+        return text.ljust(widths[index])
+
+    lines = ["  ".join(_cell(c, i) for i, c in enumerate(columns))]
     lines.append("  ".join("-" * w for w in widths))
     for row in rows:
-        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        lines.append("  ".join(_cell(c, i) for i, c in enumerate(row)))
     return "\n".join(lines)

@@ -30,6 +30,7 @@ from repro.core.multicast import BROADCAST_PORT, TREE_PORT
 from repro.live.frames import Preamble, peek_leading_segment, strip_and_append
 from repro.live.link import Address, Impairments, LiveEndpoint, ReliabilityConfig
 from repro.live.metrics import EndpointMetrics
+from repro.obs.trace import NULL_TRACER
 from repro.tokens.cache import CachePolicy, TokenCache, Verdict
 from repro.tokens.capability import TokenMint
 from repro.viper.errors import ViperDecodeError
@@ -107,6 +108,9 @@ class LiveRouter:
         self.addr_port: Dict[Address, int] = {}
         #: Optional hook receiving ``(datagram, source)`` for port-0 frames.
         self.local_handler = None
+        #: Hop tracer (repro.obs); NULL_TRACER = tracing disabled.
+        #: Timestamps are ``time.monotonic()`` seconds.
+        self.tracer = NULL_TRACER
         self._started_at = time.monotonic()
 
     # -- wiring ------------------------------------------------------------
@@ -118,6 +122,10 @@ class LiveRouter:
     def stop(self) -> None:
         """Shut the router down (its peers will see a dead hop)."""
         self.endpoint.close()
+
+    def set_tracer(self, tracer) -> None:
+        """Install a :class:`repro.obs.trace.Tracer` on this router."""
+        self.tracer = tracer
 
     def connect_port(self, port_id: int, peer: Address) -> None:
         """Map VIPER ``port_id`` to the UDP address of the next node."""
@@ -198,12 +206,23 @@ class LiveRouter:
             # Line noise / malformed frame: drop and count, never crash.
             self.metrics.drop("undecodable")
             return
+        traced = preamble.trace_id and self.tracer.enabled
         decision = self.decide(preamble, segment)
         if decision.action is Action.DROP:
             self.metrics.drop(decision.reason)
+            if traced:
+                self.tracer.drop(
+                    preamble.trace_id, time.monotonic(), self.name,
+                    decision.reason, port=segment.port,
+                )
             return
         if decision.action is Action.DELIVER_LOCAL:
             self.metrics.delivered_local += 1
+            if traced:
+                self.tracer.event(
+                    preamble.trace_id, time.monotonic(), self.name,
+                    "deliver_local",
+                )
             if self.local_handler is not None:
                 self.local_handler(datagram, source)
             return
@@ -213,14 +232,36 @@ class LiveRouter:
             # hop; refusing it mirrors Sirpent's "routes only work when
             # every hop is reversible".
             self.metrics.drop("unknown_peer")
+            if traced:
+                self.tracer.drop(
+                    preamble.trace_id, time.monotonic(), self.name,
+                    "unknown_peer",
+                )
             return
+        if traced:
+            self.tracer.event(
+                preamble.trace_id, time.monotonic(), self.name,
+                "switch_decision", in_port=in_port, out_port=decision.out_port,
+            )
         return_segment = self.build_return_segment(segment, in_port)
         try:
             forwarded = strip_and_append(datagram, return_segment)
         except (ViperDecodeError, ValueError):
             self.metrics.drop("undecodable")
+            if traced:
+                self.tracer.drop(
+                    preamble.trace_id, time.monotonic(), self.name,
+                    "undecodable",
+                )
             return
         self.metrics.forwarded += 1
+        if traced:
+            self.tracer.event(
+                preamble.trace_id, time.monotonic(), self.name,
+                "strip_reverse_append",
+                out_port=decision.out_port,
+                segments_left=preamble.seg_count - 1,
+            )
         self.endpoint.send(
             forwarded, self.ports[decision.out_port],
             reliable=self.config.reliable_hops,

@@ -37,6 +37,9 @@ from repro.live.link import Address, Impairments, ReliabilityConfig
 from repro.live.metrics import EndpointMetrics, render_metrics
 from repro.live.router import LiveRouter, LiveRouterConfig
 from repro.net.topology import Topology
+from repro.obs.adapters import register_endpoint_metrics
+from repro.obs.httpd import ObsHttpServer
+from repro.obs.registry import MetricsRegistry
 
 
 def as_live_route(route) -> LiveRoute:
@@ -57,6 +60,8 @@ class LiveOverlay:
         impairments: Optional[Impairments] = None,
         reliability: Optional[ReliabilityConfig] = None,
         host: str = "127.0.0.1",
+        tracer=None,
+        obs_port: Optional[int] = None,
     ) -> None:
         self.topology = topology
         self.impairments = impairments
@@ -65,6 +70,17 @@ class LiveOverlay:
         self.routers: Dict[str, LiveRouter] = {}
         self.hosts: Dict[str, LiveHost] = {}
         self.addresses: Dict[str, Address] = {}
+        #: Optional :class:`repro.obs.trace.Tracer` installed on every
+        #: live node at :meth:`start` (None = tracing disabled).
+        self.tracer = tracer
+        #: This overlay's own metrics registry; every endpoint's counters
+        #: are adopted into it as pull-time collectors at :meth:`start`.
+        self.registry = MetricsRegistry()
+        #: TCP port for the ``/metrics`` + ``/trace`` HTTP endpoint
+        #: (None = do not serve; 0 = pick an ephemeral port).
+        self.obs_port = obs_port
+        self.obs_server: Optional[ObsHttpServer] = None
+        self.obs_address: Optional[Address] = None
         #: The simulator's directory logic, reused verbatim (timers off).
         self.directory = DirectoryService(
             topology.sim, topology, refresh_interval=None,
@@ -127,10 +143,22 @@ class LiveOverlay:
         self.directory_address = await self.directory_server.start(
             self.bind_host
         )
+        for live_node in list(self.routers.values()) + list(self.hosts.values()):
+            register_endpoint_metrics(self.registry, live_node.metrics)
+            if self.tracer is not None:
+                live_node.set_tracer(self.tracer)
+        if self.obs_port is not None:
+            self.obs_server = ObsHttpServer(self.registry, tracer=self.tracer)
+            self.obs_address = await self.obs_server.start(
+                self.bind_host, self.obs_port
+            )
         self._started = True
 
     def stop(self) -> None:
         """Shut every live node and the directory endpoint down."""
+        if self.obs_server is not None:
+            self.obs_server.stop()
+            self.obs_server = None
         self.directory_server.stop()
         for router in self.routers.values():
             router.stop()

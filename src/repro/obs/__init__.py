@@ -1,0 +1,47 @@
+"""Unified observability layer: metrics registry, packet tracer, exporters.
+
+``repro.obs`` is shared by the simulator and the live UDP overlay so the
+two substrates expose *identical* telemetry names — a benchmark's sim
+run and its live run can be compared line by line.
+
+Submodules
+----------
+``registry``
+    Labeled :class:`Counter` / :class:`Gauge` / :class:`Histogram`
+    primitives plus :class:`MetricsRegistry` with ``snapshot()`` and
+    Prometheus text exposition.  The sim monitors
+    (:mod:`repro.sim.monitor`) re-export the value-shaped primitives
+    from here.
+``trace``
+    Sampling per-packet hop tracer (:class:`Tracer`) with the
+    zero-cost-when-disabled :data:`NULL_TRACER` default, NDJSON and
+    Chrome ``trace_event`` export.
+``adapters``
+    Pull-time bridges that expose :class:`repro.core.router.RouterStats`
+    and :class:`repro.live.metrics.EndpointMetrics` through a registry.
+``httpd``
+    Opt-in asyncio HTTP endpoint serving ``/metrics`` and ``/trace``.
+``report``
+    ``python -m repro.obs.report`` — flame-style per-hop latency
+    breakdowns and top-k drop reasons from exported files.
+"""
+
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "NULL_TRACER",
+    "NullTracer",
+    "Tracer",
+]

@@ -1,0 +1,171 @@
+"""``python -m repro.obs.report`` — render exported traces for humans.
+
+Reads the NDJSON a :class:`~repro.obs.trace.Tracer` exports
+(``export_ndjson``) and prints, per trace, a flame-style per-hop
+latency breakdown::
+
+    trace 0x0000000000000001 from h1 [delivered]  total 412.6us
+      h1      #############                     132.0us  32.0%  send
+      r1      ########                           81.1us  19.7%  cut_through_start strip_reverse_append
+      r2      #######                            73.9us  17.9%  ...
+      h2      ############                      125.6us  30.4%  deliver
+
+plus a top-k table of drop reasons aggregated over every dropped trace
+— the two questions a live run raises first ("where did the time go?"
+and "where did my packets die?").
+
+Everything is plain text on stdout; pass ``--trace`` to focus on one
+id, ``--limit`` to cap how many traces are rendered.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import Counter as TallyCounter
+from typing import Dict, List, Optional
+
+from repro.obs.trace import TraceEvent, TraceRecord, spans_of
+
+
+def load_ndjson(path: str) -> List[TraceRecord]:
+    """Rebuild :class:`TraceRecord` objects from an NDJSON export."""
+    records: Dict[int, TraceRecord] = {}
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            payload = json.loads(line)
+            kind = payload.get("type")
+            if kind == "trace":
+                records[payload["trace_id"]] = TraceRecord(
+                    trace_id=payload["trace_id"],
+                    source=payload.get("source", ""),
+                    started=payload.get("started", 0.0),
+                    status=payload.get("status", "open"),
+                    drop_reason=payload.get("drop_reason", ""),
+                )
+            elif kind == "event":
+                record = records.get(payload["trace_id"])
+                if record is None:
+                    record = TraceRecord(
+                        trace_id=payload["trace_id"],
+                        source=payload.get("node", ""),
+                        started=payload.get("t", 0.0),
+                    )
+                    records[payload["trace_id"]] = record
+                record.events.append(TraceEvent(
+                    t=payload["t"],
+                    node=payload["node"],
+                    name=payload["event"],
+                    attrs=payload.get("attrs", {}),
+                ))
+    return list(records.values())
+
+
+def _fmt_duration(seconds: float) -> str:
+    """Human scale: us below a millisecond, ms below a second."""
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.3f}ms"
+    return f"{seconds:.6f}s"
+
+
+def render_trace(record: TraceRecord, width: int = 30) -> str:
+    """One trace as a flame-style per-hop breakdown (plain text)."""
+    spans = spans_of(record)
+    total = record.total
+    header = (
+        f"trace {record.trace_id:#018x} from {record.source} "
+        f"[{record.status}"
+        + (f": {record.drop_reason}" if record.drop_reason else "")
+        + f"]  total {_fmt_duration(total)}"
+    )
+    lines = [header]
+    name_width = max((len(s.node) for s in spans), default=4)
+    for index, span in enumerate(spans):
+        # A hop's latency is the time from entering this node to
+        # entering the next one (the last hop owns only its own span).
+        end = spans[index + 1].start if index + 1 < len(spans) else span.end
+        duration = max(0.0, end - span.start)
+        share = duration / total if total > 0 else 0.0
+        bar = "#" * max(1, round(share * width)) if duration else "."
+        phases = " ".join(e.name for e in span.events)
+        lines.append(
+            f"  {span.node.ljust(name_width)}  {bar.ljust(width)}  "
+            f"{_fmt_duration(duration):>10}  {share * 100:5.1f}%  {phases}"
+        )
+    return "\n".join(lines)
+
+
+def render_drop_reasons(records: List[TraceRecord], top: int = 10) -> str:
+    """Top-k drop reasons over every dropped trace, with drop sites."""
+    reasons: TallyCounter = TallyCounter()
+    sites: Dict[str, TallyCounter] = {}
+    for record in records:
+        if record.status != "dropped" or not record.drop_reason:
+            continue
+        reasons[record.drop_reason] += 1
+        node = record.events[-1].node if record.events else "?"
+        sites.setdefault(record.drop_reason, TallyCounter())[node] += 1
+    if not reasons:
+        return "no drops recorded"
+    lines = [f"top {min(top, len(reasons))} drop reasons:"]
+    for reason, count in reasons.most_common(top):
+        where = ", ".join(
+            f"{node} x{n}" for node, n in sites[reason].most_common(3)
+        )
+        lines.append(f"  {reason:<20} {count:>6}  at {where}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``python -m repro.obs.report``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report",
+        description="Render NDJSON trace exports: per-hop latency "
+        "breakdowns and top-k drop reasons.",
+    )
+    parser.add_argument("ndjson", help="path to an export_ndjson file")
+    parser.add_argument(
+        "--trace", type=lambda s: int(s, 0), default=None,
+        help="render only this trace id (decimal or 0x hex)",
+    )
+    parser.add_argument(
+        "--limit", type=int, default=20,
+        help="max traces to render (default 20)",
+    )
+    parser.add_argument(
+        "--top", type=int, default=10,
+        help="how many drop reasons to list (default 10)",
+    )
+    parser.add_argument(
+        "--width", type=int, default=30,
+        help="bar width in characters (default 30)",
+    )
+    args = parser.parse_args(argv)
+    out = sys.stdout.write
+    try:
+        records = load_ndjson(args.ndjson)
+    except (OSError, json.JSONDecodeError, KeyError) as exc:
+        sys.stderr.write(f"cannot read {args.ndjson}: {exc}\n")
+        return 2
+    if args.trace is not None:
+        records = [r for r in records if r.trace_id == args.trace]
+        if not records:
+            sys.stderr.write(f"trace {args.trace:#x} not in export\n")
+            return 1
+    out(f"{len(records)} trace(s) loaded\n\n")
+    for record in records[: args.limit]:
+        out(render_trace(record, width=args.width) + "\n\n")
+    if len(records) > args.limit:
+        out(f"... {len(records) - args.limit} more not shown\n\n")
+    out(render_drop_reasons(records, top=args.top) + "\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

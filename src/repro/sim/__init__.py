@@ -13,13 +13,14 @@ queueing, backpressure reaction time), and a small engine is easy to trust.
 """
 
 from repro.sim.engine import EventHandle, Simulator
-from repro.sim.monitor import Counter, Histogram, RateMeter, TimeWeighted
+from repro.sim.monitor import Counter, Gauge, Histogram, RateMeter, TimeWeighted
 from repro.sim.process import Process, Signal
 from repro.sim.rng import RngStreams
 
 __all__ = [
     "Counter",
     "EventHandle",
+    "Gauge",
     "Histogram",
     "Process",
     "RateMeter",

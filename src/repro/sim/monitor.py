@@ -4,103 +4,32 @@ The evaluation section of the paper reasons about *time-averaged* queue
 lengths and link utilization (M/D/1), per-packet delays, and rates.  These
 small accumulators compute exactly those quantities online so benchmark
 runs never need to store per-event traces.
+
+The value-shaped primitives — :class:`Counter`, :class:`Gauge` and
+:class:`Histogram` — now live in the unified metrics registry
+(:mod:`repro.obs.registry`) and are re-exported here unchanged, so every
+existing sim call site keeps its names while the live overlay, the
+router stats and the sim share one implementation (and one Prometheus
+exposition path).  The *time-aware* monitors (:class:`TimeWeighted`,
+:class:`RateMeter`, :class:`UtilizationTracker`) remain simulator
+citizens: they need a clock, which only the caller has.
 """
 
 from __future__ import annotations
 
-import math
-from typing import Dict, List, Optional, Tuple
+from collections import deque
+from typing import Deque, Optional, Tuple
 
+from repro.obs.registry import Counter, Gauge, Histogram
 
-class Counter:
-    """A plain event counter with a convenience ``rate`` helper."""
-
-    def __init__(self, name: str = "") -> None:
-        self.name = name
-        self.count = 0
-
-    def add(self, n: int = 1) -> None:
-        self.count += n
-
-    def rate(self, elapsed: float) -> float:
-        """Events per second over ``elapsed`` seconds."""
-        return self.count / elapsed if elapsed > 0 else 0.0
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<Counter {self.name!r}={self.count}>"
-
-
-class Histogram:
-    """Streaming sample statistics plus quantiles from retained samples.
-
-    Retains every sample; the benchmarks produce at most a few hundred
-    thousand, which is cheap, and exact quantiles beat approximations when
-    comparing against closed-form queueing results.
-    """
-
-    def __init__(self, name: str = "") -> None:
-        self.name = name
-        self.samples: List[float] = []
-        self._sum = 0.0
-        self._sumsq = 0.0
-
-    def add(self, value: float) -> None:
-        self.samples.append(value)
-        self._sum += value
-        self._sumsq += value * value
-
-    @property
-    def count(self) -> int:
-        return len(self.samples)
-
-    @property
-    def mean(self) -> float:
-        return self._sum / len(self.samples) if self.samples else 0.0
-
-    @property
-    def variance(self) -> float:
-        n = len(self.samples)
-        if n < 2:
-            return 0.0
-        mean = self._sum / n
-        return max(0.0, self._sumsq / n - mean * mean) * n / (n - 1)
-
-    @property
-    def stdev(self) -> float:
-        return math.sqrt(self.variance)
-
-    @property
-    def minimum(self) -> float:
-        return min(self.samples) if self.samples else 0.0
-
-    @property
-    def maximum(self) -> float:
-        return max(self.samples) if self.samples else 0.0
-
-    def quantile(self, q: float) -> float:
-        """Exact empirical quantile, q in [0, 1]."""
-        if not self.samples:
-            return 0.0
-        if not 0.0 <= q <= 1.0:
-            raise ValueError(f"quantile {q} outside [0, 1]")
-        ordered = sorted(self.samples)
-        index = min(len(ordered) - 1, int(q * len(ordered)))
-        return ordered[index]
-
-    def summary(self) -> Dict[str, float]:
-        return {
-            "count": float(self.count),
-            "mean": self.mean,
-            "stdev": self.stdev,
-            "min": self.minimum,
-            "p50": self.quantile(0.50),
-            "p95": self.quantile(0.95),
-            "p99": self.quantile(0.99),
-            "max": self.maximum,
-        }
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<Histogram {self.name!r} n={self.count} mean={self.mean:.6g}>"
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "RateMeter",
+    "TimeWeighted",
+    "UtilizationTracker",
+]
 
 
 class TimeWeighted:
@@ -146,8 +75,10 @@ class RateMeter:
     """Sliding-window rate estimate (events or bytes per second).
 
     Routers use this to compare arrival rate against service rate for the
-    paper's rate-based congestion control (§2.2).  The window is a ring of
-    (time, amount) pairs; old entries expire as time advances.
+    paper's rate-based congestion control (§2.2).  The window is a deque
+    of (time, amount) pairs; old entries expire from the left as time
+    advances — each ``add`` pays O(expired), not O(remaining), because
+    ``popleft`` is O(1) where the old list-slicing compaction was O(n).
     """
 
     def __init__(self, window: float, name: str = "") -> None:
@@ -155,10 +86,11 @@ class RateMeter:
             raise ValueError("window must be positive")
         self.window = window
         self.name = name
-        self._events: List[Tuple[float, float]] = []
+        self._events: Deque[Tuple[float, float]] = deque()
         self._total = 0.0
 
     def add(self, now: float, amount: float = 1.0) -> None:
+        """Record ``amount`` at time ``now`` and expire old entries."""
         self._events.append((now, amount))
         self._total += amount
         self._expire(now)
@@ -170,14 +102,10 @@ class RateMeter:
 
     def _expire(self, now: float) -> None:
         cutoff = now - self.window
-        dropped = 0
-        for time, amount in self._events:
-            if time >= cutoff:
-                break
+        events = self._events
+        while events and events[0][0] < cutoff:
+            _time, amount = events.popleft()
             self._total -= amount
-            dropped += 1
-        if dropped:
-            del self._events[:dropped]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<RateMeter {self.name!r} window={self.window}>"
@@ -193,15 +121,18 @@ class UtilizationTracker:
         self._start = start
 
     def busy(self, now: float) -> None:
+        """Mark the resource busy from ``now`` (idempotent while busy)."""
         if self._busy_since is None:
             self._busy_since = now
 
     def idle(self, now: float) -> None:
+        """Mark the resource idle from ``now`` (idempotent while idle)."""
         if self._busy_since is not None:
             self._busy_total += now - self._busy_since
             self._busy_since = None
 
     def utilization(self, now: float) -> float:
+        """Fraction of [start, now] the resource spent busy."""
         elapsed = now - self._start
         if elapsed <= 0:
             return 0.0

@@ -91,6 +91,10 @@ class SirpentPacket:
     #: "Feed forward" load hint (§2.2): number of packets queued behind
     #: this one at its previous router, stamped at transmit start.
     feed_forward_load: int = 0
+    #: Observability: 64-bit trace id when this packet was sampled by a
+    #: :class:`repro.obs.trace.Tracer`, else 0 ("untraced") — the
+    #: one-int guard every instrumented hot path tests first.
+    trace_id: int = 0
 
     def __post_init__(self) -> None:
         if self.payload_size < 0:
@@ -176,6 +180,7 @@ class SirpentPacket:
             source=self.source,
             hops_taken=self.hops_taken,
             hop_log=list(self.hop_log),
+            trace_id=self.trace_id,
         )
         clone.corrupted = True
         if clone.segments and rng.random() < 0.5:

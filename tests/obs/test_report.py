@@ -1,0 +1,100 @@
+"""Unit tests for the trace report CLI (``python -m repro.obs.report``)."""
+
+from repro.obs.report import (
+    load_ndjson,
+    main,
+    render_drop_reasons,
+    render_trace,
+)
+from repro.obs.trace import Tracer
+
+
+def _exported(tmp_path):
+    """One delivered and one dropped trace round-tripped through NDJSON."""
+    tracer = Tracer()
+    tid = tracer.begin("h1", 0.0)
+    tracer.event(tid, 1e-4, "r1", "cut_through_start", in_port=1)
+    tracer.event(tid, 1.2e-4, "r1", "strip_reverse_append", out_port=2)
+    tracer.deliver(tid, 3e-4, "h2", socket=0)
+    dropped = tracer.begin("h1", 1.0)
+    tracer.event(dropped, 1.1, "r1", "switch_decision")
+    tracer.drop(dropped, 1.2, "r1", "no_route", port=9)
+    path = str(tmp_path / "traces.ndjson")
+    tracer.export_ndjson(path)
+    return path, tid, dropped
+
+
+class TestLoad:
+    def test_roundtrip_preserves_records(self, tmp_path):
+        path, tid, dropped = _exported(tmp_path)
+        records = {r.trace_id: r for r in load_ndjson(path)}
+        assert set(records) == {tid, dropped}
+        ok = records[tid]
+        assert ok.status == "delivered"
+        assert [e.name for e in ok.events] == [
+            "send", "cut_through_start", "strip_reverse_append", "deliver",
+        ]
+        assert ok.events[2].attrs == {"out_port": 2}
+        bad = records[dropped]
+        assert bad.status == "dropped"
+        assert bad.drop_reason == "no_route"
+
+    def test_orphan_events_adopt_a_record(self, tmp_path):
+        path = tmp_path / "orphan.ndjson"
+        path.write_text(
+            '{"type": "event", "trace_id": 7, "t": 0.5, '
+            '"node": "r9", "event": "x"}\n'
+        )
+        (record,) = load_ndjson(str(path))
+        assert record.trace_id == 7
+        assert record.source == "r9"
+        assert record.started == 0.5
+
+
+class TestRendering:
+    def test_trace_breakdown_has_one_line_per_span(self, tmp_path):
+        path, tid, _ = _exported(tmp_path)
+        record = next(r for r in load_ndjson(path) if r.trace_id == tid)
+        text = render_trace(record)
+        lines = text.splitlines()
+        assert lines[0].startswith(f"trace {tid:#018x} from h1 [delivered]")
+        # h1, r1, h2 — one body line per hop, each with a bar and a %.
+        assert len(lines) == 4
+        assert all("%" in line for line in lines[1:])
+        assert "strip_reverse_append" in text
+
+    def test_drop_table_counts_and_sites(self, tmp_path):
+        path, _, _ = _exported(tmp_path)
+        text = render_drop_reasons(load_ndjson(path))
+        assert "no_route" in text
+        assert "r1 x1" in text
+
+    def test_no_drops_is_a_sentence(self):
+        assert render_drop_reasons([]) == "no drops recorded"
+
+
+class TestMain:
+    def test_exit_zero_and_output(self, tmp_path, capsys):
+        path, tid, _ = _exported(tmp_path)
+        assert main([path]) == 0
+        out = capsys.readouterr().out
+        assert "2 trace(s) loaded" in out
+        assert "no_route" in out
+
+    def test_trace_filter_hex(self, tmp_path, capsys):
+        path, tid, _ = _exported(tmp_path)
+        assert main([path, "--trace", f"{tid:#x}"]) == 0
+        out = capsys.readouterr().out
+        assert "1 trace(s) loaded" in out
+
+    def test_unknown_trace_id_exits_one(self, tmp_path, capsys):
+        path, _, _ = _exported(tmp_path)
+        assert main([path, "--trace", "0xdeadbeef"]) == 1
+
+    def test_missing_file_exits_two(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope.ndjson")]) == 2
+
+    def test_limit_elides_extra_traces(self, tmp_path, capsys):
+        path, _, _ = _exported(tmp_path)
+        assert main([path, "--limit", "1"]) == 0
+        assert "1 more not shown" in capsys.readouterr().out

@@ -1,0 +1,148 @@
+"""End-to-end tracing through the simulator's Sirpent stack.
+
+One traced packet crossing ``src — r1 — r2 — dst`` must decompose into
+one span per node it visits, with the router spans carrying the
+paper-shaped phase events (cut-through-start / strip-reverse-append)
+and the reply riding the *same* trace id back over the reversed
+trailer route.
+"""
+
+from repro.core.router import RouterConfig
+from repro.obs.trace import Tracer
+from repro.scenarios import build_sirpent_line
+from repro.viper.wire import HeaderSegment
+
+
+def _traced_line(n_routers=2, **kwargs):
+    scenario = build_sirpent_line(n_routers=n_routers, **kwargs)
+    tracer = Tracer().install(
+        *scenario.hosts.values(), *scenario.routers.values()
+    )
+    return scenario, tracer
+
+
+class TestForwardPath:
+    def test_one_span_per_hop_with_phase_events(self):
+        scenario, tracer = _traced_line()
+        src, dst = scenario.hosts["src"], scenario.hosts["dst"]
+        delivered = []
+        dst.bind(0, delivered.append)
+        route = scenario.routes("src", "dst")[0]
+        packet = src.send(route, b"hello", 256)
+        scenario.sim.run(until=1.0)
+
+        assert delivered
+        assert packet.trace_id != 0
+        record = tracer.record(packet.trace_id)
+        assert record.status == "delivered"
+        # Cut-through pipelining interleaves tx_complete events across
+        # nodes, so assert the *first-visit* order rather than strictly
+        # consecutive spans.
+        first_visit = list(dict.fromkeys(e.node for e in record.events))
+        assert first_visit == ["src", "r1", "r2", "dst"]
+        for router in ("r1", "r2"):
+            names = [e.name for e in record.events if e.node == router]
+            assert "strip_reverse_append" in names
+            assert "cut_through_start" in names or "store_forward_start" in names
+        spans = tracer.spans(packet.trace_id)
+        assert spans[0].node == "src"
+        assert spans[-1].node == "dst"
+        assert spans[-1].events[-1].name == "deliver"
+        # The trace's total time equals the packet's one-way delay.
+        assert record.total == delivered[0].one_way_delay
+
+    def test_reply_continues_the_same_trace(self):
+        scenario, tracer = _traced_line()
+        src, dst = scenario.hosts["src"], scenario.hosts["dst"]
+        replies = []
+        src.bind(6, replies.append)
+        dst.bind(0, lambda d: dst.send_return(d, b"pong", 64, reply_socket=6))
+        route = scenario.routes("src", "dst")[0]
+        packet = src.send(route, b"ping", 256)
+        scenario.sim.run(until=1.0)
+
+        assert replies
+        assert replies[0].packet.trace_id == packet.trace_id
+        record = tracer.record(packet.trace_id)
+        # Out and back over the reversed trailer route: the first visit
+        # to each node runs src r1 r2 dst, and the reply revisits the
+        # routers on its way home (tx_complete interleaving means spans
+        # are not strictly consecutive under cut-through, so check the
+        # visit structure on the raw event stream).
+        first_visit = list(dict.fromkeys(e.node for e in record.events))
+        assert first_visit == ["src", "r1", "r2", "dst"]
+        turn = next(
+            i for i, e in enumerate(record.events) if e.name == "send_return"
+        )
+        return_nodes = list(
+            dict.fromkeys(e.node for e in record.events[turn:])
+        )
+        assert return_nodes == ["dst", "r2", "r1", "src"]
+        names = [e.name for e in record.events]
+        assert names.count("deliver") == 2
+        assert record.status == "delivered"
+
+    def test_sampling_leaves_other_packets_untraced(self):
+        scenario, tracer = _traced_line()
+        tracer.sample_every = 2
+        src, dst = scenario.hosts["src"], scenario.hosts["dst"]
+        dst.bind(0, lambda d: None)
+        route = scenario.routes("src", "dst")[0]
+        packets = [src.send(route, b"x", 64) for _ in range(4)]
+        scenario.sim.run(until=1.0)
+        traced = [p for p in packets if p.trace_id]
+        assert len(traced) == 2
+        assert tracer.seen == 4
+
+
+class TestDropPaths:
+    def test_no_route_drop_terminates_the_trace(self):
+        scenario, tracer = _traced_line()
+        src = scenario.hosts["src"]
+        route = scenario.routes("src", "dst")[0]
+        # Corrupt the second hop so r1 forwards into a hole.
+        bad = [route.segments[0], HeaderSegment(port=99),
+               route.segments[-1]]
+        route = type(route)(
+            destination=route.destination,
+            segments=bad,
+            first_hop_port=route.first_hop_port,
+            first_hop_mac=route.first_hop_mac,
+        )
+        packet = src.send(route, b"x", 64)
+        scenario.sim.run(until=1.0)
+        record = tracer.record(packet.trace_id)
+        assert record.status == "dropped"
+        assert record.drop_reason == "no_route"
+        assert record.events[-1].node == "r2"
+
+    def test_queue_events_appear_under_load(self):
+        scenario, tracer = _traced_line(n_routers=1, rate_bps=1e6)
+        src, dst = scenario.hosts["src"], scenario.hosts["dst"]
+        dst.bind(0, lambda d: None)
+        route = scenario.routes("src", "dst")[0]
+        packets = [src.send(route, b"x", 1000) for _ in range(8)]
+        scenario.sim.run(until=2.0)
+        all_events = [
+            e.name
+            for p in packets
+            for e in tracer.record(p.trace_id).events
+        ]
+        assert "enqueue" in all_events  # back-to-back sends must queue
+        assert "tx_start" in all_events
+        assert "tx_complete" in all_events
+
+
+class TestStoreAndForward:
+    def test_store_forward_phase_named(self):
+        scenario, tracer = _traced_line(
+            n_routers=1, router_config=RouterConfig(cut_through=False)
+        )
+        src, dst = scenario.hosts["src"], scenario.hosts["dst"]
+        dst.bind(0, lambda d: None)
+        route = scenario.routes("src", "dst")[0]
+        packet = src.send(route, b"x", 128)
+        scenario.sim.run(until=1.0)
+        names = [e.name for e in tracer.record(packet.trace_id).events]
+        assert "store_forward_start" in names
+        assert "cut_through_start" not in names

@@ -62,7 +62,7 @@ def test_all_exports_resolve():
         "repro", "repro.sim", "repro.net", "repro.viper", "repro.core",
         "repro.tokens", "repro.directory", "repro.transport",
         "repro.baselines.ip", "repro.baselines.cvc", "repro.analysis",
-        "repro.workloads", "repro.scenarios", "repro.live",
+        "repro.workloads", "repro.scenarios", "repro.live", "repro.obs",
     ]
     for name in packages:
         module = importlib.import_module(name)
