@@ -22,6 +22,7 @@ sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
 
 EXPERIMENTS = [
     ("f01", "bench_f01_viper_codec"),
+    ("f02", "bench_f02_dataplane"),
     ("e01", "bench_e01_switching_delay"),
     ("e02", "bench_e02_delay_vs_size"),
     ("e03", "bench_e03_header_overhead"),

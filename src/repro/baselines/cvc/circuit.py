@@ -3,9 +3,10 @@
 from __future__ import annotations
 
 import enum
-import itertools
 from dataclasses import dataclass, field
 from typing import Any, List
+
+from repro.sim.ids import PacketIdAllocator
 
 #: Signalling packets (SETUP/CONFIRM/RELEASE) are small control frames.
 SIGNALLING_BYTES = 40
@@ -31,7 +32,9 @@ class CircuitState(enum.Enum):
     REFUSED = "refused"
 
 
-_packet_ids = itertools.count(1)
+#: Fallback id source for bare construction; engine-owned packets
+#: pass ``packet_id=`` from their simulator's allocator.
+_DEFAULT_IDS = PacketIdAllocator()
 
 
 @dataclass
@@ -49,7 +52,7 @@ class CvcPacket:
     dst_node: str = ""
     requested_bps: float = 0.0
     refusal_reason: str = ""
-    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    packet_id: int = field(default_factory=_DEFAULT_IDS.allocate)
     created_at: float = 0.0
     source: str = ""
     corrupted: bool = False

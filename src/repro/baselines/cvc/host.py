@@ -88,7 +88,8 @@ class CvcHost(Node):
         self._pending[vci] = (circuit, on_ready, timer)
         setup = CvcPacket(
             kind=CvcKind.SETUP, vci=vci, dst_node=dst_node,
-            requested_bps=reserve_bps, created_at=self.sim.now, source=self.name,
+            requested_bps=reserve_bps, packet_id=self.sim.new_packet_id(),
+            created_at=self.sim.now, source=self.name,
         )
         self._emit(setup)
         return circuit
@@ -108,6 +109,7 @@ class CvcHost(Node):
         packet = CvcPacket(
             kind=CvcKind.DATA, vci=circuit.vci,
             payload=payload, payload_size=size,
+            packet_id=self.sim.new_packet_id(),
             created_at=self.sim.now, source=self.name,
         )
         circuit.packets_sent += 1
@@ -121,6 +123,7 @@ class CvcHost(Node):
         self.circuits.pop(circuit.vci, None)
         self._emit(CvcPacket(
             kind=CvcKind.RELEASE, vci=circuit.vci,
+            packet_id=self.sim.new_packet_id(),
             created_at=self.sim.now, source=self.name,
         ))
 
@@ -161,6 +164,7 @@ class CvcHost(Node):
         self.incoming_circuits[packet.vci] = circuit
         self._emit(CvcPacket(
             kind=CvcKind.CONFIRM, vci=packet.vci,
+            packet_id=self.sim.new_packet_id(),
             created_at=self.sim.now, source=self.name,
         ))
 

@@ -137,6 +137,7 @@ class CvcSwitch(Node):
             kind=CvcKind.RELEASE,
             vci=packet.vci,
             refusal_reason=reason,
+            packet_id=self.sim.new_packet_id(),
             created_at=self.sim.now,
             source=self.name,
         )
@@ -175,6 +176,7 @@ class CvcSwitch(Node):
             vci=out_vci,
             dst_node=packet.dst_node,
             requested_bps=packet.requested_bps,
+            packet_id=self.sim.new_packet_id(),
             created_at=packet.created_at,
             source=packet.source,
             hop_log=list(packet.hop_log),

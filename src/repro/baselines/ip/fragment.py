@@ -21,11 +21,17 @@ from repro.sim.engine import EventHandle, Simulator
 from repro.sim.monitor import Counter
 
 
-def fragment_packet(packet: IpPacket, mtu: int) -> List[IpPacket]:
+def fragment_packet(
+    packet: IpPacket, mtu: int,
+    new_id: Optional[Callable[[], int]] = None,
+) -> List[IpPacket]:
     """Split a datagram into fragments that fit ``mtu``.
 
     Fragment payloads are multiples of 8 bytes except the last, per the
     IPv4 rules.  Raises on Don't-Fragment (the router then drops).
+    ``new_id`` supplies reproducible fragment packet ids (typically the
+    owning simulator's ``new_packet_id``); None falls back to the
+    process-wide default allocator.
     """
     if packet.wire_size() <= mtu:
         return [packet]
@@ -51,9 +57,11 @@ def fragment_packet(packet: IpPacket, mtu: int) -> List[IpPacket]:
             fragment_offset=(base_offset_bytes + offset) // 8,
             checksum=0,
         ).with_checksum()
+        fields = {} if new_id is None else {"packet_id": new_id()}
         fragments.append(IpPacket(
             header=header,
             payload_size=take,
+            **fields,
             payload=packet.payload,
             created_at=packet.created_at,
             source=packet.source,
@@ -131,6 +139,7 @@ class Reassembler:
         del self._partials[key]
         self.reassembled.add()
         whole = IpPacket(
+            packet_id=self.sim.new_packet_id(),
             header=replace(
                 header,
                 total_length=IPV4_HEADER_BYTES + partial.total_expected,

@@ -91,13 +91,14 @@ class IpHost(Node):
             header=header,
             payload_size=payload_size,
             payload=payload,
+            packet_id=self.sim.new_packet_id(),
             created_at=self.sim.now,
             source=self.name,
         )
         outport = self.output_ports[self._gateway_port]
         attachment = self.ports[self._gateway_port]
         fragments = (
-            fragment_packet(packet, attachment.mtu)
+            fragment_packet(packet, attachment.mtu, new_id=self.sim.new_packet_id)
             if packet.wire_size() > attachment.mtu
             else [packet]
         )

@@ -2,13 +2,15 @@
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import Any, List
 
 from repro.baselines.ip.header import IPV4_HEADER_BYTES, IpHeader
+from repro.sim.ids import PacketIdAllocator
 
-_packet_ids = itertools.count(1)
+#: Fallback id source for bare construction; engine-owned packets
+#: pass ``packet_id=`` from their simulator's allocator.
+_DEFAULT_IDS = PacketIdAllocator()
 
 
 @dataclass
@@ -22,7 +24,7 @@ class IpPacket:
     header: IpHeader
     payload_size: int
     payload: Any = None
-    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    packet_id: int = field(default_factory=_DEFAULT_IDS.allocate)
     created_at: float = 0.0
     source: str = ""
     corrupted: bool = False

@@ -133,7 +133,9 @@ class IpRouter(Node):
             if packet.header.dont_fragment:
                 self.stats.dropped_df.add()
                 return
-            fragments = fragment_packet(packet, attachment.mtu)
+            fragments = fragment_packet(
+                packet, attachment.mtu, new_id=self.sim.new_packet_id,
+            )
             self.stats.fragments_made.add(len(fragments))
         else:
             fragments = [packet]

@@ -230,6 +230,10 @@ class RateControlManager:
         self._ports: Dict[int, Any] = {}  # port_id -> OutputPort
         self.signals_sent = Counter(f"{node_name}.signals_sent")
         self.signals_received = Counter(f"{node_name}.signals_received")
+        #: Invoked whenever a RateSignal installs or refreshes a flow
+        #: limit — the dataplane flushes its flow cache then, because a
+        #: cached route may steer straight into the congested queue.
+        self.on_rebind: Optional[Callable[[], None]] = None
         control_plane.register(node_name, self._on_control_message)
         if enabled:
             sim.after(check_interval, self._periodic_check)
@@ -293,6 +297,8 @@ class RateControlManager:
             )
         else:
             limiter.refresh(message.advised_rate_bps, expiry)
+        if self.on_rebind is not None:
+            self.on_rebind()
 
     def _ramp_stale_limits(self) -> None:
         """Stale limits ramp up and eventually evaporate (soft state)."""

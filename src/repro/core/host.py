@@ -142,6 +142,7 @@ class SirpentHost(Node):
             segments=segments,
             payload_size=payload_size,
             payload=payload,
+            packet_id=self.sim.new_packet_id(),
             created_at=self.sim.now,
             source=self.name,
         )

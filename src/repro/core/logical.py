@@ -1,170 +1,22 @@
-"""Logical hops, logical links and load balancing (§2.2).
+"""Compatibility shim: logical ports are a dataplane stage now.
 
-"A network can use a port identifier to designate a group of links that
-are all equivalent from the standpoint of the Sirpent source. … A packet
-routed through this logical port can be routed over any one of the
-physical links by the router based on local load and availability."
-
-Two flavours, both from the paper:
-
-* **Trunk groups** — a logical port maps to several physical ports (the
-  10 x 1-gigabit channels treated as one 10-gigabit link).  The router
-  picks a member at forwarding time: least-loaded, round-robin, random,
-  or flow-hash (to keep one flow's packets ordered).
-* **Transit expansion** — a logical port stands for a multi-hop route
-  across a transit network; the entry router *splices in* the real
-  source route ("replace the logical hop destination by a … source
-  route as the packet enters the network"), at the cost of the added
-  header bytes' transmission time — which the spliced segments' wire
-  size accounts for automatically.
+The implementation lives in :mod:`repro.dataplane.logical` — logical
+resolution runs *inside* the sans-IO :class:`ForwardingPipeline`, so
+the module moved below the drivers with the rest of the decision
+engine.  Import sites that predate the move keep working through this
+re-export.
 """
 
-from __future__ import annotations
+from repro.dataplane.logical import (  # noqa: F401
+    LogicalPortMap,
+    SelectionPolicy,
+    TransitExpansion,
+    TrunkGroup,
+)
 
-import enum
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
-
-from repro.viper.portinfo import LogicalInfo
-from repro.viper.wire import HeaderSegment
-
-
-class SelectionPolicy(enum.Enum):
-    """How a trunk group picks the member link for each packet."""
-    LEAST_LOADED = "least_loaded"
-    ROUND_ROBIN = "round_robin"
-    RANDOM = "random"
-    FLOW_HASH = "flow_hash"
-
-
-@dataclass
-class TrunkGroup:
-    """A set of equivalent physical ports behind one logical port id."""
-
-    members: List[int]
-    policy: SelectionPolicy = SelectionPolicy.LEAST_LOADED
-    _rr_next: int = 0
-
-    def __post_init__(self) -> None:
-        if not self.members:
-            raise ValueError("trunk group needs at least one member port")
-
-
-@dataclass
-class TransitExpansion:
-    """Replacement segments for a logical transit hop.
-
-    ``segments`` route across the transit network; the last one exits at
-    the far edge, after which the packet's original remaining route
-    continues.
-    """
-
-    segments: List[HeaderSegment]
-
-    def __post_init__(self) -> None:
-        if not self.segments:
-            raise ValueError("transit expansion needs at least one segment")
-
-
-class LogicalPortMap:
-    """Per-router registry of logical port meanings."""
-
-    def __init__(self, rng=None) -> None:
-        self._trunks: Dict[int, TrunkGroup] = {}
-        self._transits: Dict[int, TransitExpansion] = {}
-        self._rng = rng
-
-    # -- configuration --------------------------------------------------------
-
-    def add_trunk(
-        self,
-        logical_port: int,
-        members: List[int],
-        policy: SelectionPolicy = SelectionPolicy.LEAST_LOADED,
-    ) -> None:
-        self._check_free(logical_port)
-        self._trunks[logical_port] = TrunkGroup(list(members), policy)
-
-    def add_transit(self, logical_port: int, segments: List[HeaderSegment]) -> None:
-        self._check_free(logical_port)
-        self._transits[logical_port] = TransitExpansion(list(segments))
-
-    def _check_free(self, logical_port: int) -> None:
-        if logical_port in self._trunks or logical_port in self._transits:
-            raise ValueError(f"logical port {logical_port} already defined")
-
-    def is_logical(self, port: int) -> bool:
-        return port in self._trunks or port in self._transits
-
-    # -- resolution ----------------------------------------------------------------
-
-    def resolve(
-        self,
-        port: int,
-        ports_by_id: Dict[int, object],
-        flow_hint: int = 0,
-    ) -> Tuple[Optional[int], Optional[List[HeaderSegment]]]:
-        """Resolve a logical port at forwarding time.
-
-        Returns ``(physical_port, spliced_segments)``.  For a trunk the
-        spliced segments are None; for a transit hop the physical port is
-        taken from the first spliced segment.  ``ports_by_id`` maps the
-        router's port ids to objects exposing ``queue_depth`` and an
-        ``attachment.busy`` flag (its OutputPorts) for load decisions.
-        """
-        trunk = self._trunks.get(port)
-        if trunk is not None:
-            return self._pick_member(trunk, ports_by_id, flow_hint), None
-        transit = self._transits.get(port)
-        if transit is not None:
-            spliced = [s.copy() for s in transit.segments]
-            return spliced[0].port, spliced
-        return None, None
-
-    def _pick_member(
-        self, trunk: TrunkGroup, ports_by_id: Dict[int, object], flow_hint: int
-    ) -> int:
-        # §2.2 selects "based on local load and availability": members
-        # whose medium is down are excluded before any policy runs.
-        members = [
-            m for m in trunk.members
-            if m not in ports_by_id or getattr(
-                ports_by_id[m].attachment, "up", True
-            )
-        ]
-        if not members:
-            members = list(trunk.members)  # all down: fail like a plain link
-        if trunk.policy is SelectionPolicy.ROUND_ROBIN:
-            member = members[trunk._rr_next % len(members)]
-            trunk._rr_next += 1
-            return member
-        if trunk.policy is SelectionPolicy.RANDOM:
-            if self._rng is None:
-                raise RuntimeError("RANDOM trunk policy requires an rng")
-            return self._rng.choice(members)
-        if trunk.policy is SelectionPolicy.FLOW_HASH:
-            return members[flow_hint % len(members)]
-        # LEAST_LOADED: prefer an idle member, else the shortest queue.
-        best = None
-        best_load: Tuple[int, int] = (1 << 30, 1 << 30)
-        for member in members:
-            outport = ports_by_id.get(member)
-            if outport is None:
-                continue
-            busy = 1 if outport.attachment.busy else 0
-            load = (busy, outport.queue_depth)
-            if load < best_load:
-                best, best_load = member, load
-        if best is None:
-            raise RuntimeError("trunk group has no usable member ports")
-        return best
-
-    @staticmethod
-    def flow_hint_of(segment: HeaderSegment) -> int:
-        """Extract the flow hint when the portinfo is a logical-hop label."""
-        if len(segment.portinfo) == LogicalInfo.WIRE_BYTES:
-            try:
-                return LogicalInfo.from_bytes(segment.portinfo).flow_hint
-            except Exception:
-                return 0
-        return 0
+__all__ = [
+    "LogicalPortMap",
+    "SelectionPolicy",
+    "TransitExpansion",
+    "TrunkGroup",
+]

@@ -1,4 +1,4 @@
-"""The Sirpent cut-through router (§2, §2.1).
+"""The Sirpent cut-through router (§2, §2.1) — the simulator's driver.
 
 Per-packet pipeline, exactly as the paper lays it out:
 
@@ -15,6 +15,15 @@ Per-packet pipeline, exactly as the paper lays it out:
    segment names — or to the blocked-packet handler, or delivered
    locally (port 0).
 
+The *decision* itself — token admission, logical-port resolution,
+strip/reverse/append planning, truncation, multicast expansion, the
+§2.2 flow cache — lives in the sans-IO
+:class:`repro.dataplane.ForwardingPipeline`, shared verbatim with the
+live UDP overlay.  This class is the simulator-side **driver**: it owns
+attachments, output queues, simulated timing, the congestion manager
+and the tracer, and it *applies* the pipeline's
+:class:`~repro.dataplane.Decision` to the structural packet.
+
 Store-and-forward operation (for rate-mismatched hops, or to model an
 IP-era software router on the same hardware) uses the same pipeline from
 the ``on_packet`` event instead, plus a per-packet processing charge.
@@ -23,37 +32,37 @@ the ``on_packet`` event instead, plus a per-packet processing charge.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Set
+from typing import Any, Callable, Dict, Iterable, Optional, Set
 
 from repro.core.blocked import BlockedPolicy
 from repro.core.congestion import ControlPlane, RateControlManager
 from repro.core.logical import LogicalPortMap
-from repro.core.multicast import (
-    BROADCAST_PORT,
-    GROUP_PORT_BASE,
-    GroupPortMap,
-    TREE_PORT,
-    decode_tree_info,
-)
+from repro.core.multicast import GroupPortMap
 from repro.core.queues import OutputPort, SubmitResult
 from repro.core.truncation import truncate_to_mtu
+from repro.dataplane import (
+    Action,
+    Capabilities,
+    Decision,
+    EffectSink,
+    FlowCache,
+    ForwardingPipeline,
+    HopInput,
+    PortMap,
+    PortProfile,
+    apply_drop,
+)
 from repro.net.addresses import MacAddress
 from repro.net.link import Transmission
 from repro.net.node import Attachment, Node
 from repro.obs.trace import NULL_TRACER
 from repro.sim.engine import Simulator
 from repro.sim.monitor import Counter, Histogram
-from repro.tokens.cache import CachePolicy, TokenCache, Verdict
+from repro.tokens.cache import CachePolicy, TokenCache
 from repro.tokens.capability import TokenMint
-from repro.viper.errors import DecodeError
 from repro.viper.packet import SirpentPacket
-from repro.viper.portinfo import (
-    COMPRESSED_ETHERNET_INFO_BYTES,
-    CompressedEthernetInfo,
-    EthernetInfo,
-    ETHERNET_INFO_BYTES,
-)
-from repro.viper.wire import LOCAL_PORT, HeaderSegment
+from repro.viper.portinfo import EthernetInfo
+from repro.viper.wire import LOCAL_PORT
 
 
 @dataclass
@@ -64,6 +73,8 @@ class RouterConfig:
     (significantly less than a microsecond)"; ``store_forward_process_delay``
     models the per-packet software cost a conventional router pays
     (reception already accounted separately by the link model).
+    ``flow_cache*`` size the §2.2 soft-state flow cache (capacity in
+    flows, TTL in now_ms milliseconds; ``flow_cache=False`` disables it).
     """
 
     cut_through: bool = True
@@ -77,6 +88,9 @@ class RouterConfig:
     require_tokens: bool = False
     token_verify_cost: float = 200e-6
     congestion_enabled: bool = True
+    flow_cache: bool = True
+    flow_cache_capacity: int = 1024
+    flow_cache_ttl_ms: int = 10_000
 
 
 @dataclass
@@ -96,8 +110,75 @@ class RouterStats:
     router_delay: Histogram = field(default_factory=lambda: Histogram("router_delay"))
 
 
+class _SimPortMap(PortMap):
+    """The pipeline's view of a router's attachments (live objects)."""
+
+    def __init__(self, router: "SirpentRouter") -> None:
+        self._router = router
+
+    def profile(self, port_id: int) -> Optional[PortProfile]:
+        attachment = self._router.ports.get(port_id)
+        if attachment is None:
+            return None
+        return PortProfile(
+            kind=attachment.kind,
+            mtu=attachment.mtu,
+            rate_bps=attachment.rate_bps,
+            up=attachment.up,
+        )
+
+    def ids(self) -> Iterable[int]:
+        return sorted(self._router.ports)
+
+    def load_view(self) -> Dict[int, Any]:
+        # OutputPorts expose queue_depth and .attachment for the
+        # logical map's least-loaded member selection.
+        return self._router.output_ports
+
+
+class _SimEffectSink(EffectSink):
+    """Counter + trace applicator for one packet in the simulator."""
+
+    #: Abstract counter name -> RouterStats attribute.
+    COUNTERS = {
+        "no_route": "dropped_no_route",
+        "token_reject": "dropped_token",
+        "bad_portinfo": "dropped_bad_portinfo",
+        "route_exhausted": "route_exhausted",
+        "truncated": "truncated",
+        "mcast_copy": "multicast_copies",
+        "multicast_unsupported": "dropped_no_route",
+    }
+
+    __slots__ = ("_router", "_packet")
+
+    def __init__(self, router: "SirpentRouter", packet: SirpentPacket) -> None:
+        self._router = router
+        self._packet = packet
+
+    def bump(self, name: str, n: int = 1) -> None:
+        counter: Counter = getattr(
+            self._router.stats, self.COUNTERS.get(name, name)
+        )
+        counter.add(n)
+
+    def trace_event(self, event: str, **fields: Any) -> None:
+        router, packet = self._router, self._packet
+        if packet.trace_id and router.tracer.enabled:
+            router.tracer.event(
+                packet.trace_id, router.sim.now, router.name, event, **fields
+            )
+
+    def trace_drop(self, reason: str, **fields: Any) -> None:
+        router, packet = self._router, self._packet
+        if packet.trace_id and router.tracer.enabled:
+            router.tracer.drop(
+                packet.trace_id, router.sim.now, router.name, reason, **fields
+            )
+
+
 class SirpentRouter(Node):
-    """A Sirpent switching node."""
+    """A Sirpent switching node: IO/timing driver over the pipeline."""
 
     def __init__(
         self,
@@ -122,6 +203,20 @@ class SirpentRouter(Node):
         )
         self.logical = LogicalPortMap(rng=rng)
         self.groups = GroupPortMap()
+        self.flow_cache = FlowCache(
+            capacity=self.config.flow_cache_capacity,
+            ttl_ms=self.config.flow_cache_ttl_ms,
+            enabled=self.config.flow_cache,
+        )
+        self.pipeline = ForwardingPipeline(
+            name,
+            token_cache=self.token_cache,
+            ports=_SimPortMap(self),
+            logical=self.logical,
+            groups=self.groups,
+            flow_cache=self.flow_cache,
+            capabilities=Capabilities(multicast=True),
+        )
         self.stats = RouterStats()
         self.local_handler: Optional[Callable[[SirpentPacket, Attachment], None]] = None
         self.output_ports: Dict[int, OutputPort] = {}
@@ -130,6 +225,9 @@ class SirpentRouter(Node):
             self.congestion = RateControlManager(
                 sim, name, control_plane, enabled=self.config.congestion_enabled
             )
+            # Congestion rebinds route packets around hot queues; cached
+            # flow decisions may point straight at one — flush them.
+            self.congestion.on_rebind = self.pipeline.on_congestion_rebind
         self._header_handled: Set[int] = set()
         self._forwarding_out: Dict[int, Attachment] = {}
         #: Hop tracer (repro.obs); NULL_TRACER = tracing disabled.
@@ -159,6 +257,8 @@ class SirpentRouter(Node):
         self.output_ports[port_id] = outport
         if self.congestion is not None:
             self.congestion.watch_port(port_id, outport)
+        # Topology changed: any cached flow naming this port is stale.
+        self.pipeline.on_topology_change(port_id)
 
     @staticmethod
     def _stamp_feed_forward(outport: OutputPort) -> Callable[[Any], None]:
@@ -181,7 +281,7 @@ class SirpentRouter(Node):
             return  # local delivery needs the full packet
         # Cut-through needs matching rates ("only applicable when the
         # input link and the output link are the same data rates").
-        outport_id = self._peek_physical_port(packet)
+        outport_id = self.pipeline.peek_physical_port(packet.current_segment)
         if outport_id is not None:
             attachment = self.ports.get(outport_id)
             if attachment is None or attachment.rate_bps != inport.rate_bps:
@@ -203,12 +303,10 @@ class SirpentRouter(Node):
             self._header_handled.discard(packet.packet_id)
             return
         if not packet.segments:
-            self.stats.route_exhausted.add()
-            if packet.trace_id and self.tracer.enabled:
-                self.tracer.drop(
-                    packet.trace_id, self.sim.now, self.name,
-                    "route_exhausted",
-                )
+            apply_drop(
+                _SimEffectSink(self, packet),
+                Decision(Action.DROP, reason="route_exhausted"),
+            )
             return
         if packet.current_segment.port == LOCAL_PORT:
             self._deliver_local(packet, inport)
@@ -234,18 +332,37 @@ class SirpentRouter(Node):
         if attachment is not None and attachment.current_packet() is packet:
             attachment.abort_current()
 
-    # -- the pipeline -----------------------------------------------------------
+    # -- decide (pipeline) then apply (driver) ----------------------------
 
-    def _peek_physical_port(self, packet: SirpentPacket) -> Optional[int]:
-        """Resolve the segment's port to a physical port id (no side effects)."""
-        port = packet.current_segment.port
-        if port == LOCAL_PORT:
-            return None
-        if self.logical.is_logical(port):
-            return None  # resolved (with side effects) at process time
-        if port in (TREE_PORT, BROADCAST_PORT) or self.groups.is_group(port):
-            return None
-        return port
+    def _hop_input(
+        self, packet: SirpentPacket, inport: Attachment, tx: Transmission
+    ) -> HopInput:
+        return HopInput(
+            segment=packet.segments[0] if packet.segments else None,
+            seg_count=len(packet.segments),
+            wire_size=packet.wire_size(),
+            in_port=inport.port_id,
+            now_ms=int(self.sim.now * 1000),
+            reverse_portinfo=lambda: self._reverse_portinfo(inport, tx),
+            trailer_len=len(packet.trailer),
+        )
+
+    @staticmethod
+    def _reverse_portinfo(inport: Attachment, tx: Transmission) -> bytes:
+        """Reverse the arrival network header (Ethernet src/dst swap, §2).
+
+        ethertype 0 placeholder: the sender of the return route fills in
+        the Sirpent type; sizes are identical either way.
+        """
+        if (
+            inport.kind == "ethernet"
+            and tx.src_mac is not None
+            and tx.dst_mac is not None
+        ):
+            return EthernetInfo(
+                dst=tx.src_mac, src=tx.dst_mac, ethertype=0
+            ).to_bytes()
+        return b""
 
     def _process(
         self,
@@ -256,165 +373,79 @@ class SirpentRouter(Node):
         extra_process_delay: float,
     ) -> None:
         packet.hop_log.append(self.name)
-        segment = packet.current_segment
-        port = segment.port
+        decision = self.pipeline.decide(self._hop_input(packet, inport, tx))
+        self._apply(decision, packet, inport, tx, arrival_time, extra_process_delay)
 
-        # Multicast expansion happens before token checks so each copy is
-        # admitted against the port it actually takes.
-        if port == TREE_PORT:
-            self._process_tree(packet, inport, tx, arrival_time, extra_process_delay)
+    def _apply(
+        self,
+        decision: Decision,
+        packet: SirpentPacket,
+        inport: Attachment,
+        tx: Transmission,
+        arrival_time: float,
+        extra_process_delay: float,
+    ) -> None:
+        if decision.action is Action.DROP:
+            apply_drop(_SimEffectSink(self, packet), decision)
             return
-        if port == BROADCAST_PORT or self.groups.is_group(port):
-            members = (
-                sorted(self.ports)
-                if port == BROADCAST_PORT
-                else self.groups.members(port)
+        if decision.action is Action.DELIVER_LOCAL:
+            self._deliver_local(packet, inport, append_hop=False)
+            return
+        if decision.action is Action.FANOUT:
+            self._fan_out(
+                decision, packet, inport, tx, arrival_time, extra_process_delay
             )
-            members = [m for m in members if self.ports.get(m) is not inport]
-            self._fan_out(packet, inport, tx, members, arrival_time, extra_process_delay)
             return
 
-        # Token admission (§2.2).
-        verdict, token_delay = self.token_cache.admit(
-            segment.token, port, segment.priority,
-            packet.wire_size(), now_ms=int(self.sim.now * 1000),
-            rpf=segment.rpf,
-        )
-        if verdict is Verdict.REJECT:
-            self.stats.dropped_token.add()
-            if packet.trace_id and self.tracer.enabled:
-                self.tracer.drop(
-                    packet.trace_id, self.sim.now, self.name,
-                    "token_reject", port=port,
-                )
-            return
-
-        # Logical port resolution (§2.2).
-        spliced: Optional[List[HeaderSegment]] = None
-        if self.logical.is_logical(port):
-            flow_hint = self.logical.flow_hint_of(segment)
-            physical, spliced = self.logical.resolve(
-                port, self.output_ports, flow_hint=flow_hint
-            )
-            if physical is None:
-                self.stats.dropped_no_route.add()
-                if packet.trace_id and self.tracer.enabled:
-                    self.tracer.drop(
-                        packet.trace_id, self.sim.now, self.name,
-                        "no_route", port=port,
-                    )
-                return
-            port = physical
-
-        attachment = self.ports.get(port)
-        if attachment is None:
-            self.stats.dropped_no_route.add()
-            if packet.trace_id and self.tracer.enabled:
-                self.tracer.drop(
-                    packet.trace_id, self.sim.now, self.name,
-                    "no_route", port=port,
-                )
-            return
-
-        # Strip the segment, append the return hop to the trailer (§2).
-        effective = segment if spliced is None else spliced[0].copy(
-            priority=segment.priority, dib=segment.dib
-        )
-        return_segment = self._build_return_segment(segment, inport, tx)
-        packet.advance(return_segment)
+        # FORWARD: strip the segment, append the return hop (§2), splice
+        # any transit tail, truncate to the egress MTU — then transmit
+        # after the decision/verification/processing delay.
+        packet.advance(decision.return_segment)
         if packet.trace_id and self.tracer.enabled:
             self.tracer.event(
                 packet.trace_id, self.sim.now, self.name,
-                "strip_reverse_append", out_port=port,
+                "strip_reverse_append", out_port=decision.out_port,
                 segments_left=len(packet.segments),
                 trailer_len=len(packet.trailer),
             )
-        if spliced is not None and len(spliced) > 1:
-            packet.segments[0:0] = [
-                s.copy(priority=segment.priority) for s in spliced[1:]
-            ]
-
-        # Truncation instead of fragmentation (§2).
-        if packet.wire_size() > attachment.mtu:
-            truncate_to_mtu(packet, attachment.mtu)
+        if decision.splice_tail:
+            packet.segments[0:0] = list(decision.splice_tail)
+        if decision.truncate_to:
+            truncate_to_mtu(packet, decision.truncate_to)
             self.stats.truncated.add()
-
-        dst_mac = self._resolve_dst_mac(effective, attachment)
-        if attachment.kind == "ethernet" and dst_mac is None:
-            self.stats.dropped_bad_portinfo.add()
-            if packet.trace_id and self.tracer.enabled:
-                self.tracer.drop(
-                    packet.trace_id, self.sim.now, self.name,
-                    "bad_portinfo", port=port,
-                )
-            return
-
-        delay = self.config.decision_delay + token_delay + extra_process_delay
+        delay = (
+            self.config.decision_delay + decision.token_delay + extra_process_delay
+        )
         self.sim.after(
             delay,
             self._forward,
-            packet, port, effective, dst_mac, arrival_time,
+            packet, decision.out_port, decision.effective, decision.dst_mac,
+            arrival_time,
         )
-
-    def _process_tree(
-        self,
-        packet: SirpentPacket,
-        inport: Attachment,
-        tx: Transmission,
-        arrival_time: float,
-        extra_process_delay: float,
-    ) -> None:
-        """Mechanism-2 multicast: clone per branch (§2)."""
-        segment = packet.current_segment
-        try:
-            branches = decode_tree_info(segment.portinfo)
-        except DecodeError:
-            self.stats.dropped_bad_portinfo.add()
-            if packet.trace_id and self.tracer.enabled:
-                self.tracer.drop(
-                    packet.trace_id, self.sim.now, self.name,
-                    "bad_portinfo", port=TREE_PORT,
-                )
-            return
-        for branch in branches:
-            clone = SirpentPacket(
-                segments=[s.copy() for s in branch.segments],
-                payload_size=packet.payload_size,
-                payload=packet.payload,
-                trailer=list(packet.trailer),
-                created_at=packet.created_at,
-                source=packet.source,
-                hops_taken=packet.hops_taken,
-                hop_log=list(packet.hop_log[:-1]),  # _process re-appends
-                trace_id=packet.trace_id,
-            )
-            self.stats.multicast_copies.add()
-            # Each clone is processed as a fresh arrival through the
-            # normal pipeline (token checks per branch segment).
-            self._process(clone, inport, tx, arrival_time, extra_process_delay)
 
     def _fan_out(
         self,
+        decision: Decision,
         packet: SirpentPacket,
         inport: Attachment,
         tx: Transmission,
-        member_ports: List[int],
         arrival_time: float,
         extra_process_delay: float,
     ) -> None:
-        """Mechanism-1 multicast: duplicate out each member port."""
-        segment = packet.current_segment
-        for member in member_ports:
-            if member not in self.ports:
-                continue
+        """Multicast: clone per branch, re-enter the pipeline per clone
+        (token checks per branch segment)."""
+        for branch in decision.branches:
+            segments = (
+                list(branch)
+                if decision.fanout_replaces_route
+                else list(branch) + [s.copy() for s in packet.segments[1:]]
+            )
             clone = SirpentPacket(
-                segments=(
-                    [segment.copy(port=member)]
-                    + [s.copy() for s in packet.segments[1:]]
-                ),
+                segments=segments,
                 payload_size=packet.payload_size,
                 payload=packet.payload,
                 trailer=list(packet.trailer),
+                packet_id=self.sim.new_packet_id(),
                 created_at=packet.created_at,
                 source=packet.source,
                 hops_taken=packet.hops_taken,
@@ -423,62 +454,12 @@ class SirpentRouter(Node):
             )
             self.stats.multicast_copies.add()
             self._process(clone, inport, tx, arrival_time, extra_process_delay)
-
-    def _build_return_segment(
-        self,
-        segment: HeaderSegment,
-        inport: Attachment,
-        tx: Transmission,
-    ) -> HeaderSegment:
-        """The reversed hop appended to the trailer (§2).
-
-        Return port = the port the packet arrived on; the arrival
-        network header is reversed (Ethernet src/dst swap); the token is
-        kept only when it authorizes reverse-route charging.
-        """
-        if inport.kind == "ethernet" and tx.src_mac is not None:
-            portinfo = EthernetInfo(
-                dst=tx.src_mac, src=tx.dst_mac, ethertype=0
-            ).to_bytes() if tx.dst_mac is not None else b""
-            # ethertype 0 placeholder: the sender of the return route
-            # fills in the Sirpent type; sizes are identical either way.
-        else:
-            portinfo = b""
-        token = b""
-        entry = self.token_cache.entry(segment.token) if segment.token else None
-        if entry is not None and entry.valid and entry.claims is not None:
-            if entry.claims.reverse_ok:
-                token = segment.token
-        return HeaderSegment(
-            port=inport.port_id,
-            priority=segment.priority,
-            token=token,
-            portinfo=portinfo,
-        )
-
-    @staticmethod
-    def _resolve_dst_mac(
-        segment: HeaderSegment, attachment: Attachment
-    ) -> Optional[MacAddress]:
-        if attachment.kind != "ethernet":
-            return None
-        try:
-            if len(segment.portinfo) == ETHERNET_INFO_BYTES:
-                return EthernetInfo.from_bytes(segment.portinfo).dst
-            if len(segment.portinfo) == COMPRESSED_ETHERNET_INFO_BYTES:
-                # Footnote 4: destination + type only; this router is
-                # "responsible for filling in the correct source
-                # address", which the attachment supplies at frame time.
-                return CompressedEthernetInfo.from_bytes(segment.portinfo).dst
-        except DecodeError:
-            return None
-        return None
 
     def _forward(
         self,
         packet: SirpentPacket,
         port: int,
-        segment: HeaderSegment,
+        segment,
         dst_mac: Optional[MacAddress],
         arrival_time: float,
     ) -> None:
@@ -518,9 +499,12 @@ class SirpentRouter(Node):
 
     # -- local delivery -----------------------------------------------------------
 
-    def _deliver_local(self, packet: SirpentPacket, inport: Attachment) -> None:
+    def _deliver_local(
+        self, packet: SirpentPacket, inport: Attachment, append_hop: bool = True
+    ) -> None:
         self.stats.delivered_local.add()
-        packet.hop_log.append(self.name)
+        if append_hop:
+            packet.hop_log.append(self.name)
         if packet.trace_id and self.tracer.enabled:
             self.tracer.deliver(
                 packet.trace_id, self.sim.now, self.name,

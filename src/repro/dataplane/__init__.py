@@ -1,0 +1,74 @@
+"""Sans-IO dataplane: the per-hop forwarding algorithm, exactly once.
+
+:class:`ForwardingPipeline` decides; the drivers
+(:class:`repro.core.router.SirpentRouter`,
+:class:`repro.live.router.LiveRouter`) supply IO and timing and apply
+:class:`Decision` effects.  See ``docs/ARCHITECTURE.md`` §9.
+"""
+
+from repro.dataplane.effects import Action, Decision, EffectSink, apply_drop
+from repro.dataplane.flowcache import (
+    FlowCache,
+    FlowCacheStats,
+    FlowEntry,
+    FlowKey,
+    flow_key,
+)
+from repro.dataplane.logical import (
+    LogicalPortMap,
+    SelectionPolicy,
+    TransitExpansion,
+    TrunkGroup,
+)
+from repro.dataplane.multicast import (
+    BROADCAST_PORT,
+    GROUP_PORT_BASE,
+    GroupPortMap,
+    MulticastAgent,
+    TREE_PORT,
+    TreeBranch,
+    decode_tree_info,
+    encode_tree_info,
+)
+from repro.dataplane.pipeline import (
+    Capabilities,
+    ForwardingPipeline,
+    HopInput,
+    MappingPortMap,
+    PortMap,
+    PortProfile,
+    UNKNOWN_IN_PORT,
+    resolve_dst_mac,
+)
+
+__all__ = [
+    "Action",
+    "BROADCAST_PORT",
+    "Capabilities",
+    "Decision",
+    "EffectSink",
+    "FlowCache",
+    "FlowCacheStats",
+    "FlowEntry",
+    "FlowKey",
+    "ForwardingPipeline",
+    "GROUP_PORT_BASE",
+    "GroupPortMap",
+    "HopInput",
+    "LogicalPortMap",
+    "MappingPortMap",
+    "MulticastAgent",
+    "PortMap",
+    "PortProfile",
+    "SelectionPolicy",
+    "TREE_PORT",
+    "TransitExpansion",
+    "TreeBranch",
+    "TrunkGroup",
+    "UNKNOWN_IN_PORT",
+    "apply_drop",
+    "decode_tree_info",
+    "encode_tree_info",
+    "flow_key",
+    "resolve_dst_mac",
+]

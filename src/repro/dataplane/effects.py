@@ -1,0 +1,108 @@
+"""The dataplane's effect model: decisions out, IO in the drivers.
+
+The sans-IO :class:`~repro.dataplane.pipeline.ForwardingPipeline`
+never touches a socket, a simulated link, a tracer or a stats object.
+It returns a :class:`Decision` — what to do with one hop — and the
+*drivers* (the simulator's :class:`~repro.core.router.SirpentRouter`
+and the live overlay's :class:`~repro.live.router.LiveRouter`) apply
+it: mutate the structural packet or rewrite the datagram bytes, bump
+their counters, emit their trace events.
+
+Counters and traces are applied through an :class:`EffectSink`, a tiny
+per-driver adapter.  :func:`apply_drop` is the single shared drop
+applicator: every drop site in both drivers goes through it, so the
+drop *counter* and the trace *reason* can never disagree — the
+guarded-``tracer.drop``-plus-``stats.add`` boilerplate that used to be
+copy-pasted at every drop site in both routers lives here once.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.viper.wire import HeaderSegment
+
+
+class Action(enum.Enum):
+    """What the pipeline decided to do with one hop."""
+
+    FORWARD = "forward"
+    DELIVER_LOCAL = "local"
+    DROP = "drop"
+    FANOUT = "fanout"
+
+
+@dataclass
+class Decision:
+    """Outcome of the forwarding pipeline for one hop.
+
+    A decision is *descriptive*: nothing has happened yet.  The driver
+    applies it — strips/splices/truncates the packet (sim) or rewrites
+    the frame bytes (live), transmits, and feeds the effect sink.
+
+    Fields by action:
+
+    * ``DROP`` — ``reason`` names both the drop counter and the trace
+      reason; ``drop_fields`` carries extra trace fields (``port=...``).
+    * ``DELIVER_LOCAL`` — nothing else.
+    * ``FANOUT`` — ``branches`` holds, per copy, the segment list that
+      replaces the leading segment; the driver clones the packet per
+      branch and runs each clone through the pipeline again.
+    * ``FORWARD`` — ``out_port`` is the physical egress;
+      ``effective`` is the segment whose priority/DIB/portInfo govern
+      the egress submit; ``return_segment`` is the reversed hop to
+      append to the trailer; ``splice_tail`` holds transit segments to
+      insert after the strip; ``truncate_to`` is the MTU to cut to
+      (0 = fits); ``token_delay`` is verification latency the packet
+      must absorb (blocking token policy); ``dst_mac`` is the resolved
+      Ethernet destination (None off-Ethernet).
+    """
+
+    action: Action
+    reason: str = ""
+    drop_fields: Dict[str, Any] = field(default_factory=dict)
+    out_port: int = -1
+    effective: Optional[HeaderSegment] = None
+    return_segment: Optional[HeaderSegment] = None
+    splice_tail: List[HeaderSegment] = field(default_factory=list)
+    dst_mac: Optional[Any] = None
+    truncate_to: int = 0
+    token_delay: float = 0.0
+    branches: List[List[HeaderSegment]] = field(default_factory=list)
+    #: True (tree multicast) = each branch is the clone's *entire*
+    #: remaining route; False (group/broadcast) = each branch replaces
+    #: only the leading segment and the rest of the route is kept.
+    fanout_replaces_route: bool = False
+    #: Remaining segments after the strip (for the trace event).
+    segments_left: int = 0
+    #: True when the per-port flow cache supplied the decision (§2.2
+    #: soft state): token verification and logical resolution skipped.
+    flow_cache_hit: bool = False
+
+
+class EffectSink:
+    """Driver-side applicator for counters and trace events.
+
+    ``bump`` maps an abstract counter name ("no_route",
+    "token_reject", "truncated", "mcast_copy", ...) onto the driver's
+    stats object.  The ``trace_*`` methods are expected to be no-ops
+    when the packet is untraced or tracing is disabled — the driver
+    adapter owns that guard, in exactly one place.
+    """
+
+    def bump(self, name: str, n: int = 1) -> None:
+        raise NotImplementedError
+
+    def trace_event(self, event: str, **fields: Any) -> None:  # pragma: no cover
+        """Emit a mid-hop trace event (no-op unless traced)."""
+
+    def trace_drop(self, reason: str, **fields: Any) -> None:  # pragma: no cover
+        """Emit a drop trace event (no-op unless traced)."""
+
+
+def apply_drop(sink: EffectSink, decision: Decision) -> None:
+    """THE drop applicator: counter and trace reason, always in sync."""
+    sink.bump(decision.reason)
+    sink.trace_drop(decision.reason, **decision.drop_fields)

@@ -1,0 +1,506 @@
+"""The sans-IO forwarding pipeline: one per-hop algorithm, two drivers.
+
+Sirpent's per-hop operation is a single fixed algorithm (§2, §5):
+
+    multicast-expand -> token-admit -> logical-resolve ->
+    strip/reverse/append -> truncate -> egress-resolve
+
+The repo used to implement it twice — structurally in
+``core.router.SirpentRouter`` and on raw bytes in ``live.LiveRouter`` —
+held together only by a parity test.  :class:`ForwardingPipeline` is
+that algorithm exactly once, with **no IO**: it consumes a
+:class:`HopInput` (a view of the leading segment plus sizes, the
+arrival port and the clock) and produces a
+:class:`~repro.dataplane.effects.Decision`.  The drivers own sockets,
+simulated links, timing, packet mutation and effect application.
+
+On top sits the paper's §2.2 soft state: a per-port
+:class:`~repro.dataplane.flowcache.FlowCache` memoizing
+(token, in-port, port, priority, portInfo) -> verdict + resolved
+physical port + dst MAC, so repeat packets of a flow skip token
+verification and logical resolution entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+from repro.dataplane.effects import Action, Decision
+from repro.dataplane.flowcache import FlowCache, FlowEntry, flow_key
+from repro.dataplane.logical import LogicalPortMap
+from repro.dataplane.multicast import (
+    BROADCAST_PORT,
+    GroupPortMap,
+    TREE_PORT,
+    decode_tree_info,
+)
+from repro.tokens.cache import TokenCache, Verdict
+from repro.viper.errors import DecodeError
+from repro.viper.packet import TRAILER_LENGTH_BYTES
+from repro.viper.portinfo import (
+    COMPRESSED_ETHERNET_INFO_BYTES,
+    CompressedEthernetInfo,
+    EthernetInfo,
+    ETHERNET_INFO_BYTES,
+)
+from repro.viper.wire import LOCAL_PORT, HeaderSegment
+
+#: ``HopInput.in_port`` value meaning "arrival port unknown" — the
+#: return segment cannot be built and the flow is never cached (the
+#: live driver uses this for frames from unwired peers, which it
+#: refuses after the decision, preserving drop-reason precedence).
+UNKNOWN_IN_PORT = -1
+
+
+@dataclass(frozen=True)
+class PortProfile:
+    """What the pipeline may know about one egress port, sans IO."""
+
+    kind: str = "p2p"       # "ethernet" | "p2p" | "udp"
+    mtu: int = 0            # 0 = unlimited (no truncation on this hop)
+    rate_bps: float = 0.0
+    up: bool = True
+
+
+class PortMap:
+    """Driver-supplied port table abstraction.
+
+    ``profile`` returns None for nonexistent ports; ``ids`` lists the
+    physical port ids (broadcast membership); ``load_view`` exposes the
+    driver's per-port load objects for the logical map's least-loaded
+    selection (may be empty when the driver has no queues).
+    """
+
+    def profile(self, port_id: int) -> Optional[PortProfile]:
+        raise NotImplementedError
+
+    def ids(self) -> Iterable[int]:
+        raise NotImplementedError
+
+    def load_view(self) -> Dict[int, Any]:
+        return {}
+
+
+class MappingPortMap(PortMap):
+    """A :class:`PortMap` over a plain dict (tests, benchmarks, live)."""
+
+    def __init__(
+        self,
+        profiles: Dict[int, PortProfile],
+        load_view: Optional[Dict[int, Any]] = None,
+    ) -> None:
+        self.profiles = profiles
+        self._load_view = load_view if load_view is not None else {}
+
+    def profile(self, port_id: int) -> Optional[PortProfile]:
+        return self.profiles.get(port_id)
+
+    def ids(self) -> Iterable[int]:
+        return sorted(self.profiles)
+
+    def load_view(self) -> Dict[int, Any]:
+        return self._load_view
+
+
+@dataclass(frozen=True)
+class Capabilities:
+    """What this driver's substrate supports.
+
+    The live overlay (v1) forwards unicast only: frames naming
+    multicast ports are dropped-and-counted rather than crashing the
+    daemon, and the decision (not the driver) says so.
+    """
+
+    multicast: bool = True
+
+
+@dataclass
+class HopInput:
+    """Everything the per-hop decision may read — no packet object.
+
+    ``wire_size`` is the size charged against the token (the sim
+    charges the full wire size; the live overlay charges the payload
+    length it knows from the preamble).  ``reverse_portinfo`` supplies
+    the link-reversed network-specific bytes for the return hop — how
+    they are derived (swapping the arrival frame's MACs, reversing the
+    segment's own Ethernet portInfo) is link knowledge the driver owns.
+    """
+
+    segment: HeaderSegment
+    seg_count: int
+    wire_size: int
+    in_port: int = UNKNOWN_IN_PORT
+    now_ms: int = 0
+    reverse_portinfo: Callable[[], bytes] = staticmethod(lambda: b"")
+    trailer_len: int = 0
+
+
+class ForwardingPipeline:
+    """One router's forwarding decision engine (sans IO).
+
+    Construction wires in the router's *state* — token cache, logical
+    and group port maps, the port table view, and the flow cache — all
+    of which the driver owns and may mutate between packets.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        token_cache: TokenCache,
+        ports: PortMap,
+        logical: Optional[LogicalPortMap] = None,
+        groups: Optional[GroupPortMap] = None,
+        flow_cache: Optional[FlowCache] = None,
+        capabilities: Capabilities = Capabilities(),
+    ) -> None:
+        self.name = name
+        self.token_cache = token_cache
+        self.ports = ports
+        self.logical = logical if logical is not None else LogicalPortMap()
+        self.groups = groups if groups is not None else GroupPortMap()
+        self.flow_cache = flow_cache if flow_cache is not None else FlowCache(
+            enabled=False
+        )
+        self.capabilities = capabilities
+        # A token-cache flush (router restart) orphans every flow entry
+        # whose verdict was derived from the flushed entries — soft
+        # state dies together (§2.2).
+        token_cache.on_flush = self.flow_cache.flush
+
+    # -- cut-through peek --------------------------------------------------
+
+    def peek_physical_port(self, segment: HeaderSegment) -> Optional[int]:
+        """Resolve the segment's port to a physical id, no side effects.
+
+        None when the port needs process-time work (local delivery,
+        logical resolution, multicast expansion) — the cut-through
+        driver then falls back to store-and-forward.
+        """
+        port = segment.port
+        if port == LOCAL_PORT:
+            return None
+        if self.logical.is_logical(port):
+            return None
+        if port in (TREE_PORT, BROADCAST_PORT) or self.groups.is_group(port):
+            return None
+        return port
+
+    # -- the stages --------------------------------------------------------
+
+    def decide(self, hop: HopInput) -> Decision:
+        """Run the full per-hop pipeline for one packet view."""
+        # Stage 0: route exhaustion / local delivery (port 0, §5).
+        if hop.seg_count == 0:
+            return Decision(Action.DROP, reason="route_exhausted")
+        segment = hop.segment
+        port = segment.port
+        if port == LOCAL_PORT:
+            return Decision(Action.DELIVER_LOCAL)
+
+        # Stage 1: multicast expansion — before token checks, so each
+        # copy is admitted against the port it actually takes (§2).
+        if port == TREE_PORT:
+            return self._expand_tree(segment)
+        if port == BROADCAST_PORT or self.groups.is_group(port):
+            return self._expand_group(hop, port)
+
+        # Stage 2a: flow-cache fast path (§2.2 soft state).
+        key = flow_key(
+            segment.token, hop.in_port, port, segment.priority,
+            segment.rpf, segment.portinfo,
+        )
+        cached = self.flow_cache.lookup(key, hop.now_ms)
+        if cached is not None:
+            decision = self._decide_cached(hop, key, cached)
+            if decision is not None:
+                return decision
+
+        # Stage 2b: token admission (§2.2).
+        verdict, token_delay = self.token_cache.admit(
+            segment.token, port, segment.priority, hop.wire_size,
+            now_ms=hop.now_ms, rpf=segment.rpf,
+        )
+        if verdict is Verdict.REJECT:
+            return Decision(
+                Action.DROP, reason="token_reject", drop_fields={"port": port}
+            )
+
+        # Stage 3: logical port resolution (§2.2).
+        spliced: Optional[List[HeaderSegment]] = None
+        if self.logical.is_logical(port):
+            flow_hint = self.logical.flow_hint_of(segment)
+            physical, spliced = self.logical.resolve(
+                port, self.ports.load_view(), flow_hint=flow_hint
+            )
+            if physical is None:
+                return Decision(
+                    Action.DROP, reason="no_route", drop_fields={"port": port}
+                )
+            resolved_port = physical
+        else:
+            resolved_port = port
+
+        profile = self.ports.profile(resolved_port)
+        if profile is None:
+            return Decision(
+                Action.DROP, reason="no_route",
+                drop_fields={"port": resolved_port},
+            )
+
+        # Stage 4: strip/reverse/append inputs (§2) — the *driver*
+        # performs the strip; the pipeline provides the pieces.
+        effective = segment if spliced is None else spliced[0].copy(
+            priority=segment.priority, dib=segment.dib
+        )
+        dst_mac = resolve_dst_mac(effective, profile.kind)
+        if profile.kind == "ethernet" and dst_mac is None:
+            return Decision(
+                Action.DROP, reason="bad_portinfo",
+                drop_fields={"port": resolved_port},
+            )
+        return_token = self._reverse_token(segment)
+        decision = self._forward_decision(
+            hop, segment, resolved_port, effective, dst_mac, spliced,
+            return_token, profile, token_delay,
+        )
+
+        # Stage 6: install the flow (deterministic resolutions only;
+        # never for unknown arrival ports, unverified/invalid tokens,
+        # or tokens already past expiry).
+        if (
+            hop.in_port != UNKNOWN_IN_PORT
+            and self.logical.deterministic(port)
+        ):
+            entry = self.token_cache.entry(segment.token) if segment.token else None
+            expiry = 0
+            if entry is not None:
+                if not entry.valid or entry.claims is None:
+                    entry = None  # optimistic first packet: never cache
+                else:
+                    expiry = entry.claims.expiry_ms
+                    if entry.claims.expired(hop.now_ms):
+                        entry = None
+            if entry is not None or not segment.token:
+                splice_extra = (
+                    sum(s.wire_size() for s in spliced[1:])
+                    if spliced else 0
+                )
+                post_delta = splice_extra - segment.wire_size()
+                if decision.return_segment is not None:
+                    post_delta += (
+                        decision.return_segment.wire_size()
+                        + TRAILER_LENGTH_BYTES
+                    )
+                self.flow_cache.install(key, FlowEntry(
+                    out_port=resolved_port,
+                    dst_mac=dst_mac,
+                    splice=spliced,
+                    splice_extra_bytes=splice_extra,
+                    return_token=return_token,
+                    token_entry=entry,
+                    expires_at_ms=expiry,
+                    return_segment=decision.return_segment,
+                    post_size_delta=post_delta,
+                ), hop.now_ms)
+        return decision
+
+    # -- stage helpers -----------------------------------------------------
+
+    def _expand_tree(self, segment: HeaderSegment) -> Decision:
+        """Mechanism-2 multicast: clone per encoded branch (§2)."""
+        if not self.capabilities.multicast:
+            return Decision(Action.DROP, reason="multicast_unsupported")
+        try:
+            branches = decode_tree_info(segment.portinfo)
+        except DecodeError:
+            return Decision(
+                Action.DROP, reason="bad_portinfo",
+                drop_fields={"port": TREE_PORT},
+            )
+        return Decision(
+            Action.FANOUT,
+            branches=[[s.copy() for s in b.segments] for b in branches],
+            fanout_replaces_route=True,
+        )
+
+    def _expand_group(self, hop: HopInput, port: int) -> Decision:
+        """Mechanism-1 multicast: duplicate out each member port (§2)."""
+        if not self.capabilities.multicast:
+            return Decision(Action.DROP, reason="multicast_unsupported")
+        members = (
+            list(self.ports.ids()) if port == BROADCAST_PORT
+            else self.groups.members(port)
+        )
+        segment = hop.segment
+        branches = [
+            [segment.copy(port=member)]
+            for member in members
+            if member != hop.in_port and self.ports.profile(member) is not None
+        ]
+        return Decision(Action.FANOUT, branches=branches)
+
+    def _decide_cached(
+        self, hop: HopInput, key: Any, cached: FlowEntry
+    ) -> Optional[Decision]:
+        """Fast path: the flow is known — admit, account, forward.
+
+        Returns None (falling back to the slow path) when the byte
+        budget is exhausted: the full admission then produces the
+        authoritative reject and the stale entry is dropped.
+        """
+        segment = hop.segment
+        profile = self.ports.profile(cached.out_port)
+        if profile is None:
+            # Egress vanished under the entry (topology change raced
+            # the invalidation): fall back to the slow path.
+            self.flow_cache.invalidate_port(cached.out_port)
+            return None
+        if cached.token_entry is not None:
+            if not self.token_cache.account_flow_hit(
+                cached.token_entry, hop.wire_size, segment.priority
+            ):
+                self.flow_cache.invalidate_token(segment.token)
+                return None
+        # Everything below reuses work memoized at install time: the
+        # return segment, the splice tail sizes and the post-hop size
+        # delta are all pinned by the flow key, so the warm path does
+        # no segment construction and no wire-size arithmetic.
+        return_segment = cached.return_segment
+        post_size_delta = cached.post_size_delta
+        if return_segment is not None:
+            reverse_info = hop.reverse_portinfo()
+            if reverse_info != return_segment.portinfo:
+                # The upstream link re-framed (new arrival MACs) under
+                # the cached flow: rebuild this packet's return hop.
+                rebuilt = return_segment.copy(portinfo=reverse_info)
+                post_size_delta += (
+                    rebuilt.wire_size() - return_segment.wire_size()
+                )
+                return_segment = rebuilt
+        if cached.splice is None:
+            effective = segment
+            splice_tail = []
+        else:
+            effective = cached.splice[0].copy(
+                priority=segment.priority, dib=segment.dib
+            )
+            splice_tail = [
+                s.copy(priority=segment.priority)
+                for s in cached.splice[1:]
+            ]
+        truncate_to = 0
+        if profile.mtu and hop.wire_size + post_size_delta > profile.mtu:
+            truncate_to = profile.mtu
+        return Decision(
+            Action.FORWARD,
+            out_port=cached.out_port,
+            effective=effective,
+            return_segment=return_segment,
+            splice_tail=splice_tail,
+            dst_mac=cached.dst_mac,
+            truncate_to=truncate_to,
+            token_delay=0.0,
+            segments_left=hop.seg_count - 1,
+            flow_cache_hit=True,
+        )
+
+    def _forward_decision(
+        self,
+        hop: HopInput,
+        segment: HeaderSegment,
+        out_port: int,
+        effective: HeaderSegment,
+        dst_mac: Optional[Any],
+        spliced: Optional[List[HeaderSegment]],
+        return_token: bytes,
+        profile: PortProfile,
+        token_delay: float,
+        flow_cache_hit: bool = False,
+    ) -> Decision:
+        """Assemble the FORWARD decision: return hop, splice, truncation."""
+        return_segment = None
+        if hop.in_port != UNKNOWN_IN_PORT:
+            return_segment = HeaderSegment(
+                port=hop.in_port,
+                priority=segment.priority,
+                token=return_token,
+                portinfo=hop.reverse_portinfo(),
+            )
+        splice_tail = (
+            [s.copy(priority=segment.priority) for s in spliced[1:]]
+            if spliced and len(spliced) > 1 else []
+        )
+        # Stage 5: truncation instead of fragmentation (§2) — the
+        # post-hop wire size replaces the stripped segment with the
+        # splice tail plus the new trailer element.
+        truncate_to = 0
+        if profile.mtu:
+            post_size = (
+                hop.wire_size
+                - segment.wire_size()
+                + sum(s.wire_size() for s in splice_tail)
+            )
+            if return_segment is not None:
+                post_size += return_segment.wire_size() + TRAILER_LENGTH_BYTES
+            if post_size > profile.mtu:
+                truncate_to = profile.mtu
+        return Decision(
+            Action.FORWARD,
+            out_port=out_port,
+            effective=effective,
+            return_segment=return_segment,
+            splice_tail=splice_tail,
+            dst_mac=dst_mac,
+            truncate_to=truncate_to,
+            token_delay=token_delay,
+            segments_left=hop.seg_count - 1,
+            flow_cache_hit=flow_cache_hit,
+        )
+
+    def _reverse_token(self, segment: HeaderSegment) -> bytes:
+        """The token rides the return hop only when its claims say so
+        ("the token can be used for the return route as well", §2.2)."""
+        if not segment.token:
+            return b""
+        entry = self.token_cache.entry(segment.token)
+        if entry is not None and entry.valid and entry.claims is not None:
+            if entry.claims.reverse_ok:
+                return segment.token
+        return b""
+
+    # -- invalidation hooks (drivers call these) ---------------------------
+
+    def on_topology_change(self, port_id: Optional[int] = None) -> None:
+        """A port was attached/re-wired: the cached egresses may be stale."""
+        if port_id is None:
+            self.flow_cache.flush()
+        else:
+            self.flow_cache.invalidate_port(port_id)
+
+    def on_congestion_rebind(self) -> None:
+        """A congestion signal installed/refreshed a rate limit: cached
+        routes may steer into the congested queue — re-resolve."""
+        self.flow_cache.flush()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ForwardingPipeline {self.name!r} cache={self.flow_cache!r}>"
+
+
+def resolve_dst_mac(segment: HeaderSegment, port_kind: str) -> Optional[Any]:
+    """Decode the egress Ethernet destination from a segment's portInfo.
+
+    Pure: returns None off-Ethernet or when the portInfo doesn't parse
+    (footnote 4's compressed form — destination + type only — is
+    accepted; the attachment supplies the source address at frame time).
+    """
+    if port_kind != "ethernet":
+        return None
+    try:
+        if len(segment.portinfo) == ETHERNET_INFO_BYTES:
+            return EthernetInfo.from_bytes(segment.portinfo).dst
+        if len(segment.portinfo) == COMPRESSED_ETHERNET_INFO_BYTES:
+            return CompressedEthernetInfo.from_bytes(segment.portinfo).dst
+    except DecodeError:
+        return None
+    return None

@@ -62,6 +62,7 @@ from repro.viper.wire import (
     MAX_SEGMENTS,
     decode_segment,
     encode_segment,
+    segment_span,
 )
 
 #: Leading magic of every live datagram.
@@ -300,20 +301,53 @@ def strip_and_append(
     the other segments are copied through untouched — byte-for-byte the
     same strip/reverse/append the simulator's router performs
     structurally.
+
+    **Zero-copy fast path**: the strip boundary comes from
+    :func:`repro.viper.wire.segment_span` (arithmetic, no segment object)
+    and the untouched middle — remaining segments ++ payload ++ trailer —
+    is a :class:`memoryview` slice that ``join`` copies exactly once
+    into the output frame.  Nothing between the stripped segment and the
+    appended trailer element is ever decoded or re-encoded;
+    :func:`strip_and_append_slow` is the structural reference this is
+    tested byte-exact against.
     """
     preamble = decode_preamble(datagram)
     if preamble.kind != FRAME_DATA or preamble.seg_count == 0:
         raise ViperDecodeError("cannot forward: no leading segment")
-    _, next_offset = decode_segment(datagram, preamble.header_len)
+    next_offset = segment_span(datagram, preamble.header_len)
     encoded_return = encode_segment(return_segment)
     if len(encoded_return) >= TRUNCATION_SENTINEL:
         raise ValueError("return segment too large to frame in the trailer")
-    return (
+    return b"".join((
         encode_preamble(
             FRAME_DATA, seq, preamble.seg_count - 1, preamble.payload_len,
             trace_id=preamble.trace_id,
-        )
-        + datagram[next_offset:]
-        + encoded_return
-        + len(encoded_return).to_bytes(TRAILER_LENGTH_BYTES, "big")
+        ),
+        memoryview(datagram)[next_offset:],
+        encoded_return,
+        len(encoded_return).to_bytes(TRAILER_LENGTH_BYTES, "big"),
+    ))
+
+
+def strip_and_append_slow(
+    datagram: bytes, return_segment: HeaderSegment, seq: int = SEQ_NONE
+) -> bytes:
+    """Reference strip/reverse/append through the structural codec.
+
+    Decodes the whole frame into a :class:`SirpentPacket`, performs
+    :meth:`~repro.viper.packet.SirpentPacket.advance`, and re-encodes —
+    every byte round-trips through the object layer.  Semantically
+    identical to :func:`strip_and_append`; it exists so a test can
+    assert the zero-copy fast path is byte-exact against it on any
+    decodable frame.
+    """
+    preamble, packet, payload_bytes = decode_live_frame(datagram)
+    if preamble.seg_count == 0:
+        raise ViperDecodeError("cannot forward: no leading segment")
+    packet.advance(return_segment)
+    encoded_return = encode_segment(return_segment)
+    if len(encoded_return) >= TRUNCATION_SENTINEL:
+        raise ValueError("return segment too large to frame in the trailer")
+    return encode_live_frame(
+        packet, payload_bytes, seq=seq, trace_id=preamble.trace_id
     )

@@ -32,6 +32,7 @@ from repro.live.frames import decode_live_frame, encode_live_frame
 from repro.live.link import Address, Impairments, LiveEndpoint, ReliabilityConfig
 from repro.live.metrics import EndpointMetrics
 from repro.obs.trace import NULL_TRACER
+from repro.sim.ids import PacketIdAllocator
 from repro.transport.flowcontrol import DeliveryMask, split_into_group
 from repro.transport.rebind import RouteManager
 from repro.viper.errors import ViperDecodeError
@@ -113,6 +114,8 @@ class LiveHost:
         self.ports: Dict[int, Address] = {}
         self.addr_port: Dict[Address, int] = {}
         self.sockets: Dict[int, Callable[[LiveDelivered], None]] = {}
+        #: Seed-stable id source for the packets this host frames.
+        self.packet_ids = PacketIdAllocator()
         #: Hop tracer (repro.obs); NULL_TRACER = tracing disabled.
         #: Timestamps are ``time.monotonic()`` seconds.
         self.tracer = NULL_TRACER
@@ -177,6 +180,7 @@ class LiveHost:
             segments=segments,
             payload_size=len(payload),
             payload=payload,
+            packet_id=self.packet_ids.allocate(),
             created_at=time.monotonic(),
             source=self.name,
         )

@@ -1,63 +1,62 @@
-"""A Sirpent router as a live asyncio UDP daemon.
+"""A Sirpent router as a live asyncio UDP daemon — the overlay's driver.
 
 :class:`LiveRouter` receives VIPER frames on a real socket, decodes the
 *leading* header segment with the existing codec
-(:func:`repro.live.frames.peek_leading_segment`), runs the same
-strip/reverse/append pipeline and token-cache admission logic as the
-simulator's :class:`~repro.core.router.SirpentRouter`, and forwards the
-rewritten bytes out the named port — which in the overlay is a UDP peer
+(:func:`repro.live.frames.peek_leading_segment`), runs the **same**
+sans-IO :class:`repro.dataplane.ForwardingPipeline` as the simulator's
+:class:`~repro.core.router.SirpentRouter` — token-cache admission, the
+§2.2 flow cache, strip/reverse/append planning — and forwards the
+rewritten bytes out the named port, which in the overlay is a UDP peer
 address.  Port 0 delivers locally, exactly as §5 reserves it.
 
-The switching decision is factored into the side-effect-free
-:meth:`LiveRouter.decide` so tests can assert *decision parity* between
-the live router and the simulator's router on identical frames.
+Sim↔live decision parity is *structural*: both routers call the one
+pipeline, so the parity tests assert plumbing, not a duplicated
+algorithm.  :meth:`LiveRouter.decide` remains as the thin entry tests
+use to probe a single decision.
 
 Unsupported in the live overlay (v1): multicast fan-out/tree ports and
-logical-port splicing — frames naming them are dropped and counted,
-never crash the daemon.  Undecodable datagrams are likewise
-dropped-and-counted (the decoder totality the fuzz suite enforces is
-what makes this safe).
+logical-port splicing — the pipeline is built with
+``Capabilities(multicast=False)`` and an empty logical map, so frames
+naming them are dropped and counted, never crash the daemon.
+Undecodable datagrams are likewise dropped-and-counted (the decoder
+totality the fuzz suite enforces is what makes this safe).
 """
 
 from __future__ import annotations
 
-import enum
 import time
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Any, Dict, Iterable, Optional
 
-from repro.core.multicast import BROADCAST_PORT, TREE_PORT
+from repro.dataplane import (
+    Action,
+    Capabilities,
+    Decision,
+    EffectSink,
+    FlowCache,
+    ForwardingPipeline,
+    HopInput,
+    PortMap,
+    PortProfile,
+    UNKNOWN_IN_PORT,
+    apply_drop,
+)
 from repro.live.frames import Preamble, peek_leading_segment, strip_and_append
 from repro.live.link import Address, Impairments, LiveEndpoint, ReliabilityConfig
 from repro.live.metrics import EndpointMetrics
 from repro.obs.trace import NULL_TRACER
-from repro.tokens.cache import CachePolicy, TokenCache, Verdict
+from repro.tokens.cache import CachePolicy, TokenCache
 from repro.tokens.capability import TokenMint
 from repro.viper.errors import ViperDecodeError
 from repro.viper.portinfo import ETHERNET_INFO_BYTES, EthernetInfo
-from repro.viper.wire import LOCAL_PORT, HeaderSegment
+from repro.viper.wire import HeaderSegment
 
-
-class Action(enum.Enum):
-    """What the router decided to do with one frame."""
-
-    FORWARD = "forward"
-    DELIVER_LOCAL = "local"
-    DROP = "drop"
-
-
-@dataclass(frozen=True)
-class Decision:
-    """Outcome of the switching decision for one frame.
-
-    ``reason`` names the drop counter on :class:`.metrics.EndpointMetrics`
-    when ``action`` is :attr:`Action.DROP`; ``out_port`` is the VIPER
-    port to forward out of otherwise.
-    """
-
-    action: Action
-    out_port: int = -1
-    reason: str = ""
+__all__ = [
+    "Action",
+    "Decision",
+    "LiveRouter",
+    "LiveRouterConfig",
+]
 
 
 @dataclass
@@ -69,6 +68,56 @@ class LiveRouterConfig:
     #: Per-hop forwarding uses ack/retry when True (dead peers become
     #: detectable instead of silent loss).
     reliable_hops: bool = True
+    #: §2.2 soft-state flow cache (False disables it).
+    flow_cache: bool = True
+    flow_cache_capacity: int = 1024
+    flow_cache_ttl_ms: int = 10_000
+
+
+class _LivePortMap(PortMap):
+    """The pipeline's view of the router's UDP peer table."""
+
+    def __init__(self, router: "LiveRouter") -> None:
+        self._router = router
+
+    def profile(self, port_id: int) -> Optional[PortProfile]:
+        if port_id in self._router.ports:
+            # UDP hops carry no Ethernet portInfo and never truncate
+            # (the datagram either fits the socket or was refused at
+            # encode time), hence mtu=0 (unlimited).
+            return PortProfile(kind="udp", mtu=0)
+        return None
+
+    def ids(self) -> Iterable[int]:
+        return sorted(self._router.ports)
+
+
+class _LiveEffectSink(EffectSink):
+    """Counter + trace applicator for one frame on the live router."""
+
+    __slots__ = ("_router", "_trace_id")
+
+    def __init__(self, router: "LiveRouter", trace_id: int) -> None:
+        self._router = router
+        self._trace_id = trace_id
+
+    def bump(self, name: str, n: int = 1) -> None:
+        for _ in range(n):
+            self._router.metrics.drop(name)
+
+    def trace_event(self, event: str, **fields: Any) -> None:
+        router = self._router
+        if self._trace_id and router.tracer.enabled:
+            router.tracer.event(
+                self._trace_id, time.monotonic(), router.name, event, **fields
+            )
+
+    def trace_drop(self, reason: str, **fields: Any) -> None:
+        router = self._router
+        if self._trace_id and router.tracer.enabled:
+            router.tracer.drop(
+                self._trace_id, time.monotonic(), router.name, reason, **fields
+            )
 
 
 class LiveRouter:
@@ -95,6 +144,18 @@ class LiveRouter:
             self.mint,
             policy=self.config.token_policy,
             require_tokens=self.config.require_tokens,
+        )
+        self.flow_cache = FlowCache(
+            capacity=self.config.flow_cache_capacity,
+            ttl_ms=self.config.flow_cache_ttl_ms,
+            enabled=self.config.flow_cache,
+        )
+        self.pipeline = ForwardingPipeline(
+            name,
+            token_cache=self.token_cache,
+            ports=_LivePortMap(self),
+            flow_cache=self.flow_cache,
+            capabilities=Capabilities(multicast=False),
         )
         self.metrics = EndpointMetrics(name)
         self.endpoint = LiveEndpoint(
@@ -133,71 +194,56 @@ class LiveRouter:
             raise ValueError(f"port {port_id} invalid: VIPER ports are 1..255")
         self.ports[port_id] = peer
         self.addr_port[peer] = port_id
+        # Topology changed: cached flows naming this port are stale.
+        self.pipeline.on_topology_change(port_id)
 
     @property
     def address(self) -> Optional[Address]:
         """The router's bound UDP address (None before :meth:`start`)."""
         return self.endpoint.address
 
-    # -- the pipeline ------------------------------------------------------
+    # -- decide (pipeline) then apply (driver) -----------------------------
 
-    def decide(self, preamble: Preamble, segment: HeaderSegment) -> Decision:
-        """The pure switching decision — shared shape with the simulator.
+    def decide(
+        self,
+        preamble: Preamble,
+        segment: HeaderSegment,
+        in_port: int = UNKNOWN_IN_PORT,
+    ) -> Decision:
+        """One switching decision through the shared sans-IO pipeline.
 
-        Mirrors :class:`~repro.core.router.SirpentRouter` hop for hop:
-        route-exhaustion, local delivery on port 0, token-cache
-        admission (§2.2) and the no-route drop.  Side effects are
-        limited to the token cache's own accounting, which is exactly
-        the state the sim router also mutates per packet.
+        ``in_port`` is the VIPER port the frame arrived on;
+        :data:`~repro.dataplane.UNKNOWN_IN_PORT` (tests probing a bare
+        decision, frames from unwired peers) still yields the full
+        verdict but no return segment and no flow-cache install.
         """
-        if preamble.seg_count == 0:
-            return Decision(Action.DROP, reason="route_exhausted")
-        port = segment.port
-        if port == LOCAL_PORT:
-            return Decision(Action.DELIVER_LOCAL)
-        if port in (TREE_PORT, BROADCAST_PORT):
-            return Decision(Action.DROP, reason="multicast_unsupported")
-        size = preamble.payload_len  # charged size, as the sim charges wire size
-        verdict, _delay = self.token_cache.admit(
-            segment.token, port, segment.priority, size,
-            now_ms=self._now_ms(), rpf=segment.rpf,
-        )
-        if verdict is Verdict.REJECT:
-            return Decision(Action.DROP, reason="token_reject")
-        if port not in self.ports:
-            return Decision(Action.DROP, reason="no_route")
-        return Decision(Action.FORWARD, out_port=port)
+        return self.pipeline.decide(HopInput(
+            segment=segment,
+            seg_count=preamble.seg_count,
+            # Charged size: the payload length the preamble declares
+            # (the sim charges the full structural wire size).
+            wire_size=preamble.payload_len,
+            in_port=in_port,
+            now_ms=self._now_ms(),
+            reverse_portinfo=lambda: self._reverse_portinfo(segment),
+        ))
 
-    def build_return_segment(
-        self, segment: HeaderSegment, in_port: int
-    ) -> HeaderSegment:
-        """The reversed hop appended to the trailer (§2).
+    @staticmethod
+    def _reverse_portinfo(segment: HeaderSegment) -> bytes:
+        """Reverse the hop's network-specific bytes for the return route.
 
-        Return port = the port the frame arrived on; an Ethernet-shaped
-        portInfo is reversed (src/dst swap), a point-to-point hop's is
-        empty; the token rides along only when its claims authorize
-        reverse-route charging — the same rules as the sim router's
-        ``_build_return_segment``.
+        An Ethernet-shaped portInfo is reversed (src/dst swap); a
+        point-to-point/UDP hop's is empty — the same link-layer rule the
+        sim driver applies to its arrival transmission.
         """
-        portinfo = b""
         if len(segment.portinfo) == ETHERNET_INFO_BYTES:
             try:
-                portinfo = EthernetInfo.from_bytes(
+                return EthernetInfo.from_bytes(
                     segment.portinfo
                 ).reversed().to_bytes()
             except ViperDecodeError:  # pragma: no cover - length-checked
-                portinfo = b""
-        token = b""
-        entry = self.token_cache.entry(segment.token) if segment.token else None
-        if entry is not None and entry.valid and entry.claims is not None:
-            if entry.claims.reverse_ok:
-                token = segment.token
-        return HeaderSegment(
-            port=in_port,
-            priority=segment.priority,
-            token=token,
-            portinfo=portinfo,
-        )
+                return b""
+        return b""
 
     def _on_frame(self, datagram: bytes, source: Address) -> None:
         try:
@@ -206,62 +252,40 @@ class LiveRouter:
             # Line noise / malformed frame: drop and count, never crash.
             self.metrics.drop("undecodable")
             return
-        traced = preamble.trace_id and self.tracer.enabled
-        decision = self.decide(preamble, segment)
+        sink = _LiveEffectSink(self, preamble.trace_id)
+        in_port = self.addr_port.get(source, UNKNOWN_IN_PORT)
+        decision = self.decide(preamble, segment, in_port=in_port)
         if decision.action is Action.DROP:
-            self.metrics.drop(decision.reason)
-            if traced:
-                self.tracer.drop(
-                    preamble.trace_id, time.monotonic(), self.name,
-                    decision.reason, port=segment.port,
-                )
+            apply_drop(sink, decision)
             return
         if decision.action is Action.DELIVER_LOCAL:
             self.metrics.delivered_local += 1
-            if traced:
-                self.tracer.event(
-                    preamble.trace_id, time.monotonic(), self.name,
-                    "deliver_local",
-                )
+            sink.trace_event("deliver_local")
             if self.local_handler is not None:
                 self.local_handler(datagram, source)
             return
-        in_port = self.addr_port.get(source)
-        if in_port is None:
+        # FORWARD (FANOUT cannot happen: multicast=False drops earlier).
+        if in_port == UNKNOWN_IN_PORT:
             # A frame from an unwired peer cannot get a correct return
             # hop; refusing it mirrors Sirpent's "routes only work when
-            # every hop is reversible".
-            self.metrics.drop("unknown_peer")
-            if traced:
-                self.tracer.drop(
-                    preamble.trace_id, time.monotonic(), self.name,
-                    "unknown_peer",
-                )
+            # every hop is reversible".  The decision above still ran
+            # the token cache, matching the pre-refactor drop order.
+            apply_drop(sink, Decision(Action.DROP, reason="unknown_peer"))
             return
-        if traced:
-            self.tracer.event(
-                preamble.trace_id, time.monotonic(), self.name,
-                "switch_decision", in_port=in_port, out_port=decision.out_port,
-            )
-        return_segment = self.build_return_segment(segment, in_port)
+        sink.trace_event(
+            "switch_decision", in_port=in_port, out_port=decision.out_port,
+        )
         try:
-            forwarded = strip_and_append(datagram, return_segment)
+            forwarded = strip_and_append(datagram, decision.return_segment)
         except (ViperDecodeError, ValueError):
-            self.metrics.drop("undecodable")
-            if traced:
-                self.tracer.drop(
-                    preamble.trace_id, time.monotonic(), self.name,
-                    "undecodable",
-                )
+            apply_drop(sink, Decision(Action.DROP, reason="undecodable"))
             return
         self.metrics.forwarded += 1
-        if traced:
-            self.tracer.event(
-                preamble.trace_id, time.monotonic(), self.name,
-                "strip_reverse_append",
-                out_port=decision.out_port,
-                segments_left=preamble.seg_count - 1,
-            )
+        sink.trace_event(
+            "strip_reverse_append",
+            out_port=decision.out_port,
+            segments_left=decision.segments_left,
+        )
         self.endpoint.send(
             forwarded, self.ports[decision.out_port],
             reliable=self.config.reliable_hops,

@@ -12,6 +12,8 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, List, Optional, Tuple
 
+from repro.sim.ids import PacketIdAllocator
+
 
 class SimulationError(Exception):
     """Raised for scheduling misuse (e.g. scheduling into the past)."""
@@ -62,6 +64,14 @@ class Simulator:
         self._seq: int = 0
         self._running: bool = False
         self.events_executed: int = 0
+        #: Seed-stable id source for every packet this engine creates
+        #: (hosts, router clones, baselines) — ids are a function of
+        #: this run's traffic alone, not of import/test order.
+        self.packet_ids = PacketIdAllocator()
+
+    def new_packet_id(self) -> int:
+        """Allocate the next reproducible packet id for this engine."""
+        return self.packet_ids.allocate()
 
     # -- scheduling ------------------------------------------------------
 

@@ -90,6 +90,9 @@ class TokenCache:
         self.invalid_seen = 0
         self.hits = 0
         self.misses = 0
+        #: Invoked after :meth:`flush` — the dataplane flow cache hooks
+        #: this to drop flow verdicts derived from the flushed entries.
+        self.on_flush: Optional[callable] = None
 
     # -- admission (the fast path) -------------------------------------------
 
@@ -178,6 +181,28 @@ class TokenCache:
         if entry.claims is not None:
             self.ledger.charge(entry.claims.account, size, priority)
 
+    def account_flow_hit(
+        self, entry: TokenCacheEntry, size: int, priority: int
+    ) -> bool:
+        """Account one packet admitted via the dataplane flow cache.
+
+        The flow cache memoizes the *verdict* but byte budgets and the
+        accounting ledger are per-packet state that must keep flowing
+        through the token cache.  Returns False when the entry's byte
+        budget can no longer cover ``size`` (the caller must fall back
+        to the slow path, which will REJECT); otherwise charges the
+        ledger, counts the packet, and records a cache hit so the
+        token-cache hit rate reflects flow-cache-served packets too.
+        """
+        if not entry.valid or entry.claims is None:
+            return False
+        budget = entry.remaining_budget()
+        if budget is not None and size > budget:
+            return False
+        self.hits += 1
+        self._account(entry, b"", size, priority)
+        return True
+
     # -- the slow path -----------------------------------------------------------
 
     def _verify_and_install(self, token: bytes, now_ms: int) -> None:
@@ -197,6 +222,8 @@ class TokenCache:
     def flush(self) -> None:
         """Discard all cached entries (router restart — tokens are soft state)."""
         self._entries.clear()
+        if self.on_flush is not None:
+            self.on_flush()
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -17,10 +17,10 @@ in the codec tests), never per hop.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import Any, List, Optional, Tuple, Union
 
+from repro.sim.ids import PacketIdAllocator
 from repro.viper.errors import DecodeError, SegmentLimitError
 from repro.viper.wire import (
     MAX_SEGMENTS,
@@ -64,7 +64,10 @@ class TrailerElement:
         return self.segment.wire_size() + TRAILER_LENGTH_BYTES
 
 
-_packet_ids = itertools.count(1)
+#: Fallback id source for bare construction (unit tests, clones).
+#: Engine-owned packets pass ``packet_id=`` explicitly from their
+#: simulator's/overlay's own allocator so ids are seed-stable.
+_DEFAULT_IDS = PacketIdAllocator()
 
 
 @dataclass
@@ -82,7 +85,7 @@ class SirpentPacket:
     payload: Any = None
     trailer: List[Union[TrailerElement, _TruncationMark]] = field(default_factory=list)
     # -- simulation metadata (not on the wire) --
-    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    packet_id: int = field(default_factory=_DEFAULT_IDS.allocate)
     created_at: float = 0.0
     source: str = ""
     corrupted: bool = False

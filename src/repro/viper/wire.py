@@ -203,6 +203,64 @@ def decode_segment(buffer: bytes, offset: int = 0) -> Tuple[HeaderSegment, int]:
     return segment, offset
 
 
+def _field_span(
+    buffer: bytes, offset: int, length_octet: int, what: str
+) -> int:
+    """Offset just past a variable field, without materialising it.
+
+    Applies the same escape-handling, canonicality and truncation checks
+    as :func:`_decode_field` so the two can never disagree about where a
+    field ends.
+    """
+    if length_octet == LENGTH_ESCAPE:
+        if offset + EXTENDED_LENGTH_BYTES > len(buffer):
+            raise DecodeError(f"truncated extended length for {what}")
+        true_length = int.from_bytes(
+            buffer[offset:offset + EXTENDED_LENGTH_BYTES], "big"
+        )
+        if true_length < LENGTH_ESCAPE:
+            raise DecodeError(
+                f"non-canonical extended length {true_length} for {what}"
+            )
+        offset += EXTENDED_LENGTH_BYTES
+    else:
+        true_length = length_octet
+    if offset + true_length > len(buffer):
+        raise DecodeError(
+            f"truncated {what}: need {true_length} bytes at offset {offset}, "
+            f"buffer has {len(buffer)}"
+        )
+    return offset + true_length
+
+
+def segment_span(buffer: bytes, offset: int = 0) -> int:
+    """Offset just past the segment at ``offset`` — no segment object.
+
+    The zero-copy hop fast path uses this to find the strip boundary
+    without decoding (and later re-encoding) bytes it forwards
+    untouched.  It performs exactly the validation
+    :func:`decode_segment` performs — truncation, reserved flag bits,
+    length-escape canonicality — so ``segment_span(b, o) ==
+    decode_segment(b, o)[1]`` for every buffer one accepts, and both
+    raise :class:`~repro.viper.errors.DecodeError` on every buffer one
+    rejects.
+    """
+    if offset < 0:
+        raise DecodeError(f"negative segment offset {offset}")
+    if offset + FIXED_SEGMENT_BYTES > len(buffer):
+        raise DecodeError("buffer too short for fixed segment fields")
+    portinfo_len = buffer[offset]
+    token_len = buffer[offset + 1]
+    flag_byte = buffer[offset + 3]
+    if (flag_byte >> 4) & ~_DEFINED_FLAGS_MASK:
+        raise DecodeError(
+            f"reserved flag bit set in flags byte {flag_byte:#04x}"
+        )
+    offset += FIXED_SEGMENT_BYTES
+    offset = _field_span(buffer, offset, token_len, "portToken")
+    return _field_span(buffer, offset, portinfo_len, "portInfo")
+
+
 def encode_route(segments) -> bytes:
     """Serialize a whole source route (the stacked header segments)."""
     if len(segments) > MAX_SEGMENTS:

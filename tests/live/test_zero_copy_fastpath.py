@@ -1,0 +1,170 @@
+"""The zero-copy hop fast path is byte-exact against the slow codec.
+
+``strip_and_append`` finds the strip boundary arithmetically
+(:func:`repro.viper.wire.segment_span`) and memoryview-slices the
+untouched middle bytes straight into the output frame; the bytes it
+forwards are never decoded.  ``strip_and_append_slow`` round-trips the
+whole frame through :class:`SirpentPacket` instead.  The acceptance
+criterion is that the two are indistinguishable on the wire — for
+every decodable frame shape, over multiple hops, including the traced
+debug option and the 255 length-escape.
+"""
+
+import pytest
+
+from repro.live.frames import (
+    decode_live_frame,
+    encode_live_frame,
+    strip_and_append,
+    strip_and_append_slow,
+)
+from repro.viper.errors import ViperDecodeError
+from repro.viper.packet import SirpentPacket, TrailerElement
+from repro.viper.wire import (
+    HeaderSegment,
+    decode_segment,
+    encode_segment,
+    segment_span,
+)
+
+
+def frame(segments, payload=b"hello world", trailer=(), trace_id=0, seq=0):
+    packet = SirpentPacket(
+        segments=list(segments),
+        payload_size=len(payload),
+        payload=payload,
+        trailer=list(trailer),
+        trace_id=trace_id,
+    )
+    return encode_live_frame(packet, payload, seq=seq, trace_id=trace_id)
+
+
+FRAME_SHAPES = {
+    "plain": frame([HeaderSegment(port=1), HeaderSegment(port=0)]),
+    "tokened": frame([
+        HeaderSegment(port=1, token=b"T" * 32, priority=5),
+        HeaderSegment(port=2, token=b"U" * 32),
+        HeaderSegment(port=0),
+    ]),
+    "portinfo": frame([
+        HeaderSegment(port=3, portinfo=bytes(range(14))),
+        HeaderSegment(port=0),
+    ]),
+    "flags": frame([
+        HeaderSegment(port=9, vnt=True, dib=True, rpf=True, priority=0xF),
+        HeaderSegment(port=0),
+    ]),
+    "escape_token": frame([
+        # 300 >= 255 forces the 32-bit extended-length escape (§5).
+        HeaderSegment(port=1, token=b"E" * 300),
+        HeaderSegment(port=0),
+    ], payload=b"x" * 500),
+    "empty_payload": frame([HeaderSegment(port=1), HeaderSegment(port=0)],
+                           payload=b""),
+    "existing_trailer": frame(
+        [HeaderSegment(port=1), HeaderSegment(port=0)],
+        trailer=[TrailerElement(HeaderSegment(port=4, token=b"rv"))],
+    ),
+    "traced": frame([HeaderSegment(port=1), HeaderSegment(port=0)],
+                    trace_id=0xDEADBEEF_CAFE_0001),
+}
+
+RETURN_SEGMENTS = {
+    "bare": HeaderSegment(port=7),
+    "tokened": HeaderSegment(port=7, token=b"R" * 32, priority=5),
+    "ethernet": HeaderSegment(port=7, portinfo=bytes(range(14))),
+}
+
+
+class TestByteExactness:
+    @pytest.mark.parametrize("shape", sorted(FRAME_SHAPES))
+    @pytest.mark.parametrize("ret", sorted(RETURN_SEGMENTS))
+    def test_fast_path_equals_slow_path(self, shape, ret):
+        datagram = FRAME_SHAPES[shape]
+        return_segment = RETURN_SEGMENTS[ret]
+        fast = strip_and_append(datagram, return_segment, seq=42)
+        slow = strip_and_append_slow(datagram, return_segment, seq=42)
+        assert fast == slow
+
+    def test_exactness_holds_across_multiple_hops(self):
+        datagram = FRAME_SHAPES["tokened"]
+        fast = slow = datagram
+        for hop_port in (7, 8):
+            ret = HeaderSegment(port=hop_port, token=b"R" * 16)
+            fast = strip_and_append(fast, ret, seq=hop_port)
+            slow = strip_and_append_slow(slow, ret, seq=hop_port)
+            assert fast == slow
+        # And the result still decodes into a coherent packet.
+        _, packet, payload = decode_live_frame(fast)
+        assert [s.port for s in packet.segments] == [0]
+        assert payload == b"hello world"
+        assert [e.segment.port for e in packet.trailer] == [7, 8]
+
+    def test_traced_frames_keep_their_trace_id(self):
+        forwarded = strip_and_append(
+            FRAME_SHAPES["traced"], HeaderSegment(port=7)
+        )
+        preamble, _, _ = decode_live_frame(forwarded)
+        assert preamble.trace_id == 0xDEADBEEF_CAFE_0001
+
+    def test_middle_bytes_are_copied_verbatim(self):
+        """The forwarded frame contains the original middle region as-is."""
+        datagram = FRAME_SHAPES["tokened"]
+        first_len = len(encode_segment(
+            HeaderSegment(port=1, token=b"T" * 32, priority=5)
+        ))
+        middle = datagram[11 + first_len:]
+        forwarded = strip_and_append(datagram, HeaderSegment(port=7))
+        assert middle in forwarded
+
+    def test_no_leading_segment_refused(self):
+        empty_route = frame([])
+        with pytest.raises(ViperDecodeError):
+            strip_and_append(empty_route, HeaderSegment(port=7))
+        with pytest.raises(ViperDecodeError):
+            strip_and_append_slow(empty_route, HeaderSegment(port=7))
+
+
+class TestSegmentSpan:
+    """segment_span is the arithmetic twin of decode_segment."""
+
+    @pytest.mark.parametrize("segment", [
+        HeaderSegment(port=1),
+        HeaderSegment(port=1, token=b"t" * 8),
+        HeaderSegment(port=1, portinfo=b"p" * 14),
+        HeaderSegment(port=1, token=b"t" * 300),       # escape
+        HeaderSegment(port=1, portinfo=b"p" * 260),     # escape
+        HeaderSegment(port=1, token=b"t" * 255, portinfo=b"p" * 255),
+        HeaderSegment(port=255, vnt=True, dib=True, rpf=True, priority=0xF),
+    ])
+    def test_agrees_with_decode_on_valid_segments(self, segment):
+        buffer = b"\xAA" * 3 + encode_segment(segment) + b"\xBB" * 5
+        _, next_offset = decode_segment(buffer, 3)
+        assert segment_span(buffer, 3) == next_offset
+
+    @pytest.mark.parametrize("mutate", [
+        lambda b: b[:3],                          # truncated fixed fields
+        lambda b: b[:-1],                         # truncated portinfo
+        lambda b: b[:3] + bytes([b[3] | 0x10]) + b[4:],  # reserved flag
+        lambda b: bytes([255]) + b[1:],           # escape w/o extension
+    ])
+    def test_rejects_what_decode_rejects(self, mutate):
+        good = encode_segment(HeaderSegment(port=1, portinfo=b"p" * 4))
+        bad = mutate(good)
+        with pytest.raises(ViperDecodeError):
+            decode_segment(bad, 0)
+        with pytest.raises(ViperDecodeError):
+            segment_span(bad, 0)
+
+    def test_rejects_non_canonical_extended_length(self):
+        # A 255 length octet whose 32-bit extension says 4 (< 255) is
+        # non-canonical; both parsers must refuse it identically.
+        bad = bytes([0, 255, 1, 0]) + (4).to_bytes(4, "big") + b"tttt"
+        with pytest.raises(ViperDecodeError):
+            decode_segment(bad, 0)
+        with pytest.raises(ViperDecodeError):
+            segment_span(bad, 0)
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(ViperDecodeError):
+            segment_span(b"\x00" * 8, -1)
