@@ -18,14 +18,10 @@ closed-form model.
 
 from __future__ import annotations
 
-from repro.analysis.overhead import (
-    ip_overhead_fraction,
-    paper_example_overhead,
-    sirpent_overhead_fraction,
-)
+from repro.analysis.overhead import paper_example_overhead
 from repro.sim.rng import RngStreams
 from repro.viper.portinfo import EthernetInfo
-from repro.viper.wire import HeaderSegment, segment_wire_size
+from repro.viper.wire import HeaderSegment
 from repro.workloads.sizes import PacketSizeMixture
 from repro.net.addresses import MacAddress
 

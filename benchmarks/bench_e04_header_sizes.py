@@ -12,7 +12,6 @@ from __future__ import annotations
 
 from repro.analysis.overhead import crossover_hops
 from repro.net.addresses import MacAddress
-from repro.viper.packet import SirpentPacket
 from repro.viper.portinfo import EthernetInfo
 from repro.viper.wire import HeaderSegment, encode_route
 

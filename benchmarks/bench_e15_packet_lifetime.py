@@ -21,7 +21,7 @@ run out.
 from __future__ import annotations
 
 from repro.scenarios import build_ip_line, build_sirpent_line
-from repro.transport import RouteManager, TransportConfig
+from repro.transport import TransportConfig
 from repro.transport.timestamps import TimestampPolicy
 from repro.transport.vmtp import PduKind, VmtpPdu
 from repro.viper.wire import HeaderSegment

@@ -1,0 +1,65 @@
+"""S01 — the sirlint gate must never become CI's critical path.
+
+The domain linter (SIR001–SIR006, ``tools/sirlint``) runs as its own CI
+job on every push.  This bench times a full ``python -m sirlint src``
+invocation — subprocess, cold interpreter, exactly as CI runs it — and
+asserts it finishes well inside a 10-second budget, so adding rules or
+files can never quietly turn the lint job into the slowest leg of the
+pipeline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+
+from benchmarks._common import format_table, publish
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+
+#: Wall-clock budget (seconds) for one cold `python -m sirlint src`.
+BUDGET_SECONDS = 10.0
+
+
+def run_sirlint() -> "tuple[float, dict]":
+    """One cold CLI run; returns (wall seconds, parsed JSON report)."""
+    env = dict(os.environ, PYTHONPATH=os.path.join(REPO_ROOT, "tools"))
+    started = time.monotonic()
+    proc = subprocess.run(
+        [sys.executable, "-m", "sirlint", "src", "--format", "json"],
+        cwd=REPO_ROOT, env=env, capture_output=True, text=True,
+    )
+    elapsed = time.monotonic() - started
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    return elapsed, json.loads(proc.stdout)
+
+
+def bench_s01_sirlint_speed() -> None:
+    """`python -m sirlint src` stays < 10 s, cold, including startup."""
+    wall, payload = run_sirlint()
+    analysis = payload["elapsed_seconds"]
+    rows = [
+        ("wall clock (cold subprocess)", f"{wall:.2f}", BUDGET_SECONDS),
+        ("analysis only (CLI-reported)", f"{analysis:.2f}", BUDGET_SECONDS),
+        ("files checked", payload["checked_files"], "-"),
+        ("findings", len(payload["findings"]), 0),
+    ]
+    publish("bench_s01_sirlint_speed", format_table(
+        "S01 sirlint speed guard (budget: never the CI critical path)",
+        ("quantity", "measured", "budget"),
+        rows,
+    ))
+    assert wall < BUDGET_SECONDS, (
+        f"sirlint src took {wall:.1f}s cold — over the {BUDGET_SECONDS}s "
+        "budget; profile the rules before adding more"
+    )
+    assert analysis < BUDGET_SECONDS / 2, (
+        f"analysis alone took {analysis:.1f}s — the AST pass is drifting"
+    )
+
+
+if __name__ == "__main__":
+    bench_s01_sirlint_speed()

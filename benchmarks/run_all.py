@@ -47,6 +47,7 @@ EXPERIMENTS = [
     ("a07", "bench_a07_blocked_policies"),
     ("l01", "bench_l01_live_loopback"),
     ("o01", "bench_o01_obs_overhead"),
+    ("s01", "bench_s01_sirlint_speed"),
 ]
 
 

@@ -59,7 +59,7 @@ class ControlPlane:
         self.sim = sim
         self.topology = topology
         self._handlers: Dict[str, Callable[[str, Any], None]] = {}
-        self.messages = Counter("control.messages")
+        self.messages = Counter("control_messages")
 
     def register(self, node_name: str, handler: Callable[[str, Any], None]) -> None:
         self._handlers[node_name] = handler

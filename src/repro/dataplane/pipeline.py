@@ -23,7 +23,7 @@ verification and logical resolution entirely.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, List, Optional
 
 from repro.dataplane.effects import Action, Decision
@@ -152,7 +152,7 @@ class ForwardingPipeline:
         logical: Optional[LogicalPortMap] = None,
         groups: Optional[GroupPortMap] = None,
         flow_cache: Optional[FlowCache] = None,
-        capabilities: Capabilities = Capabilities(),
+        capabilities: Optional[Capabilities] = None,
     ) -> None:
         self.name = name
         self.token_cache = token_cache
@@ -162,7 +162,9 @@ class ForwardingPipeline:
         self.flow_cache = flow_cache if flow_cache is not None else FlowCache(
             enabled=False
         )
-        self.capabilities = capabilities
+        self.capabilities = (
+            capabilities if capabilities is not None else Capabilities()
+        )
         # A token-cache flush (router restart) orphans every flow entry
         # whose verdict was derived from the flushed entries — soft
         # state dies together (§2.2).

@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
-_LABEL_OK = set("abcdefghijklmnopqrstuvwxyz0123456789-_")
+_LABEL_OK = frozenset("abcdefghijklmnopqrstuvwxyz0123456789-_")
 
 
 def _validate_label(label: str) -> str:

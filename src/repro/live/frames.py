@@ -80,6 +80,15 @@ FRAME_ACK = 1
 #: Size of the fixed preamble.
 PREAMBLE_BYTES = 11
 
+#: Size of the hop-sequence field.
+SEQ_BYTES = 4
+
+#: Byte offset of the hop-sequence field (after magic, version, kind).
+SEQ_OFFSET = 4
+
+#: Size of the payload-length field.
+PAYLOAD_LEN_BYTES = 2
+
 #: High bit of ``kind``: an 8-byte trace id follows the fixed preamble.
 FLAG_TRACED = 0x80
 
@@ -130,9 +139,9 @@ def encode_preamble(
     out = (
         MAGIC
         + bytes((VERSION, wire_kind))
-        + seq.to_bytes(4, "big")
+        + seq.to_bytes(SEQ_BYTES, "big")
         + bytes((seg_count,))
-        + payload_len.to_bytes(2, "big")
+        + payload_len.to_bytes(PAYLOAD_LEN_BYTES, "big")
     )
     if trace_id:
         out += trace_id.to_bytes(TRACE_ID_BYTES, "big")
@@ -183,6 +192,24 @@ def decode_preamble(datagram: bytes) -> Preamble:
 def encode_ack(seq: int) -> bytes:
     """A per-hop acknowledgement frame for ``seq``."""
     return encode_preamble(FRAME_ACK, seq, 0, 0)
+
+
+def restamp_seq(datagram: bytes, seq: int) -> bytes:
+    """Rewrite the preamble's hop-sequence cookie, copying the rest.
+
+    The per-hop retry machinery re-sends a frame under a fresh sequence
+    number; only this module knows where that field lives, so the link
+    layer calls here instead of slicing the preamble by hand.
+    """
+    if not 0 <= seq <= (1 << (8 * SEQ_BYTES)) - 1:
+        raise ValueError(f"sequence {seq} outside 32 bits")
+    if len(datagram) < PREAMBLE_BYTES:
+        raise ViperDecodeError("datagram shorter than the preamble")
+    return (
+        datagram[:SEQ_OFFSET]
+        + seq.to_bytes(SEQ_BYTES, "big")
+        + datagram[SEQ_OFFSET + SEQ_BYTES:]
+    )
 
 
 # -- whole-frame codec (endpoints) ------------------------------------------

@@ -36,6 +36,7 @@ from repro.live.frames import (
     SEQ_NONE,
     decode_preamble,
     encode_ack,
+    restamp_seq,
 )
 from repro.live.metrics import EndpointMetrics
 from repro.viper.errors import ViperDecodeError
@@ -156,7 +157,7 @@ class LiveEndpoint:
         seq = SEQ_NONE
         if reliable:
             seq = next(self._seq)
-            datagram = datagram[:4] + seq.to_bytes(4, "big") + datagram[8:]
+            datagram = restamp_seq(datagram, seq)
             self._pending[seq] = (
                 datagram, addr, self.reliability.max_retries
             )

@@ -250,7 +250,12 @@ class LiveRouter:
             preamble, segment = peek_leading_segment(datagram)
         except ViperDecodeError:
             # Line noise / malformed frame: drop and count, never crash.
-            self.metrics.drop("undecodable")
+            # No preamble decoded, so no trace id — the sink still keeps
+            # the counter and the (no-op) trace in one applicator.
+            apply_drop(
+                _LiveEffectSink(self, 0),
+                Decision(Action.DROP, reason="undecodable"),
+            )
             return
         sink = _LiveEffectSink(self, preamble.trace_id)
         in_port = self.addr_port.get(source, UNKNOWN_IN_PORT)

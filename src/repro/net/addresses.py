@@ -21,6 +21,9 @@ ETHERTYPE_IP = 0x0800
 #: addresses + 16-bit type = 14 bytes.
 ETHERNET_HEADER_BYTES = 14
 
+#: Wire size of one 48-bit address.
+MAC_BYTES = 6
+
 #: Broadcast address.
 BROADCAST = (1 << 48) - 1
 
@@ -48,7 +51,7 @@ class MacAddress:
         return f"MacAddress({str(self)!r})"
 
     def __str__(self) -> str:
-        octets = self.value.to_bytes(6, "big")
+        octets = self.value.to_bytes(MAC_BYTES, "big")
         return ":".join(f"{b:02x}" for b in octets)
 
     @classmethod
@@ -63,11 +66,11 @@ class MacAddress:
         return cls(value)
 
     def to_bytes(self) -> bytes:
-        return self.value.to_bytes(6, "big")
+        return self.value.to_bytes(MAC_BYTES, "big")
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "MacAddress":
-        if len(data) != 6:
+        if len(data) != MAC_BYTES:
             raise ValueError("MAC address must be 6 bytes")
         return cls(int.from_bytes(data, "big"))
 

@@ -47,9 +47,9 @@ class RouteManager:
         self.refresher = refresher
         self._current = 0
         self._consecutive_slow = 0
-        self.switches = Counter("route.switches")
-        self.failures = Counter("route.failures")
-        self.rtt_samples = Histogram("route.rtt")
+        self.switches = Counter("route_switches")
+        self.failures = Counter("route_failures")
+        self.rtt_samples = Histogram("route_rtt")
         self.last_switch_at: Optional[float] = None
 
     # -- selection ---------------------------------------------------------

@@ -24,6 +24,12 @@ from repro.viper.errors import DecodeError
 
 ETHERNET_INFO_BYTES = 14
 
+#: Wire size of the 16-bit Ethernet protocol type field.
+ETHERTYPE_BYTES = 2
+
+#: Wire size of a logical hop's opaque label.
+LABEL_BYTES = 2
+
 
 @dataclass(frozen=True)
 class EthernetInfo:
@@ -38,7 +44,7 @@ class EthernetInfo:
             raise ValueError(f"ethertype {self.ethertype:#x} out of range")
         return (
             self.dst.to_bytes() + self.src.to_bytes()
-            + self.ethertype.to_bytes(2, "big")
+            + self.ethertype.to_bytes(ETHERTYPE_BYTES, "big")
         )
 
     @classmethod
@@ -94,7 +100,9 @@ class CompressedEthernetInfo:
     def to_bytes(self) -> bytes:
         if not 0 <= self.ethertype <= 0xFFFF:
             raise ValueError(f"ethertype {self.ethertype:#x} out of range")
-        return self.dst.to_bytes() + self.ethertype.to_bytes(2, "big")
+        return self.dst.to_bytes() + self.ethertype.to_bytes(
+            ETHERTYPE_BYTES, "big"
+        )
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "CompressedEthernetInfo":
@@ -135,7 +143,9 @@ class LogicalInfo:
             raise ValueError(f"logical label {self.label} out of range")
         if not 0 <= self.flow_hint <= 0xFF:
             raise ValueError(f"flow hint {self.flow_hint} out of range")
-        return self.label.to_bytes(2, "big") + bytes([self.flow_hint, 0])
+        return self.label.to_bytes(LABEL_BYTES, "big") + bytes(
+            [self.flow_hint, 0]
+        )
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "LogicalInfo":

@@ -25,7 +25,7 @@ bytes have arrived.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Tuple
 
 from repro.viper.errors import DecodeError, SegmentLimitError

@@ -48,7 +48,7 @@ class TransactionApp:
         self.mean_think = mean_think
         self.max_transactions = max_transactions
         self.priority = priority
-        self.response_time = Histogram("transaction.rtt")
+        self.response_time = Histogram("transaction_rtt")
         self.completed = Counter("transactions")
         self.failed = Counter("failures")
         self.running = True
@@ -171,7 +171,7 @@ class VideoStreamApp:
         self.priority = priority
         self.duration = duration
         self.dib = dib
-        self.sent = Counter("video.sent")
+        self.sent = Counter("video_sent")
         self.started_at = sim.now
         self.running = True
         sim.after(0.0, self._tick)
@@ -201,8 +201,8 @@ class JitterMeter:
     def __init__(self, expected_interval: float) -> None:
         self.expected_interval = expected_interval
         self.last_arrival: Optional[float] = None
-        self.jitter = Histogram("video.jitter")
-        self.received = Counter("video.received")
+        self.jitter = Histogram("video_jitter")
+        self.received = Counter("video_received")
 
     def on_delivery(self, delivered: Any) -> None:
         self.received.add()

@@ -1,6 +1,5 @@
 """Unit tests for the concatenated-virtual-circuit baseline."""
 
-import pytest
 
 from repro.baselines.cvc import (
     CircuitState,

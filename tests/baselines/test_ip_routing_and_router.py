@@ -1,6 +1,5 @@
 """Unit tests for link-state routing and the store-and-forward IP router."""
 
-import pytest
 
 from repro.baselines.ip import IpRouterConfig
 from repro.scenarios import build_ip_line, build_ip_parallel

@@ -1,6 +1,5 @@
 """Unit tests for the TCP-like and UDP-like IP transports."""
 
-import pytest
 
 from repro.baselines.ip.tcplike import TcpLikeTransport, UdpLikeTransport
 from repro.scenarios import build_ip_line

@@ -6,7 +6,6 @@ ripple down the chain — the truncated tail never arrives, so every
 downstream hop's copy dies too.
 """
 
-import pytest
 
 from repro.core.host import SirpentHost
 from repro.core.router import RouterConfig, SirpentRouter

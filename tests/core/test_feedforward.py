@@ -6,7 +6,6 @@ information on the number of packets queued behind them at their
 previous router."
 """
 
-import pytest
 
 from repro.core.host import SirpentHost
 from repro.core.router import RouterConfig, SirpentRouter

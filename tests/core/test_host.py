@@ -6,7 +6,7 @@ from repro.core.host import SirpentHost
 from repro.core.router import SirpentRouter
 from repro.net.topology import Topology
 from repro.sim.engine import Simulator
-from repro.viper.wire import HeaderSegment, LOCAL_PORT
+from repro.viper.wire import HeaderSegment
 
 
 class StaticRoute:

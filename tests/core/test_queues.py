@@ -1,6 +1,5 @@
 """Unit tests for output-port scheduling, preemption and blocked policies."""
 
-import pytest
 
 from repro.core.blocked import BlockedPolicy
 from repro.core.queues import OutputPort, SubmitResult

@@ -2,14 +2,11 @@
 
 import pytest
 
-from repro.core.blocked import BlockedPolicy
 from repro.core.host import SirpentHost
 from repro.core.router import RouterConfig, SirpentRouter
 from repro.net.topology import Topology
 from repro.sim.engine import Simulator
-from repro.tokens.cache import CachePolicy
 from repro.viper.packet import SirpentPacket
-from repro.viper.portinfo import EthernetInfo
 from repro.viper.wire import HeaderSegment
 
 

@@ -1,12 +1,10 @@
 """Unit tests for the load monitor feeding the directory (§3, §6.3)."""
 
-import pytest
 
 from repro.directory import RouteQuery
 from repro.directory.monitoring import LoadMonitor
 from repro.directory.pathfind import PathObjective
 from repro.scenarios import build_sirpent_parallel
-from repro.viper.wire import HeaderSegment
 
 
 def test_monitor_reports_hot_links():

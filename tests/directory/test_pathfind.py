@@ -1,6 +1,5 @@
 """Unit tests for constrained path finding (Dijkstra, widest path, Yen)."""
 
-import pytest
 
 from repro.directory.pathfind import (
     PathObjective,

@@ -8,7 +8,6 @@ from repro.directory import DirectoryService, RegionServer, RouteQuery
 from repro.directory.pathfind import PathObjective
 from repro.net.topology import Topology
 from repro.sim.engine import Simulator
-from repro.tokens.capability import TokenMint
 from repro.viper.portinfo import EthernetInfo
 
 

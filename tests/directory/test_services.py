@@ -3,7 +3,6 @@
 import pytest
 
 from repro.directory import RouteQuery
-from repro.directory.pathfind import PathObjective
 from repro.scenarios import build_sirpent_parallel
 from repro.core.host import SirpentHost
 

@@ -1,6 +1,5 @@
 """Integration: rate-based backpressure on a congested dumbbell (§2.2)."""
 
-import pytest
 
 from repro.core.router import RouterConfig
 from repro.scenarios import build_sirpent_dumbbell

@@ -6,7 +6,6 @@ virtual circuits" — the tunnel attachment manages them: on-demand
 setup, held while busy, released when idle.
 """
 
-import pytest
 
 from repro.baselines.cvc import CvcHost, CvcSwitch
 from repro.core.host import SirpentHost

@@ -1,6 +1,5 @@
 """End-to-end integration: directory + tokens + router + transport."""
 
-import pytest
 
 from repro.core.router import RouterConfig
 from repro.directory import RouteQuery

@@ -6,7 +6,6 @@ contend for the segment, portInfo carries the MACs, and return routes
 reverse the frame headers (§2's worked example).
 """
 
-import pytest
 
 from repro.scenarios import build_sirpent_campus
 from repro.transport import RouteManager, TransportConfig

@@ -1,6 +1,5 @@
 """Failure-injection integration tests: soft state, flaps, preemption."""
 
-import pytest
 
 from repro.core.router import RouterConfig
 from repro.directory import RouteQuery

@@ -1,6 +1,5 @@
 """Integration: reaction to link failure — Sirpent rebind vs IP (§6.3)."""
 
-import pytest
 
 from repro.scenarios import build_ip_parallel, build_sirpent_parallel
 from repro.transport import RouteManager, TransportConfig

@@ -10,7 +10,6 @@ implementation of VIPER together with a routing directory service"
 (§8).
 """
 
-import pytest
 
 from repro.core.router import RouterConfig
 from repro.directory import RouteQuery

@@ -1,12 +1,11 @@
 """Integration: Sirpent over an IP internetwork as one logical hop (§2.3)."""
 
-import pytest
 
 from repro.baselines.ip import IpAddressAllocator, IpHost, IpRouter
 from repro.core.congestion import ControlPlane
 from repro.core.host import SirpentHost
 from repro.core.router import SirpentRouter
-from repro.core.tunnel import PROTO_SIRPENT_IN_IP, attach_tunnel
+from repro.core.tunnel import attach_tunnel
 from repro.net.topology import Topology
 from repro.sim.engine import Simulator
 from repro.viper.wire import HeaderSegment

@@ -1,6 +1,5 @@
 """Integration: logical links balance replicated trunks (§2.2)."""
 
-import pytest
 
 from repro.core.host import SirpentHost
 from repro.core.logical import SelectionPolicy

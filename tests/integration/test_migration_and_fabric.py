@@ -1,7 +1,6 @@
 """Integration: entity migration (§4.1), hierarchical fabrics (§5), and
 cut-through gap preservation (§2.1)."""
 
-import pytest
 
 from repro.core.host import SirpentHost
 from repro.net.fabric import build_fabric

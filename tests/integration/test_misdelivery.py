@@ -6,7 +6,6 @@ catch the damage.  These tests inject bit errors on a link and verify
 the end-to-end accounting.
 """
 
-import pytest
 
 from repro.core.host import SirpentHost
 from repro.core.router import SirpentRouter

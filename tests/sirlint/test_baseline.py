@@ -1,0 +1,73 @@
+"""Baseline semantics: justified-only entries, staleness, minimality."""
+
+import os
+
+import pytest
+
+from sirlint.baseline import BaselineError, apply_baseline, parse_baseline
+from sirlint.engine import run
+from sirlint.model import Finding
+
+REPO_ROOT = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", "..")
+)
+BASELINE_PATH = os.path.join(REPO_ROOT, "tools", "sirlint", "baseline.txt")
+
+
+def finding(rule="SIR004", path="src/repro/x.py", symbol="metric-name:bad"):
+    return Finding(rule=rule, path=path, line=1, col=0,
+                   message="m", symbol=symbol)
+
+
+def test_parse_requires_justification():
+    with pytest.raises(BaselineError):
+        parse_baseline("SIR004 src/repro/x.py metric-name:bad\n")
+
+
+def test_parse_rejects_malformed_key():
+    with pytest.raises(BaselineError):
+        parse_baseline("SIR004 src/repro/x.py  # missing the symbol\n")
+
+
+def test_parse_skips_comments_and_blanks():
+    assert parse_baseline("# header\n\n   \n# more\n") == []
+
+
+def test_apply_splits_matched_and_stale():
+    entries = parse_baseline(
+        "SIR004 src/repro/x.py metric-name:bad  # legacy dashboards\n"
+        "SIR006 src/repro/y.py adhoc-drop:gone  # fixed long ago\n"
+    )
+    remaining, stale = apply_baseline([finding()], entries)
+    assert remaining == []
+    assert [e.key for e in stale] == ["SIR006 src/repro/y.py adhoc-drop:gone"]
+
+
+def test_unbaselined_findings_remain():
+    entries = parse_baseline(
+        "SIR004 src/repro/x.py metric-name:other  # different symbol\n"
+    )
+    remaining, stale = apply_baseline([finding()], entries)
+    assert len(remaining) == 1
+    assert len(stale) == 1
+
+
+def test_committed_baseline_is_minimal_and_current():
+    """Every committed entry must match a real finding (no stale fat),
+    and src/ must be clean once the baseline is applied."""
+    with open(BASELINE_PATH) as handle:
+        baseline_text = handle.read()
+    # Parses (every entry justified) even when empty.
+    parse_baseline(baseline_text)
+    result = run(
+        [os.path.join(REPO_ROOT, "src")], baseline_text=baseline_text
+    )
+    assert result.parse_errors == []
+    assert result.stale_baseline == [], (
+        "stale baseline entries: "
+        f"{[e.key for e in result.stale_baseline]}"
+    )
+    assert result.findings == [], (
+        "unbaselined findings: "
+        f"{[f.key for f in result.findings]}"
+    )

@@ -1,0 +1,77 @@
+"""CLI contract: exit codes, JSON shape, rule listing, speed budget."""
+
+import json
+import os
+import subprocess
+import sys
+import time
+
+REPO_ROOT = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", "..")
+)
+
+
+def run_cli(*args, cwd=REPO_ROOT):
+    env = dict(os.environ, PYTHONPATH=os.path.join(REPO_ROOT, "tools"))
+    return subprocess.run(
+        [sys.executable, "-m", "sirlint", *args],
+        cwd=cwd, env=env, capture_output=True, text=True,
+    )
+
+
+def test_clean_tree_exits_zero_with_json():
+    proc = run_cli("src", "--format", "json")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    payload = json.loads(proc.stdout)
+    assert payload["ok"] is True
+    assert payload["findings"] == []
+    assert payload["checked_files"] > 50
+
+
+def test_violation_exits_one(tmp_path):
+    bad = tmp_path / "src" / "repro" / "dataplane" / "impure.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text('"""Fixture."""\nimport socket\n')
+    proc = run_cli(str(bad), "--format", "json")
+    assert proc.returncode == 1
+    payload = json.loads(proc.stdout)
+    assert payload["ok"] is False
+    assert payload["findings"][0]["rule"] == "SIR001"
+    assert payload["findings"][0]["symbol"] == "import:socket"
+
+
+def test_syntax_error_exits_two(tmp_path):
+    bad = tmp_path / "broken.py"
+    bad.write_text("def oops(:\n")
+    proc = run_cli(str(bad))
+    assert proc.returncode == 2
+    assert "parse error" in proc.stdout
+
+
+def test_list_rules_names_all_six():
+    proc = run_cli("--list-rules")
+    assert proc.returncode == 0
+    for rule_id in ("SIR001", "SIR002", "SIR003", "SIR004", "SIR005", "SIR006"):
+        assert rule_id in proc.stdout
+
+
+def test_text_format_reports_location_and_symbol(tmp_path):
+    bad = tmp_path / "src" / "repro" / "tokens" / "impure.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text('"""Fixture."""\nimport random\n')
+    proc = run_cli(str(bad))
+    assert proc.returncode == 1
+    assert "SIR001" in proc.stdout
+    assert "import:random" in proc.stdout
+    assert f"{bad}:2:" in proc.stdout
+
+
+def test_full_src_run_is_fast():
+    """The whole-repo lint must stay interactive: < 10 s wall clock."""
+    started = time.monotonic()
+    proc = run_cli("src", "--format", "json")
+    elapsed = time.monotonic() - started
+    assert proc.returncode == 0
+    assert elapsed < 10.0, f"sirlint src took {elapsed:.1f}s (budget 10s)"
+    payload = json.loads(proc.stdout)
+    assert payload["elapsed_seconds"] < 10.0

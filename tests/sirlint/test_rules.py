@@ -1,0 +1,482 @@
+"""Per-rule fixtures: each rule must fire on its negative snippet,
+stay silent on the positive one, and honour inline suppression."""
+
+import textwrap
+
+from sirlint.engine import analyze_source
+
+
+def analyze(source, module_name, path="src/repro/fixture.py", extra=()):
+    return analyze_source(
+        textwrap.dedent(source), module_name, path=path, extra_modules=extra
+    )
+
+
+def rules_fired(findings):
+    return sorted({f.rule for f in findings})
+
+
+# -- SIR001: sans-IO purity --------------------------------------------------
+
+
+def test_sir001_fires_on_effectful_import_in_pure_module():
+    findings = analyze(
+        """
+        import time
+
+        def now():
+            return time.monotonic()
+        """,
+        "repro.dataplane.fixture",
+    )
+    assert rules_fired(findings) == ["SIR001"]
+    assert any("time" in f.message for f in findings)
+
+
+def test_sir001_fires_on_open_call_in_pure_module():
+    findings = analyze(
+        """
+        def load(path):
+            with open(path) as handle:
+                return handle.read()
+        """,
+        "repro.viper.fixture",
+    )
+    assert rules_fired(findings) == ["SIR001"]
+
+
+def test_sir001_fires_on_repo_import_outside_pure_closure():
+    findings = analyze(
+        """
+        from repro.live.router import LiveRouter
+        """,
+        "repro.tokens.fixture",
+    )
+    assert rules_fired(findings) == ["SIR001"]
+    assert any("closure" in f.message for f in findings)
+
+
+def test_sir001_silent_on_pure_module():
+    findings = analyze(
+        """
+        import math
+        from repro.viper.wire import HeaderSegment
+        from repro.net.addresses import MacAddress
+
+        def pure(x):
+            return math.sqrt(x)
+        """,
+        "repro.dataplane.fixture",
+    )
+    assert findings == []
+
+
+def test_sir001_silent_outside_pure_packages():
+    findings = analyze(
+        """
+        import time
+
+        def now():
+            return time.monotonic()
+        """,
+        "repro.live.fixture",
+    )
+    assert findings == []
+
+
+def test_sir001_inline_suppression():
+    findings = analyze(
+        """
+        import time  # sirlint: disable=SIR001
+        """,
+        "repro.dataplane.fixture",
+    )
+    assert findings == []
+
+
+# -- SIR002: no module-global mutable state ----------------------------------
+
+
+def test_sir002_fires_on_module_level_mutable_container():
+    findings = analyze(
+        """
+        CACHE = {}
+
+        def remember(k, v):
+            CACHE[k] = v
+        """,
+        "repro.core.fixture",
+    )
+    assert rules_fired(findings) == ["SIR002"]
+    symbols = {f.symbol for f in findings}
+    assert "global:CACHE" in symbols
+    assert "mutate:CACHE" in symbols
+
+
+def test_sir002_fires_on_global_statement_and_augassign():
+    findings = analyze(
+        """
+        COUNT = 0
+        COUNT += 1
+
+        def bump():
+            global COUNT
+            COUNT = COUNT + 1
+        """,
+        "repro.core.fixture",
+    )
+    symbols = {f.symbol for f in findings}
+    assert "augassign:COUNT" in symbols
+    assert "global-stmt:COUNT" in symbols
+
+
+def test_sir002_silent_on_immutable_constants():
+    findings = analyze(
+        """
+        NAMES = ("a", "b")
+        ALLOWED = frozenset({"x", "y"})
+        MAGIC = b"VL"
+        __all__ = ["NAMES", "ALLOWED"]
+        """,
+        "repro.core.fixture",
+    )
+    assert findings == []
+
+
+def test_sir002_inline_suppression():
+    findings = analyze(
+        """
+        CACHE = {}  # sirlint: disable=SIR002
+        """,
+        "repro.core.fixture",
+    )
+    assert findings == []
+
+
+# -- SIR003: async hygiene ---------------------------------------------------
+
+
+def test_sir003_fires_on_blocking_call_in_coroutine():
+    findings = analyze(
+        """
+        import time
+
+        async def pump():
+            time.sleep(0.1)
+        """,
+        "repro.live.fixture",
+    )
+    assert rules_fired(findings) == ["SIR003"]
+    assert any("time.sleep" in f.message for f in findings)
+
+
+def test_sir003_fires_on_discarded_repo_coroutine():
+    findings = analyze(
+        """
+        async def open_endpoint():
+            return 1
+
+        def boot():
+            open_endpoint()
+        """,
+        "repro.live.fixture",
+    )
+    assert rules_fired(findings) == ["SIR003"]
+    assert any("never" in f.message for f in findings)
+
+
+def test_sir003_fires_on_discarded_asyncio_coroutine():
+    findings = analyze(
+        """
+        import asyncio
+
+        def nap():
+            asyncio.sleep(1)
+        """,
+        "repro.live.fixture",
+    )
+    assert rules_fired(findings) == ["SIR003"]
+
+
+def test_sir003_silent_on_awaited_and_scheduled_calls():
+    findings = analyze(
+        """
+        import asyncio
+
+        async def open_endpoint():
+            return 1
+
+        async def boot():
+            await open_endpoint()
+            asyncio.create_task(open_endpoint())
+        """,
+        "repro.live.fixture",
+    )
+    assert findings == []
+
+
+def test_sir003_ambiguous_method_name_not_flagged():
+    # `close` is async in one class, sync in another: never flagged.
+    findings = analyze(
+        """
+        class A:
+            async def close(self):
+                pass
+
+        class B:
+            def close(self):
+                pass
+
+        def shutdown(thing):
+            thing.close()
+        """,
+        "repro.live.fixture",
+    )
+    assert findings == []
+
+
+def test_sir003_inline_suppression():
+    findings = analyze(
+        """
+        import time
+
+        async def pump():
+            time.sleep(0.1)  # sirlint: disable=SIR003
+        """,
+        "repro.live.fixture",
+    )
+    assert findings == []
+
+
+# -- SIR004: metrics discipline ----------------------------------------------
+
+
+def test_sir004_fires_on_dotted_metric_name():
+    findings = analyze(
+        """
+        from repro.sim.monitor import Counter
+
+        class Stats:
+            def __init__(self):
+                self.rtt = Counter("route.switches")
+        """,
+        "repro.transport.fixture",
+    )
+    assert rules_fired(findings) == ["SIR004"]
+
+
+def test_sir004_allows_instance_prefixed_fstring():
+    findings = analyze(
+        """
+        from repro.sim.monitor import Counter
+
+        class Stats:
+            def __init__(self, name):
+                self.drops = Counter(f"{name}.drops_total")
+        """,
+        "repro.transport.fixture",
+    )
+    assert findings == []
+
+
+def test_sir004_fires_on_cross_file_kind_conflict():
+    findings = analyze(
+        """
+        from repro.sim.monitor import Counter
+        rtt = Counter("rtt")
+        """,
+        "repro.transport.fixture",
+        extra=[(
+            "from repro.sim.monitor import Histogram\nrtt = Histogram('rtt')\n",
+            "repro.workloads.fixture",
+            "src/repro/workloads/fixture.py",
+        )],
+    )
+    assert any(f.symbol == "metric-kind:rtt" for f in findings)
+
+
+def test_sir004_fires_on_label_set_conflict():
+    findings = analyze(
+        """
+        def setup(registry):
+            registry.counter("forwarded", node="r1")
+            registry.counter("forwarded")
+        """,
+        "repro.obs.fixture",
+    )
+    assert any(f.symbol == "metric-labels:forwarded" for f in findings)
+
+
+def test_sir004_inline_suppression():
+    findings = analyze(
+        """
+        from repro.sim.monitor import Counter
+        rtt = Counter("route.switches")  # sirlint: disable=SIR004
+        """,
+        "repro.transport.fixture",
+    )
+    assert findings == []
+
+
+# -- SIR005: wire-layout consistency -----------------------------------------
+
+
+def test_sir005_fires_on_non_power_of_two_flag():
+    findings = analyze(
+        """
+        FLAG_BAD = 3
+        """,
+        "repro.viper.flags",
+        path="src/repro/viper/flags.py",
+    )
+    assert any(f.symbol == "flag-bit:FLAG_BAD" for f in findings)
+
+
+def test_sir005_fires_on_overlapping_flags():
+    findings = analyze(
+        """
+        FLAG_A = 4
+        FLAG_B = 4
+        """,
+        "repro.viper.flags",
+        path="src/repro/viper/flags.py",
+    )
+    assert any(f.symbol == "flag-overlap:FLAG_A:FLAG_B" for f in findings)
+
+
+def test_sir005_fires_on_magic_to_bytes_width():
+    findings = analyze(
+        """
+        def encode(seq):
+            return seq.to_bytes(4, "big")
+        """,
+        "repro.live.frames",
+        path="src/repro/live/frames.py",
+    )
+    assert any(f.symbol.startswith("magic-width:4") for f in findings)
+
+
+def test_sir005_fires_on_cross_file_constant_disagreement():
+    findings = analyze(
+        """
+        HEADER_BYTES = 4
+        """,
+        "repro.viper.wire",
+        path="src/repro/viper/wire.py",
+        extra=[(
+            "HEADER_BYTES = 6\n",
+            "repro.live.frames",
+            "src/repro/live/frames.py",
+        )],
+    )
+    assert any(f.symbol == "const-conflict:HEADER_BYTES" for f in findings)
+
+
+def test_sir005_silent_on_disciplined_layout():
+    findings = analyze(
+        """
+        FLAG_A = 1
+        FLAG_B = 2
+        SEQ_BYTES = 4
+
+        def encode(seq):
+            return seq.to_bytes(SEQ_BYTES, "big")
+        """,
+        "repro.live.frames",
+        path="src/repro/live/frames.py",
+    )
+    assert findings == []
+
+
+def test_sir005_not_applied_outside_wire_modules():
+    findings = analyze(
+        """
+        def encode(seq):
+            return seq.to_bytes(4, "big")
+        """,
+        "repro.transport.fixture",
+    )
+    assert findings == []
+
+
+def test_sir005_inline_suppression():
+    findings = analyze(
+        """
+        def encode(seq):
+            return seq.to_bytes(4, "big")  # sirlint: disable=SIR005
+        """,
+        "repro.live.frames",
+        path="src/repro/live/frames.py",
+    )
+    assert findings == []
+
+
+# -- SIR006: drop discipline -------------------------------------------------
+
+
+def test_sir006_fires_on_adhoc_drop_call():
+    findings = analyze(
+        """
+        class Router:
+            def on_frame(self, frame):
+                self.metrics.drop("undecodable")
+        """,
+        "repro.live.router",
+        path="src/repro/live/router.py",
+    )
+    assert rules_fired(findings) == ["SIR006"]
+
+
+def test_sir006_fires_on_direct_counter_bump():
+    findings = analyze(
+        """
+        class Router:
+            def route(self, packet):
+                self.stats.dropped_no_port.add(1)
+        """,
+        "repro.core.router",
+        path="src/repro/core/router.py",
+    )
+    assert any("dropped_no_port" in f.message for f in findings)
+
+
+def test_sir006_allows_effect_sink_adapters():
+    findings = analyze(
+        """
+        class _SimEffectSink(EffectSink):
+            def bump(self, name, n=1):
+                self.stats.dropped_no_port.add(n)
+
+            def trace_drop(self, reason):
+                self.tracer.drop(reason)
+        """,
+        "repro.core.router",
+        path="src/repro/core/router.py",
+    )
+    assert findings == []
+
+
+def test_sir006_not_applied_outside_router_modules():
+    findings = analyze(
+        """
+        class Monitor:
+            def observe(self):
+                self.metrics.drop("sample")
+        """,
+        "repro.sim.monitor",
+        path="src/repro/sim/monitor.py",
+    )
+    assert findings == []
+
+
+def test_sir006_inline_suppression():
+    findings = analyze(
+        """
+        class Router:
+            def on_frame(self, frame):
+                self.metrics.drop("undecodable")  # sirlint: disable=SIR006
+        """,
+        "repro.live.router",
+        path="src/repro/live/router.py",
+    )
+    assert findings == []

@@ -1,11 +1,14 @@
-"""Repository hygiene checks: docstrings, exports, leftovers."""
+"""Repository hygiene checks: docstrings, exports, leftovers, sirlint."""
 
 import ast
+import json
 import os
+import subprocess
+import sys
 
-import pytest
-
-SRC_ROOT = os.path.join(os.path.dirname(__file__), "..", "src", "repro")
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+SRC_ROOT = os.path.join(REPO_ROOT, "src", "repro")
+TOOLS_ROOT = os.path.join(REPO_ROOT, "tools")
 
 
 def _python_files():
@@ -85,3 +88,24 @@ def test_public_classes_and_functions_are_documented():
         f"{len(undocumented)} public items lack docstrings: "
         f"{undocumented[:10]}"
     )
+
+
+def test_sirlint_src_is_clean():
+    """The domain linter passes on src/ exactly as CI invokes it.
+
+    Exit 0 means every finding is either fixed or carries a justified
+    baseline entry; stale baseline entries also fail (the baseline can
+    only shrink).
+    """
+    env = dict(os.environ, PYTHONPATH=TOOLS_ROOT)
+    proc = subprocess.run(
+        [sys.executable, "-m", "sirlint", "src", "--format", "json"],
+        cwd=REPO_ROOT, env=env, capture_output=True, text=True,
+    )
+    assert proc.returncode == 0, (
+        f"sirlint found violations:\n{proc.stdout}\n{proc.stderr}"
+    )
+    payload = json.loads(proc.stdout)
+    assert payload["ok"] is True
+    assert payload["checked_files"] > 50, "sirlint saw too few files"
+    assert payload["stale_baseline"] == []

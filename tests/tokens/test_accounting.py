@@ -1,6 +1,5 @@
 """Unit tests for the accounting ledger (§2.2)."""
 
-import pytest
 
 from repro.tokens.accounting import AccountLedger, UsageRecord
 

@@ -1,6 +1,5 @@
 """Targeted tests of selective retransmission (§4.3), both directions."""
 
-import pytest
 
 from repro.scenarios import build_sirpent_line
 from repro.transport import RouteManager, TransportConfig

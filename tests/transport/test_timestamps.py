@@ -1,6 +1,5 @@
 """Unit tests for timestamp-based MPL enforcement (§4.2)."""
 
-import pytest
 
 from repro.sim.engine import Simulator
 from repro.transport.timestamps import (

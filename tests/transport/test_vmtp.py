@@ -1,6 +1,5 @@
 """Integration-grade unit tests for the VMTP-like transport (§4)."""
 
-import pytest
 
 from repro.scenarios import build_sirpent_line, build_sirpent_parallel
 from repro.transport import RouteManager, TransportConfig

@@ -1,0 +1,15 @@
+"""sirlint — the Sirpent repo's domain static-analysis pass.
+
+Six rules (SIR001–SIR006) encode the architectural invariants the
+papers and the earlier PRs rely on: sans-IO purity of the dataplane,
+no module-global mutable state, async hygiene in the live overlay,
+metric naming discipline, wire-layout consistency, and the
+single-applicator drop discipline.  See ``docs/ARCHITECTURE.md`` §10
+for the invariant table and provenance.
+"""
+
+from __future__ import annotations
+
+__version__ = "0.1.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,17 @@
+"""``python -m sirlint`` / ``python tools/sirlint`` entry point."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+if __package__ in (None, ""):
+    # Directory execution: ``python tools/sirlint ...`` puts the package
+    # directory itself on sys.path; add its parent so ``import sirlint``
+    # resolves, then re-dispatch through the package.
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from sirlint.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,72 @@
+"""The committed baseline: known, justified findings sirlint ignores.
+
+Format — one entry per line::
+
+    SIR004 src/repro/foo.py metric-name:bar.baz  # why this is OK
+
+i.e. the finding's :attr:`~sirlint.model.Finding.key` (rule, path,
+symbol — no line number, so entries survive unrelated edits), then a
+**mandatory** ``#`` justification.  Blank lines and pure-comment lines
+are ignored.  An entry that matches no current finding is *stale* and
+reported, so the baseline can only shrink — tested by
+``tests/sirlint/test_baseline.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Set, Tuple
+
+from sirlint.model import Finding
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One suppressed finding and its justification."""
+
+    key: str
+    justification: str
+    lineno: int
+
+
+class BaselineError(ValueError):
+    """A baseline line that cannot be parsed (or lacks a justification)."""
+
+
+def parse_baseline(text: str) -> List[BaselineEntry]:
+    """Parse baseline text; every entry must carry a justification."""
+    entries: List[BaselineEntry] = []
+    for lineno, raw in enumerate(text.splitlines(), 1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if "#" not in line:
+            raise BaselineError(
+                f"baseline line {lineno} has no '# justification': {line!r}"
+            )
+        key, justification = line.split("#", 1)
+        key = " ".join(key.split())
+        justification = justification.strip()
+        if len(key.split(" ")) != 3:
+            raise BaselineError(
+                f"baseline line {lineno} is not 'RULE path symbol': {key!r}"
+            )
+        if not justification:
+            raise BaselineError(
+                f"baseline line {lineno} has an empty justification"
+            )
+        entries.append(BaselineEntry(key, justification, lineno))
+    return entries
+
+
+def apply_baseline(
+    findings: Iterable[Finding], entries: Iterable[BaselineEntry]
+) -> Tuple[List[Finding], List[BaselineEntry]]:
+    """Split findings by the baseline: ``(remaining, stale_entries)``."""
+    findings = list(findings)
+    entries = list(entries)
+    keys: Set[str] = {entry.key for entry in entries}
+    remaining = [f for f in findings if f.key not in keys]
+    matched = {f.key for f in findings if f.key in keys}
+    stale = [entry for entry in entries if entry.key not in matched]
+    return remaining, stale

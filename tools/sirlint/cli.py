@@ -1,0 +1,141 @@
+"""sirlint command line interface.
+
+::
+
+    PYTHONPATH=tools python -m sirlint src [--format text|json]
+                                           [--baseline tools/sirlint/baseline.txt]
+                                           [--list-rules]
+
+Exit codes: ``0`` clean (possibly via baseline), ``1`` findings or
+stale baseline entries, ``2`` usage / parse errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from sirlint import __version__
+from sirlint.baseline import BaselineError
+from sirlint.engine import RunResult, run
+from sirlint.rules import ALL_RULES
+
+DEFAULT_BASELINE = Path(__file__).resolve().parent / "baseline.txt"
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="sirlint",
+        description="Sirpent repo static invariants checker.",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to check (default: src)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline", default=str(DEFAULT_BASELINE),
+        help="baseline file of justified suppressions "
+        "(default: the committed tools/sirlint/baseline.txt)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore the baseline file entirely",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule registry and exit",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"sirlint {__version__}",
+    )
+    return parser
+
+
+def _render_text(result: RunResult, out) -> None:
+    for finding in result.findings:
+        print(
+            f"{finding.path}:{finding.line}:{finding.col}: "
+            f"{finding.rule} {finding.message}  [{finding.symbol}]",
+            file=out,
+        )
+    for entry in result.stale_baseline:
+        print(
+            f"baseline:{entry.lineno}: stale entry {entry.key!r} — the "
+            "finding no longer exists; delete the line",
+            file=out,
+        )
+    for error in result.parse_errors:
+        print(f"parse error: {error}", file=out)
+    verdict = "clean" if result.ok else (
+        f"{len(result.findings)} finding(s), "
+        f"{len(result.stale_baseline)} stale baseline entr(y/ies)"
+    )
+    print(
+        f"sirlint: {result.checked_files} files, "
+        f"{result.suppressed} inline-suppressed, "
+        f"{result.baselined} baselined, "
+        f"{result.elapsed:.2f}s — {verdict}",
+        file=out,
+    )
+
+
+def _render_json(result: RunResult, out) -> None:
+    payload = {
+        "version": __version__,
+        "checked_files": result.checked_files,
+        "elapsed_seconds": round(result.elapsed, 3),
+        "suppressed": result.suppressed,
+        "baselined": result.baselined,
+        "findings": [f.to_dict() for f in result.findings],
+        "stale_baseline": [
+            {"key": e.key, "justification": e.justification, "line": e.lineno}
+            for e in result.stale_baseline
+        ],
+        "parse_errors": result.parse_errors,
+        "ok": result.ok,
+    }
+    json.dump(payload, out, indent=2, sort_keys=True)
+    out.write("\n")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for cls in ALL_RULES:
+            print(f"{cls.id}  {cls.title}")
+            print(f"        {cls.rationale}")
+        return 0
+
+    baseline_text = ""
+    if not args.no_baseline:
+        baseline_path = Path(args.baseline)
+        if baseline_path.exists():
+            baseline_text = baseline_path.read_text(encoding="utf-8")
+
+    try:
+        result = run(args.paths, baseline_text=baseline_text)
+    except BaselineError as exc:
+        print(f"sirlint: baseline error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        _render_json(result, sys.stdout)
+    else:
+        _render_text(result, sys.stdout)
+
+    if result.parse_errors:
+        return 2
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

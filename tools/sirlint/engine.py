@@ -1,0 +1,169 @@
+"""The sirlint engine: collect files, parse, run rules, apply filters.
+
+The engine is IO-light by design: :func:`analyze_source` takes source
+text and a module name so the tests can exercise every rule on inline
+fixtures, while :func:`run` wraps it with file collection, inline
+``# sirlint: disable=SIRxxx`` suppression comments and the committed
+baseline.
+"""
+
+from __future__ import annotations
+
+import re
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from sirlint.baseline import BaselineEntry, apply_baseline, parse_baseline
+from sirlint.model import Finding, ModuleInfo, module_name_for, parse_module
+from sirlint.rules import ALL_RULES, Rule, run_rules
+
+#: Inline suppression comment: ``# sirlint: disable=SIR001,SIR004``.
+SUPPRESS_RE = re.compile(r"#\s*sirlint:\s*disable=([A-Z0-9,\s]+)")
+
+
+@dataclass
+class RunResult:
+    """Everything one sirlint run produced."""
+
+    findings: List[Finding] = field(default_factory=list)
+    stale_baseline: List[BaselineEntry] = field(default_factory=list)
+    suppressed: int = 0
+    baselined: int = 0
+    checked_files: int = 0
+    elapsed: float = 0.0
+    parse_errors: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when the run should exit 0."""
+        return (
+            not self.findings
+            and not self.stale_baseline
+            and not self.parse_errors
+        )
+
+
+def collect_files(paths: Sequence[str]) -> List[Path]:
+    """Expand ``paths`` (files or directories) into sorted .py files."""
+    out: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            out.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            out.append(path)
+    # De-duplicate while preserving the sort.
+    seen = set()
+    unique: List[Path] = []
+    for path in out:
+        if path not in seen:
+            seen.add(path)
+            unique.append(path)
+    return unique
+
+
+def load_modules(
+    files: Iterable[Path],
+) -> Tuple[List[ModuleInfo], List[str]]:
+    """Parse every file; syntax errors are reported, not fatal."""
+    modules: List[ModuleInfo] = []
+    errors: List[str] = []
+    for path in files:
+        try:
+            source = path.read_text(encoding="utf-8")
+        except OSError as exc:  # unreadable file
+            errors.append(f"{path}: {exc}")
+            continue
+        try:
+            modules.append(
+                parse_module(str(path), source, module_name_for(str(path)))
+            )
+        except SyntaxError as exc:
+            errors.append(f"{path}:{exc.lineno}: {exc.msg}")
+    return modules, errors
+
+
+def _suppressed_rules(line: str) -> List[str]:
+    """Rule ids disabled by an inline comment on ``line``."""
+    match = SUPPRESS_RE.search(line)
+    if not match:
+        return []
+    return [part.strip() for part in match.group(1).split(",") if part.strip()]
+
+
+def apply_suppressions(
+    findings: Iterable[Finding], modules: Iterable[ModuleInfo]
+) -> Tuple[List[Finding], int]:
+    """Drop findings whose source line carries a matching disable comment."""
+    lines_by_path = {m.path: m.source_lines for m in modules}
+    remaining: List[Finding] = []
+    suppressed = 0
+    for finding in findings:
+        lines = lines_by_path.get(finding.path, [])
+        line = lines[finding.line - 1] if 0 < finding.line <= len(lines) else ""
+        if finding.rule in _suppressed_rules(line):
+            suppressed += 1
+        else:
+            remaining.append(finding)
+    return remaining, suppressed
+
+
+def analyze_modules(
+    modules: Sequence[ModuleInfo],
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Finding]:
+    """Run rules (fresh instances by default) over parsed modules."""
+    active = list(rules) if rules is not None else [cls() for cls in ALL_RULES]
+    return run_rules(active, modules)
+
+
+def analyze_source(
+    source: str,
+    module_name: str,
+    path: str = "<fixture>",
+    extra_modules: Sequence[Tuple[str, str, str]] = (),
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Finding]:
+    """Analyze inline source — the test fixture entry point.
+
+    ``extra_modules`` is a sequence of ``(source, module_name, path)``
+    triples analyzed together with the primary module, for the
+    cross-file rules.  Inline suppressions are honoured so the
+    suppression fixtures exercise the real mechanism.
+    """
+    modules = [parse_module(path, source, module_name)]
+    for extra_source, extra_name, extra_path in extra_modules:
+        modules.append(parse_module(extra_path, extra_source, extra_name))
+    findings = analyze_modules(modules, rules=rules)
+    remaining, _ = apply_suppressions(findings, modules)
+    return remaining
+
+
+def run(
+    paths: Sequence[str],
+    baseline_text: str = "",
+    rules: Optional[Sequence[Rule]] = None,
+) -> RunResult:
+    """The full pipeline: collect, parse, check, suppress, baseline."""
+    started = time.monotonic()
+    result = RunResult()
+
+    files = collect_files(paths)
+    modules, parse_errors = load_modules(files)
+    result.parse_errors = parse_errors
+    result.checked_files = len(modules)
+
+    findings = analyze_modules(modules, rules=rules)
+    findings, result.suppressed = apply_suppressions(findings, modules)
+
+    entries = parse_baseline(baseline_text) if baseline_text else []
+    before = len(findings)
+    findings, stale = apply_baseline(findings, entries)
+    result.baselined = before - len(findings)
+    result.findings = findings
+    result.stale_baseline = stale
+
+    result.elapsed = time.monotonic() - started
+    return result

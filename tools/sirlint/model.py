@@ -1,0 +1,205 @@
+"""Core data model shared by the engine and every rule.
+
+A :class:`ModuleInfo` is one parsed source file plus everything a rule
+might want precomputed: the dotted module name (derived from the
+``src/repro`` layout), the raw source lines (for suppression-comment
+scanning) and a local-name -> dotted-target import table (for the
+cross-file passes).
+
+A :class:`Finding` is one violation.  Its ``key`` — ``rule module
+symbol`` — deliberately excludes the line number so committed baseline
+entries survive unrelated edits to the file.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    #: Stable, line-free symbol naming the violating construct
+    #: (function/class/import/metric name) — the baseline match key.
+    symbol: str
+
+    @property
+    def key(self) -> str:
+        """The baseline/suppression fingerprint: ``rule path symbol``."""
+        return f"{self.rule} {self.path} {self.symbol}"
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready representation."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "symbol": self.symbol,
+            "key": self.key,
+        }
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module and its precomputed lookup tables."""
+
+    path: str
+    name: str
+    tree: ast.Module
+    source_lines: List[str] = field(default_factory=list)
+    #: Local name -> fully dotted target ("HeaderSegment" ->
+    #: "repro.viper.wire.HeaderSegment", "time" -> "time").
+    imports: Dict[str, str] = field(default_factory=dict)
+    #: Top-level dotted modules imported ("repro.viper.wire", "time").
+    imported_modules: List[str] = field(default_factory=list)
+
+    def finding(
+        self, rule: str, node: ast.AST, message: str, symbol: str
+    ) -> Finding:
+        """Build a :class:`Finding` for an AST node in this module."""
+        return Finding(
+            rule=rule,
+            path=self.path,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            symbol=symbol,
+        )
+
+
+def module_name_for(path: str) -> str:
+    """Dotted module name from a file path (``src/repro`` layout aware)."""
+    normalized = path.replace("\\", "/")
+    parts = [p for p in normalized.split("/") if p not in ("", ".")]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][:-3]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    for anchor in ("repro", "sirlint"):
+        if anchor in parts:
+            parts = parts[parts.index(anchor):]
+            break
+    else:
+        parts = parts[-1:]
+    return ".".join(parts) if parts else "<unknown>"
+
+
+def build_import_table(tree: ast.Module) -> Dict[str, str]:
+    """Map every locally bound import name to its dotted target."""
+    table: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                table[local] = alias.name if alias.asname else alias.name.split(".")[0]
+        elif isinstance(node, ast.ImportFrom):
+            if node.module is None or node.level:
+                continue  # relative imports are not used in this repo
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                table[local] = f"{node.module}.{alias.name}"
+    return table
+
+
+def imported_modules(tree: ast.Module) -> List[str]:
+    """Dotted modules named by import statements, in order."""
+    out: List[str] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            out.extend(alias.name for alias in node.names)
+        elif isinstance(node, ast.ImportFrom):
+            if node.module is not None and not node.level:
+                out.append(node.module)
+    return out
+
+
+def parse_module(path: str, source: str, name: Optional[str] = None) -> ModuleInfo:
+    """Parse ``source`` into a fully populated :class:`ModuleInfo`."""
+    tree = ast.parse(source, filename=path)
+    return ModuleInfo(
+        path=path,
+        name=name if name is not None else module_name_for(path),
+        tree=tree,
+        source_lines=source.splitlines(),
+        imports=build_import_table(tree),
+        imported_modules=imported_modules(tree),
+    )
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def literal_int(node: ast.AST) -> Optional[int]:
+    """Evaluate an int-valued constant expression (folds | << + - * ~)."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, int):
+        # bool is an int subclass but never a wire constant.
+        if isinstance(node.value, bool):
+            return None
+        return node.value
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.Invert, ast.USub)):
+        inner = literal_int(node.operand)
+        if inner is None:
+            return None
+        return ~inner if isinstance(node.op, ast.Invert) else -inner
+    if isinstance(node, ast.BinOp):
+        left = literal_int(node.left)
+        right = literal_int(node.right)
+        if left is None or right is None:
+            return None
+        if isinstance(node.op, ast.BitOr):
+            return left | right
+        if isinstance(node.op, ast.BitAnd):
+            return left & right
+        if isinstance(node.op, ast.LShift):
+            return left << right
+        if isinstance(node.op, ast.RShift):
+            return left >> right
+        if isinstance(node.op, ast.Add):
+            return left + right
+        if isinstance(node.op, ast.Sub):
+            return left - right
+        if isinstance(node.op, ast.Mult):
+            return left * right
+    return None
+
+
+def name_template(node: ast.AST) -> Optional[str]:
+    """A metric-name template with interpolations collapsed to ``{}``.
+
+    ``"forwarded"`` -> ``forwarded``; ``f"{name}.sent"`` -> ``{}.sent``;
+    anything non-literal -> None (not statically checkable).
+    """
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    if isinstance(node, ast.JoinedStr):
+        parts: List[str] = []
+        for value in node.values:
+            if isinstance(value, ast.Constant) and isinstance(value.value, str):
+                parts.append(value.value)
+            elif isinstance(value, ast.FormattedValue):
+                parts.append("{}")
+            else:
+                return None
+        return "".join(parts)
+    return None

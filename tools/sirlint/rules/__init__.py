@@ -1,0 +1,39 @@
+"""The sirlint rule registry.
+
+Each rule is a class implementing :class:`sirlint.rules.base.Rule`;
+:data:`ALL_RULES` lists them in id order.  Adding a rule = adding a
+module here and appending its class.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Type
+
+from sirlint.rules.asynchygiene import AsyncHygieneRule
+from sirlint.rules.base import Rule, run_rules
+from sirlint.rules.drops import DropDisciplineRule
+from sirlint.rules.metrics import MetricsRule
+from sirlint.rules.purity import PurityRule
+from sirlint.rules.state import MutableStateRule
+from sirlint.rules.wire import WireLayoutRule
+
+#: Every registered rule class, in id order.
+ALL_RULES: Tuple[Type[Rule], ...] = (
+    PurityRule,        # SIR001
+    MutableStateRule,  # SIR002
+    AsyncHygieneRule,  # SIR003
+    MetricsRule,       # SIR004
+    WireLayoutRule,    # SIR005
+    DropDisciplineRule,  # SIR006
+)
+
+
+def rule_by_id(rule_id: str) -> Optional[Type[Rule]]:
+    """Look a rule class up by its ``SIRxxx`` id."""
+    for cls in ALL_RULES:
+        if cls.id == rule_id:
+            return cls
+    return None
+
+
+__all__ = ["ALL_RULES", "Rule", "rule_by_id", "run_rules"]

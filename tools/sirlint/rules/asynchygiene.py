@@ -1,0 +1,190 @@
+"""SIR003 — async hygiene in the live overlay (and anywhere async).
+
+The live overlay (:mod:`repro.live`, :mod:`repro.obs.httpd`) runs the
+Sirpent stack on a real asyncio event loop.  Two bug classes silently
+wreck it:
+
+* a **blocking call inside an** ``async def`` (``time.sleep``, sync
+  socket ops, file IO) stalls the whole loop — every router and host in
+  the process stops forwarding for the duration;
+* a **discarded coroutine** (``self.endpoint.open(...)`` without
+  ``await``/``create_task``) silently does nothing: the socket never
+  binds, the retry never arms, and the first symptom is a dead overlay.
+
+Detection is cross-file: the rule first builds a repo-wide table of
+``async def`` functions/methods, then flags any expression-statement
+call whose callee resolves to one (or to a well-known stdlib coroutine
+factory) without being awaited or scheduled.  A method *name* that is
+async in one class and sync in another is ambiguous and never flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Set, Tuple
+
+from sirlint.model import Finding, ModuleInfo, dotted_name
+from sirlint.rules.base import Rule
+
+#: Dotted calls that block the event loop when made from a coroutine.
+BLOCKING_CALLS: Tuple[str, ...] = (
+    "time.sleep",
+    "socket.create_connection",
+    "socket.getaddrinfo",
+    "socket.gethostbyname",
+    "subprocess.run",
+    "subprocess.call",
+    "subprocess.check_call",
+    "subprocess.check_output",
+    "urllib.request.urlopen",
+)
+
+#: Builtins that are file/console IO — blocking by nature.
+BLOCKING_BUILTINS: Tuple[str, ...] = ("open", "input")
+
+#: asyncio module functions that legitimately *consume* or schedule a
+#: coroutine, so a discarded call to them is fine.
+ASYNCIO_SINKS = frozenset({
+    "run", "create_task", "ensure_future", "get_event_loop",
+    "get_running_loop", "new_event_loop", "set_event_loop",
+    "run_coroutine_threadsafe", "all_tasks", "current_task",
+})
+
+#: Attribute callees that are known coroutine functions even without a
+#: repo-side ``async def`` (asyncio stream API).  Kept deliberately
+#: short and unambiguous.
+KNOWN_ASYNC_ATTRS = frozenset(
+    {"drain", "wait_for", "open_connection", "start_server"}
+)
+
+
+def _call_is_scheduled(call: ast.Call) -> bool:
+    """True when the coroutine is handed to create_task/ensure_future."""
+    parent_ok_names = {"create_task", "ensure_future", "run_coroutine_threadsafe"}
+    func = call.func
+    if isinstance(func, ast.Attribute) and func.attr in parent_ok_names:
+        return True
+    if isinstance(func, ast.Name) and func.id in parent_ok_names:
+        return True
+    return False
+
+
+class AsyncHygieneRule(Rule):
+    """SIR003: no blocking calls in coroutines, no discarded coroutines."""
+
+    id = "SIR003"
+    title = "async hygiene: no blocking calls / un-awaited coroutines"
+    rationale = (
+        "PR 1 live overlay: one asyncio loop drives every router; a "
+        "blocked loop is a stalled network, a dropped coroutine a "
+        "silent no-op."
+    )
+
+    def __init__(self) -> None:
+        #: Method/function name -> how it is defined across the repo.
+        self._async_names: Set[str] = set()
+        self._sync_names: Set[str] = set()
+        #: Fully dotted async functions ("repro.live.link.LiveEndpoint.open").
+        self._async_qualnames: Set[str] = set()
+        #: Deferred discarded-call sites: (module, call, callee-name,
+        #: resolved-dotted-target-or-None).
+        self._discards: List[Tuple[ModuleInfo, ast.Call, str, str]] = []
+
+    # -- per-file: blocking calls inside async def -------------------------
+
+    def check(self, module: ModuleInfo) -> Iterable[Finding]:
+        for func in ast.walk(module.tree):
+            if not isinstance(func, ast.AsyncFunctionDef):
+                continue
+            for node in ast.walk(func):
+                if not isinstance(node, ast.Call):
+                    continue
+                callee = dotted_name(node.func)
+                if callee is None:
+                    continue
+                if callee in BLOCKING_CALLS:
+                    yield module.finding(
+                        self.id, node,
+                        f"blocking call {callee}() inside async "
+                        f"{func.name}() stalls the event loop "
+                        "(use the asyncio equivalent)",
+                        symbol=f"blocking:{func.name}:{callee}",
+                    )
+                elif callee in BLOCKING_BUILTINS:
+                    yield module.finding(
+                        self.id, node,
+                        f"file/console IO {callee}() inside async "
+                        f"{func.name}() blocks the event loop",
+                        symbol=f"blocking:{func.name}:{callee}",
+                    )
+
+    # -- cross-file: the async symbol table and discarded calls ------------
+
+    def collect(self, module: ModuleInfo) -> None:
+        self._index_defs(module)
+        for func in ast.walk(module.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for stmt in ast.walk(func):
+                if not isinstance(stmt, ast.Expr):
+                    continue
+                call = stmt.value
+                if not isinstance(call, ast.Call) or _call_is_scheduled(call):
+                    continue
+                self._record_discard(module, call)
+
+    def _index_defs(self, module: ModuleInfo) -> None:
+        def visit(body, prefix: str) -> None:
+            for node in body:
+                if isinstance(node, ast.AsyncFunctionDef):
+                    self._async_names.add(node.name)
+                    self._async_qualnames.add(f"{prefix}{node.name}")
+                elif isinstance(node, ast.FunctionDef):
+                    self._sync_names.add(node.name)
+                elif isinstance(node, ast.ClassDef):
+                    visit(node.body, f"{prefix}{node.name}.")
+
+        visit(module.tree.body, f"{module.name}.")
+
+    def _record_discard(self, module: ModuleInfo, call: ast.Call) -> None:
+        func = call.func
+        if isinstance(func, ast.Name):
+            resolved = module.imports.get(func.id, f"{module.name}.{func.id}")
+            self._discards.append((module, call, func.id, resolved))
+        elif isinstance(func, ast.Attribute):
+            owner = dotted_name(func.value)
+            if owner is not None and module.imports.get(owner, owner) == "asyncio":
+                self._discards.append(
+                    (module, call, func.attr, f"asyncio.{func.attr}")
+                )
+            else:
+                self._discards.append((module, call, func.attr, ""))
+
+    def finalize(self) -> Iterable[Finding]:
+        for module, call, name, resolved in self._discards:
+            if resolved.startswith("asyncio."):
+                if name not in ASYNCIO_SINKS:
+                    yield module.finding(
+                        self.id, call,
+                        f"asyncio.{name}(...) returns a coroutine/future "
+                        "that is discarded — await it or create_task it",
+                        symbol=f"discard:asyncio.{name}",
+                    )
+                continue
+            if resolved and resolved in self._async_qualnames:
+                yield module.finding(
+                    self.id, call,
+                    f"coroutine {resolved}(...) is called but never "
+                    "awaited — the call does nothing",
+                    symbol=f"discard:{resolved}",
+                )
+                continue
+            if name in KNOWN_ASYNC_ATTRS or (
+                name in self._async_names and name not in self._sync_names
+            ):
+                yield module.finding(
+                    self.id, call,
+                    f".{name}(...) resolves to a coroutine function that "
+                    "is never awaited — the call does nothing",
+                    symbol=f"discard:{name}",
+                )

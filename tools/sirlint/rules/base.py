@@ -1,0 +1,60 @@
+"""The rule protocol every sirlint check implements.
+
+A rule participates in two passes:
+
+* the **per-file pass**: :meth:`Rule.check` receives one
+  :class:`~sirlint.model.ModuleInfo` and yields findings local to it;
+* the **cross-file pass**: :meth:`Rule.collect` is called once per
+  module to accumulate whole-repo state (import graphs, metric
+  declarations, async symbol tables) and :meth:`Rule.finalize` yields
+  the findings that only make sense over the full file set.
+
+The engine instantiates each rule class fresh per run, so rules may
+keep mutable accumulator state on ``self`` without bleeding between
+runs (the very sin SIR002 exists to catch in the library).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from sirlint.model import Finding, ModuleInfo
+
+
+class Rule:
+    """Base class: a named, documented, two-pass analysis."""
+
+    #: Stable rule identifier ("SIR001").
+    id: str = ""
+    #: One-line summary shown by ``--list-rules``.
+    title: str = ""
+    #: The invariant's provenance (paper section / PR that bought it).
+    rationale: str = ""
+
+    def check(self, module: ModuleInfo) -> Iterable[Finding]:
+        """Per-file findings (default: none)."""
+        return ()
+
+    def collect(self, module: ModuleInfo) -> None:
+        """Accumulate cross-file state (default: nothing)."""
+
+    def finalize(self) -> Iterable[Finding]:
+        """Cross-file findings once every module was collected."""
+        return ()
+
+
+def run_rules(
+    rules: Iterable[Rule], modules: Iterable[ModuleInfo]
+) -> List[Finding]:
+    """Drive both passes over ``modules`` and gather every finding."""
+    rules = list(rules)
+    modules = list(modules)
+    findings: List[Finding] = []
+    for module in modules:
+        for rule in rules:
+            findings.extend(rule.check(module))
+            rule.collect(module)
+    for rule in rules:
+        findings.extend(rule.finalize())
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings

@@ -1,0 +1,180 @@
+"""SIR004 — metrics discipline across the sim, live and obs layers.
+
+PR 2 unified three accounting systems behind
+:mod:`repro.obs.registry`; the benchmark tables compare sim and live
+runs *line by line* on metric names.  That only works while names stay
+snake_case (Prometheus-legal after the adapters strip the instance
+prefix) and while one name always means one metric kind.
+
+Checks, over every ``Counter(...)``/``Gauge(...)``/``Histogram(...)``
+construction and every ``registry.counter/gauge/histogram`` call:
+
+* the name must be a static string (literal or f-string) — dynamic
+  names cannot be audited or compared across runs;
+* after stripping the legacy sim convention of one leading
+  ``f"{instance}."`` prefix, the name must be ``snake_case``
+  (``[a-z][a-z0-9_]*``) with no further interpolation;
+* **cross-file**: one name, one kind — ``Counter("rtt")`` in one module
+  and ``Histogram("rtt")`` in another is a reporting hazard;
+* **cross-file**: registry-created metrics must use one label-key set
+  per name (``counter("forwarded", node=...)`` vs a bare
+  ``counter("forwarded")`` would split the timeseries).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from sirlint.model import Finding, ModuleInfo, name_template
+from sirlint.rules.base import Rule
+
+#: Constructor class name -> metric kind.
+METRIC_KINDS = (
+    ("Counter", "counter"), ("Gauge", "gauge"), ("Histogram", "histogram"),
+)
+
+#: ``registry.<method>("name", ...)`` method names; the kind is the name.
+REGISTRY_METHODS = ("counter", "gauge", "histogram")
+
+
+def _constructor_kind(name: str) -> Optional[str]:
+    for class_name, kind in METRIC_KINDS:
+        if name == class_name:
+            return kind
+    return None
+
+SNAKE = re.compile(r"^[a-z][a-z0-9_]*$")
+
+#: One leading ``{instance}.`` is the sim's historical per-node prefix;
+#: the obs adapters strip it at exposition time.
+INSTANCE_PREFIX = "{}."
+
+
+def _strip_instance_prefix(template: str) -> str:
+    if template.startswith(INSTANCE_PREFIX):
+        return template[len(INSTANCE_PREFIX):]
+    return template
+
+
+def _metric_call(node: ast.Call) -> Optional[Tuple[str, bool]]:
+    """``(kind, via_registry)`` when ``node`` constructs a metric."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        kind = _constructor_kind(func.id)
+        if kind is not None:
+            return kind, False
+    if isinstance(func, ast.Attribute):
+        kind = _constructor_kind(func.attr)
+        if kind is not None:
+            return kind, False
+        if func.attr in REGISTRY_METHODS:
+            # registry.counter("name", node=...) — heuristically any
+            # .counter/.gauge/.histogram method call whose first
+            # argument is a static string (checked by the caller).
+            return func.attr, True
+    return None
+
+
+def _name_argument(node: ast.Call) -> Optional[ast.AST]:
+    if node.args:
+        return node.args[0]
+    for kw in node.keywords:
+        if kw.arg == "name":
+            return kw.value
+    return None
+
+
+class MetricsRule(Rule):
+    """SIR004: snake_case metric names, one kind and label-set per name."""
+
+    id = "SIR004"
+    title = "metric naming and uniqueness discipline"
+    rationale = (
+        "PR 2 observability layer: sim and live tables compare line by "
+        "line; names must be snake_case and unambiguous repo-wide."
+    )
+
+    def __init__(self) -> None:
+        #: name -> [(kind, module, path, line)]
+        self._declared: Dict[str, List[Tuple[str, ModuleInfo, int]]] = {}
+        #: name -> [(label-key-tuple, module, line)] for registry calls.
+        self._labeled: Dict[str, List[Tuple[Tuple[str, ...], ModuleInfo, int]]] = {}
+
+    def check(self, module: ModuleInfo) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            described = _metric_call(node)
+            if described is None:
+                continue
+            kind, via_registry = described
+            name_node = _name_argument(node)
+            if name_node is None:
+                continue  # unnamed metrics are legal (ad-hoc locals)
+            template = name_template(name_node)
+            if template is None:
+                # A bare variable / call result: collections.Counter et
+                # al. also land here, so stay silent rather than guess.
+                continue
+            stripped = _strip_instance_prefix(template)
+            if not SNAKE.match(stripped):
+                yield module.finding(
+                    self.id, node,
+                    f"metric name {template!r} is not snake_case "
+                    "(obs.registry convention: [a-z][a-z0-9_]*, with at "
+                    "most one leading '{instance}.' prefix)",
+                    symbol=f"metric-name:{template}",
+                )
+                continue
+            self._declared.setdefault(stripped, []).append(
+                (kind, module, node.lineno)
+            )
+            if via_registry:
+                label_keys = tuple(sorted(
+                    kw.arg for kw in node.keywords
+                    if kw.arg is not None and kw.arg != "name"
+                ))
+                self._labeled.setdefault(stripped, []).append(
+                    (label_keys, module, node.lineno)
+                )
+
+    def finalize(self) -> Iterable[Finding]:
+        for name, sites in sorted(self._declared.items()):
+            kinds = sorted({kind for kind, _, _ in sites})
+            if len(kinds) > 1:
+                kind0, module0, line0 = sites[0]
+                where = ", ".join(
+                    f"{m.path}:{ln} ({k})" for k, m, ln in sites
+                )
+                yield Finding(
+                    rule=self.id,
+                    path=module0.path,
+                    line=line0,
+                    col=0,
+                    message=(
+                        f"metric {name!r} is declared with conflicting "
+                        f"kinds: {where}"
+                    ),
+                    symbol=f"metric-kind:{name}",
+                )
+        for name, sites in sorted(self._labeled.items()):
+            label_sets = sorted({keys for keys, _, _ in sites})
+            if len(label_sets) > 1:
+                _, module0, line0 = sites[0]
+                rendered = " vs ".join(
+                    "{" + ",".join(keys) + "}" for keys in label_sets
+                )
+                yield Finding(
+                    rule=self.id,
+                    path=module0.path,
+                    line=line0,
+                    col=0,
+                    message=(
+                        f"registry metric {name!r} is created with "
+                        f"inconsistent label-key sets: {rendered} — one "
+                        "name, one label schema"
+                    ),
+                    symbol=f"metric-labels:{name}",
+                )

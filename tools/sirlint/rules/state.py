@@ -1,0 +1,146 @@
+"""SIR002 — no module-global mutable state, anywhere in the library.
+
+PR 3 fixed a whole bug class: packet ids drawn from module-global
+``itertools.count`` instances made every id depend on import order and
+whatever traffic *other* tests had generated.  The fix (per-engine
+``PacketIdAllocator``) only stays fixed if nothing reintroduces shared
+module state, so this rule bans it everywhere in ``src/``:
+
+* ``global NAME`` rebinding inside functions;
+* module-level names bound to mutable containers (dict/list/set/
+  bytearray/deque/defaultdict/...) — module constants must be immutable
+  (tuple, frozenset, bytes, mappingproxy) so they *cannot* accumulate
+  cross-run state;
+* module-level augmented assignment (a counter in disguise);
+* mutation calls (``.append``/``.add``/``[k] = v``/…) on module-level
+  names from inside functions.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Set
+
+from sirlint.model import Finding, ModuleInfo, dotted_name
+from sirlint.rules.base import Rule
+
+#: Constructors whose result is a mutable container.
+MUTABLE_CALLS = frozenset({
+    "dict", "list", "set", "bytearray",
+    "deque", "defaultdict", "OrderedDict", "ChainMap",
+})
+
+#: Method calls that mutate a container in place.
+MUTATING_METHODS = frozenset({
+    "append", "extend", "insert", "add", "update", "setdefault",
+    "pop", "popitem", "remove", "discard", "clear", "appendleft",
+})
+
+#: Module-level names exempt by convention (interpreter/metadata
+#: protocol names, never cross-run state).
+EXEMPT_NAMES = frozenset({"__all__", "__path__", "__version__"})
+
+MUTABLE_LITERALS = (
+    ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp,
+)
+
+
+def _is_mutable_value(value: ast.AST) -> bool:
+    if isinstance(value, MUTABLE_LITERALS):
+        return True
+    if isinstance(value, ast.Call):
+        callee = dotted_name(value.func)
+        if callee is not None and callee.split(".")[-1] in MUTABLE_CALLS:
+            return True
+    return False
+
+
+class MutableStateRule(Rule):
+    """SIR002: module globals must be immutable and never rebound."""
+
+    id = "SIR002"
+    title = "no module-global mutable state"
+    rationale = (
+        "PR 3 PacketIdAllocator: shared module state made runs depend "
+        "on import order; per-engine state is the repo invariant."
+    )
+
+    def check(self, module: ModuleInfo) -> Iterable[Finding]:
+        mutable_globals: Set[str] = set()
+
+        # Pass 1: module-level bindings.
+        for node in module.tree.body:
+            target = None
+            value = None
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                if isinstance(node.targets[0], ast.Name):
+                    target = node.targets[0].id
+                    value = node.value
+            elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                target = node.target.id
+                value = node.value
+            elif isinstance(node, ast.AugAssign) and isinstance(node.target, ast.Name):
+                yield module.finding(
+                    self.id, node,
+                    f"module-level augmented assignment to "
+                    f"{node.target.id!r} is global mutable state",
+                    symbol=f"augassign:{node.target.id}",
+                )
+                continue
+            if target is None or value is None or target in EXEMPT_NAMES:
+                continue
+            if _is_mutable_value(value):
+                mutable_globals.add(target)
+                yield module.finding(
+                    self.id, node,
+                    f"module-level {target!r} is a mutable container — "
+                    "use tuple/frozenset/bytes, or move the state onto "
+                    "the owning engine/driver object",
+                    symbol=f"global:{target}",
+                )
+
+        # Pass 2: 'global' rebinding anywhere, and in-place mutation of
+        # the flagged globals from inside function bodies.
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Global):
+                for name in node.names:
+                    yield module.finding(
+                        self.id, node,
+                        f"'global {name}' rebinds module state from a "
+                        "function — pass the state in explicitly",
+                        symbol=f"global-stmt:{name}",
+                    )
+        for func in ast.walk(module.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for node in ast.walk(func):
+                if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                    owner = node.func.value
+                    if (
+                        isinstance(owner, ast.Name)
+                        and owner.id in mutable_globals
+                        and node.func.attr in MUTATING_METHODS
+                    ):
+                        yield module.finding(
+                            self.id, node,
+                            f"mutation of module-global {owner.id!r} "
+                            f"(.{node.func.attr})",
+                            symbol=f"mutate:{owner.id}",
+                        )
+                elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                    targets = (
+                        node.targets if isinstance(node, ast.Assign)
+                        else [node.target]
+                    )
+                    for tgt in targets:
+                        if (
+                            isinstance(tgt, ast.Subscript)
+                            and isinstance(tgt.value, ast.Name)
+                            and tgt.value.id in mutable_globals
+                        ):
+                            yield module.finding(
+                                self.id, node,
+                                f"subscript assignment into module-global "
+                                f"{tgt.value.id!r}",
+                                symbol=f"mutate:{tgt.value.id}",
+                            )

@@ -1,0 +1,159 @@
+"""SIR005 — wire-layout consistency in the codec modules.
+
+Slick Packets and the path-validation literature agree on one thing:
+source-routed designs live or die on header invariants being
+*checkable*.  The VIPER codec (:mod:`repro.viper`) and the live overlay
+framing (:mod:`repro.live.frames`) encode byte layouts by hand —
+``int.to_bytes`` widths, flag masks, declared ``*_BYTES`` sizes — and
+nothing ties those numbers together except discipline.  This rule makes
+the discipline mechanical:
+
+* **flag masks are disjoint single bits** — every module-level
+  ``FLAG_*`` constant must be a power of two, and no two flags in one
+  module may share a bit (a shared bit means one wire bit decodes as
+  two meanings);
+* **no magic field widths** — a ``x.to_bytes(<int literal>, ...)`` in a
+  wire module hides layout in a call site; widths must reference a
+  named ``*_BYTES`` constant so header-size arithmetic has one source
+  of truth;
+* **cross-file constant agreement** — a ``*_BYTES``/``FLAG_*`` constant
+  defined in several wire modules must carry the same value everywhere
+  (e.g. ``TRAILER_LENGTH_BYTES`` in the packet codec vs the live
+  framing).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Tuple
+
+from sirlint.model import Finding, ModuleInfo, literal_int
+from sirlint.rules.base import Rule
+
+#: Modules whose byte layouts this rule audits.
+WIRE_MODULES: Tuple[str, ...] = (
+    "repro.viper.wire",
+    "repro.viper.flags",
+    "repro.viper.packet",
+    "repro.viper.portinfo",
+    "repro.live.frames",
+    "repro.net.addresses",
+)
+
+
+def is_wire_module(name: str) -> bool:
+    """True when ``name`` is one of the audited codec modules."""
+    return name in WIRE_MODULES
+
+
+def _module_int_constants(module: ModuleInfo) -> Dict[str, Tuple[int, int]]:
+    """Module-level ``NAME = <int literal expr>`` -> (value, lineno)."""
+    out: Dict[str, Tuple[int, int]] = {}
+    for node in module.tree.body:
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name):
+                value = literal_int(node.value)
+                if value is not None:
+                    out[target.id] = (value, node.lineno)
+    return out
+
+
+class WireLayoutRule(Rule):
+    """SIR005: flag masks disjoint, field widths named, constants agree."""
+
+    id = "SIR005"
+    title = "wire-layout consistency (flags disjoint, widths named)"
+    rationale = (
+        "VIPER Figure 1 / live preamble: byte layouts are hand-rolled; "
+        "one source of truth per width, one meaning per bit."
+    )
+
+    def __init__(self) -> None:
+        #: constant name -> [(value, module, line)] across wire modules.
+        self._constants: Dict[str, List[Tuple[int, ModuleInfo, int]]] = {}
+
+    def check(self, module: ModuleInfo) -> Iterable[Finding]:
+        if not is_wire_module(module.name):
+            return
+        constants = _module_int_constants(module)
+
+        # (a) flag masks: single bits, pairwise disjoint.
+        flags = {
+            name: value for name, (value, _) in constants.items()
+            if name.startswith("FLAG_") or name.endswith("_FLAG")
+        }
+        for name, value in sorted(flags.items()):
+            if value <= 0 or value & (value - 1):
+                yield module.finding(
+                    self.id, _const_node(module, name),
+                    f"flag constant {name} = {value:#x} is not a single "
+                    "bit — flags must be disjoint powers of two",
+                    symbol=f"flag-bit:{name}",
+                )
+        names = sorted(flags)
+        for i, a in enumerate(names):
+            for b in names[i + 1:]:
+                if flags[a] > 0 and flags[b] > 0 and flags[a] & flags[b]:
+                    yield module.finding(
+                        self.id, _const_node(module, a),
+                        f"flag constants {a} ({flags[a]:#x}) and {b} "
+                        f"({flags[b]:#x}) share wire bits",
+                        symbol=f"flag-overlap:{a}:{b}",
+                    )
+
+        # (b) to_bytes widths must be named constants, not magic ints.
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "to_bytes"
+                and node.args
+            ):
+                width = node.args[0]
+                if isinstance(width, ast.Constant) and isinstance(width.value, int):
+                    yield module.finding(
+                        self.id, node,
+                        f"magic field width {width.value} in to_bytes() — "
+                        "name it with a *_BYTES constant so the layout "
+                        "has one source of truth",
+                        symbol=f"magic-width:{width.value}:L{node.lineno}",
+                    )
+
+    def collect(self, module: ModuleInfo) -> None:
+        if not is_wire_module(module.name):
+            return
+        for name, (value, lineno) in _module_int_constants(module).items():
+            if name.startswith("FLAG_") or name.endswith("_BYTES"):
+                self._constants.setdefault(name, []).append(
+                    (value, module, lineno)
+                )
+
+    def finalize(self) -> Iterable[Finding]:
+        for name, sites in sorted(self._constants.items()):
+            values = sorted({value for value, _, _ in sites})
+            if len(values) > 1:
+                _, module0, line0 = sites[0]
+                where = ", ".join(
+                    f"{m.path}:{ln}={v}" for v, m, ln in sites
+                )
+                yield Finding(
+                    rule=self.id,
+                    path=module0.path,
+                    line=line0,
+                    col=0,
+                    message=(
+                        f"wire constant {name} disagrees across codec "
+                        f"modules: {where}"
+                    ),
+                    symbol=f"const-conflict:{name}",
+                )
+
+
+def _const_node(module: ModuleInfo, name: str) -> ast.AST:
+    for node in module.tree.body:
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name) and target.id == name:
+                return node
+    return module.tree
