@@ -48,6 +48,7 @@ EXPERIMENTS = [
     ("l01", "bench_l01_live_loopback"),
     ("o01", "bench_o01_obs_overhead"),
     ("s01", "bench_s01_sirlint_speed"),
+    ("r01", "bench_r01_chaos_soak"),
 ]
 
 

@@ -1,0 +1,61 @@
+"""Seeded chaos engineering for the Sirpent stack.
+
+One declarative :class:`FaultPlan` compiles to a deterministic event
+schedule; one :class:`FaultInjector` answers the per-packet fate
+question through a single seam shared by the simulator
+(:class:`SimFaultInterpreter`) and the live UDP overlay
+(:class:`LiveFaultInterpreter`); one :class:`InvariantChecker` judges
+the wreckage.  The soak harness (:mod:`repro.chaos.soak`) drives both
+substrates with the same plan over the same 4-router diamond.
+"""
+
+from repro.chaos.invariants import (
+    InvariantChecker,
+    InvariantViolationError,
+    SoakReport,
+    TxRecord,
+    Violation,
+)
+from repro.chaos.live_interp import LiveFaultInterpreter
+from repro.chaos.plan import (
+    ENTITY_FAULT_KINDS,
+    FaultEvent,
+    FaultPlan,
+    FaultSpec,
+    LINK_FAULT_KINDS,
+    PlanError,
+    expand_target,
+)
+from repro.chaos.seam import DELIVER, FaultDecision, FaultInjector, LinkFaults
+from repro.chaos.sim_interp import SimFaultInterpreter
+from repro.chaos.soak import (
+    chaos_plan,
+    chaos_scenario,
+    run_live_soak,
+    run_sim_soak,
+)
+
+__all__ = [
+    "DELIVER",
+    "ENTITY_FAULT_KINDS",
+    "FaultDecision",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "InvariantChecker",
+    "InvariantViolationError",
+    "LINK_FAULT_KINDS",
+    "LinkFaults",
+    "LiveFaultInterpreter",
+    "PlanError",
+    "SimFaultInterpreter",
+    "SoakReport",
+    "TxRecord",
+    "Violation",
+    "chaos_plan",
+    "chaos_scenario",
+    "expand_target",
+    "run_live_soak",
+    "run_sim_soak",
+]

@@ -1,0 +1,161 @@
+"""Replaying a fault plan against the simulator substrate.
+
+:class:`SimFaultInterpreter` anchors a compiled
+:class:`~repro.chaos.plan.FaultPlan` schedule onto the simulator's
+virtual clock and wires the shared :class:`~repro.chaos.seam.
+FaultInjector` into the sim's transmission path: every directed
+point-to-point channel gets a ``chaos`` hook that asks the injector for
+the per-packet fate the instant the packet is clocked onto the wire —
+the very same question the live overlay's endpoints ask, which is what
+makes one plan replay on both substrates.
+
+Entity faults map onto sim machinery:
+
+* ``router_crash`` — every link touching the router fails (a crashed
+  router *is* a black hole to its neighbours); on restart the links are
+  restored and the router's **soft state is re-derived** — token cache
+  and flow cache flushed (§2.2: nothing a router holds is needed for
+  correctness, only for speed);
+* ``directory_outage`` — the interpreter's :attr:`directory_up` gate
+  drops; harness refreshers consult it (the sim's directory is an
+  in-process call, so the gate is the outage).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.chaos.plan import FaultEvent, FaultPlan, PlanError
+from repro.chaos.seam import FaultInjector
+from repro.net.link import Channel
+from repro.net.topology import Topology
+from repro.obs.registry import MetricsRegistry
+from repro.sim.engine import Simulator
+
+
+class SimFaultInterpreter:
+    """Walks one plan's schedule on the simulator clock."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        plan: FaultPlan,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.sim = sim
+        self.topology = topology
+        self.plan = plan
+        edges = [(e.src, e.dst) for e in topology.all_edges()]
+        self.injector = FaultInjector(plan, edges)
+        if registry is not None:
+            self.injector.register(registry, substrate="sim")
+        self.injector.on_router_crash = self._crash_router
+        self.injector.on_router_restart = self._restart_router
+        self.injector.on_directory_down = self._directory_down
+        self.injector.on_directory_up = self._directory_up
+        #: Directory availability gate (False during an outage window).
+        self.directory_up = True
+        #: Links this interpreter failed for a router crash, per router.
+        self._crashed_links: Dict[str, List[str]] = {}
+        self._anchor = 0.0
+        self._installed = False
+
+    # -- seam installation -------------------------------------------------
+
+    def install(self) -> None:
+        """Put the injector's per-packet hook on every p2p channel."""
+        p2p: Set[str] = set()
+        for edge in self.topology.all_edges():
+            if edge.medium != "p2p":
+                continue
+            link_name = f"{edge.src}->{edge.dst}"
+            p2p.add(link_name)
+            channel = self._channel_for(edge)
+            channel.chaos = self._hook(link_name)
+        missing = self.injector.expanded_links() - p2p
+        if missing:
+            raise PlanError(
+                f"plan {self.plan.name!r} targets non-p2p hops "
+                f"{sorted(missing)}; the chaos seam is point-to-point only"
+            )
+        self._installed = True
+
+    def _hook(self, link_name: str):
+        injector = self.injector
+
+        def decide():
+            return injector.decide(link_name)
+
+        return decide
+
+    def _channel_for(self, edge) -> Channel:
+        link = self.topology.links[edge.link_name]
+        for channel in (link.a_to_b, link.b_to_a):
+            attachment = channel.dst_attachment
+            if attachment is not None and attachment.node.name == edge.dst:
+                return channel
+        raise PlanError(
+            f"edge {edge.src}->{edge.dst}: no channel delivers to "
+            f"{edge.dst!r}"
+        )  # pragma: no cover - topology wiring guarantees a receiver
+
+    # -- schedule ----------------------------------------------------------
+
+    def schedule(self, anchor_s: Optional[float] = None) -> None:
+        """Arm every plan event on the sim heap, relative to ``anchor_s``
+        (default: the sim's current time)."""
+        if not self._installed:
+            self.install()
+        self._anchor = self.sim.now if anchor_s is None else anchor_s
+        for event in self.injector.events:
+            self.sim.at(self._anchor + event.t, self._apply, event)
+
+    def _apply(self, event: FaultEvent) -> None:
+        self.injector.apply(event, self.sim.now - self._anchor)
+
+    # -- entity faults -----------------------------------------------------
+
+    def _adjacent_p2p_links(self, router: str) -> List[str]:
+        names: List[str] = []
+        for edge in self.topology.all_edges():
+            if edge.medium != "p2p" or edge.src != router:
+                continue
+            if edge.link_name not in names:
+                names.append(edge.link_name)
+        return names
+
+    def _crash_router(self, name: str, at: float) -> None:
+        failed: List[str] = []
+        for link_name in self._adjacent_p2p_links(name):
+            if self.topology.links[link_name].up:
+                self.topology.fail_link(link_name)
+                failed.append(link_name)
+        self._crashed_links[name] = failed
+
+    def _restart_router(self, name: str, at: float) -> None:
+        for link_name in self._crashed_links.pop(name, []):
+            self.topology.restore_link(link_name)
+        node = self.topology.nodes.get(name)
+        if node is None:
+            return
+        # §2.2 soft state only: the reborn router keeps its config and
+        # secret but not one cached verdict.
+        token_cache = getattr(node, "token_cache", None)
+        if token_cache is not None:
+            token_cache.flush()
+        flow_cache = getattr(node, "flow_cache", None)
+        if flow_cache is not None:
+            flow_cache.flush()
+
+    def _directory_down(self, target: str, at: float) -> None:
+        self.directory_up = False
+
+    def _directory_up(self, target: str, at: float) -> None:
+        self.directory_up = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<SimFaultInterpreter plan={self.plan.name!r} "
+            f"installed={self._installed}>"
+        )

@@ -142,6 +142,11 @@ class LiveDirectoryServer:
                 await writer.drain()
         except (ConnectionError, asyncio.IncompleteReadError):
             pass
+        except asyncio.CancelledError:
+            # Event-loop teardown cancels in-flight connection handlers;
+            # finishing cleanly here keeps the stream protocol's
+            # done-callback from logging a spurious traceback.
+            pass
         finally:
             self._writers.discard(writer)
             writer.close()
@@ -186,37 +191,128 @@ class LiveDirectoryClient:
     callers by correlation id, not arrival order.  Ids are generated
     ``q-<n>-<random hex>`` so traces of interleaved clients stay
     unambiguous, in the spirit of ``X-Request-ID`` headers.
+
+    Connection loss is a *first-class* event, not a hang: when the
+    directory drops the TCP connection (EOF or reset), every pending
+    request fails immediately with :class:`DirectoryError`, and the next
+    request transparently attempts a reconnect — gated by an
+    exponentially growing backoff so a dead directory is probed, not
+    hammered.  Callers therefore always get a prompt answer: a result,
+    or a named error they can retry against their own schedule.
     """
 
-    def __init__(self, name: str = "client") -> None:
+    def __init__(
+        self,
+        name: str = "client",
+        reconnect_base_s: float = 0.05,
+        reconnect_max_s: float = 2.0,
+    ) -> None:
         self.name = name
+        self.reconnect_base_s = reconnect_base_s
+        self.reconnect_max_s = reconnect_max_s
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
         self._reader_task: Optional[asyncio.Task] = None
         self._pending: Dict[str, asyncio.Future] = {}
         self._counter = itertools.count(1)
+        self._address: Optional[Address] = None
+        self._connected = False
+        self._closed = False
+        self._reconnect_attempts = 0
+        self._reconnect_blocked_until = 0.0
+        #: Times the connection was observed lost (EOF/reset).
+        self.disconnects = 0
+        #: Successful automatic reconnects after a loss.
+        self.reconnects = 0
+
+    @property
+    def connected(self) -> bool:
+        """True while the TCP connection is believed healthy."""
+        return self._connected
 
     async def connect(self, address: Address) -> None:
         """Open the TCP connection and start the response demultiplexer."""
+        self._address = address
+        self._closed = False
+        await self._open()
+
+    async def _open(self) -> None:
+        assert self._address is not None
         self._reader, self._writer = await asyncio.open_connection(
-            address[0], address[1]
+            self._address[0], self._address[1]
         )
+        self._connected = True
+        self._reconnect_attempts = 0
+        self._reconnect_blocked_until = 0.0
         self._reader_task = asyncio.get_running_loop().create_task(
             self._read_responses()
         )
 
     def close(self) -> None:
         """Tear the connection down; pending requests fail."""
+        self._closed = True
+        self._connected = False
         if self._reader_task is not None:
             self._reader_task.cancel()
             self._reader_task = None
         if self._writer is not None:
             self._writer.close()
             self._writer = None
-        for future in self._pending.values():
+        self._fail_pending(DirectoryError("directory client closed"))
+
+    def _fail_pending(self, exc: DirectoryError) -> None:
+        """Fail every in-flight request *now* — hangs are worse than
+        errors (a caller holding a timeout learns nothing for its whole
+        duration; a caller holding an error can act immediately)."""
+        pending, self._pending = self._pending, {}
+        for future in pending.values():
             if not future.done():
-                future.set_exception(DirectoryError("directory client closed"))
-        self._pending.clear()
+                future.set_exception(exc)
+                # Mark the exception retrieved: a waiter cancelled
+                # before this point would otherwise trip the event
+                # loop's "exception was never retrieved" warning.
+                future.exception()
+
+    def _on_connection_lost(self) -> None:
+        if self._closed:
+            return
+        self._connected = False
+        self.disconnects += 1
+        if self._writer is not None:
+            self._writer.close()
+            self._writer = None
+        self._fail_pending(DirectoryError("directory connection lost"))
+
+    async def _ensure_connected(self) -> None:
+        """Reconnect if the connection died, behind a growing backoff."""
+        if self._connected and self._writer is not None:
+            return
+        if self._closed or self._address is None:
+            raise DirectoryError("directory client is not connected")
+        loop = asyncio.get_running_loop()
+        now = loop.time()
+        if now < self._reconnect_blocked_until:
+            raise DirectoryError(
+                "directory reconnect backing off "
+                f"({self._reconnect_blocked_until - now:.3f}s remaining)"
+            )
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            self._reader_task = None
+        try:
+            await self._open()
+        except OSError as exc:
+            self._reconnect_attempts += 1
+            delay = min(
+                self.reconnect_max_s,
+                self.reconnect_base_s
+                * 2.0 ** (self._reconnect_attempts - 1),
+            )
+            self._reconnect_blocked_until = loop.time() + delay
+            raise DirectoryError(
+                f"directory reconnect failed: {exc}"
+            ) from exc
+        self.reconnects += 1
 
     def _next_id(self) -> str:
         return f"q-{next(self._counter)}-{os.urandom(4).hex()}"
@@ -224,7 +320,8 @@ class LiveDirectoryClient:
     async def _request(
         self, method: str, params: Dict[str, object], timeout_s: float
     ) -> Dict[str, object]:
-        if self._writer is None:
+        await self._ensure_connected()
+        if self._writer is None:  # pragma: no cover - ensure guarantees
             raise DirectoryError("directory client is not connected")
         request_id = self._next_id()
         future: asyncio.Future = asyncio.get_running_loop().create_future()
@@ -232,8 +329,15 @@ class LiveDirectoryClient:
         line = json.dumps(
             {"id": request_id, "method": method, "params": params}
         )
-        self._writer.write((line + "\n").encode(ENCODING))
-        await self._writer.drain()
+        try:
+            self._writer.write((line + "\n").encode(ENCODING))
+            await self._writer.drain()
+        except (ConnectionError, OSError) as exc:
+            self._on_connection_lost()
+            self._pending.pop(request_id, None)
+            raise DirectoryError(
+                f"directory write failed: {exc}"
+            ) from exc
         try:
             return await asyncio.wait_for(future, timeout_s)
         except asyncio.TimeoutError:
@@ -245,15 +349,22 @@ class LiveDirectoryClient:
             self._pending.pop(request_id, None)
 
     async def _read_responses(self) -> None:
-        assert self._reader is not None
+        reader = self._reader
+        assert reader is not None
         try:
             while True:
-                line = await self._reader.readline()
+                line = await reader.readline()
                 if not line:
-                    break
+                    break  # EOF: the directory hung up mid-flight
                 self._dispatch(line)
-        except (ConnectionError, asyncio.CancelledError):
-            return
+        except asyncio.CancelledError:
+            return  # close() owns the teardown
+        except (ConnectionError, OSError):
+            pass
+        # The connection is gone — nobody will ever answer the pending
+        # requests, so fail them now rather than letting them hang
+        # until their individual timeouts.
+        self._on_connection_lost()
 
     def _dispatch(self, line: bytes) -> None:
         try:

@@ -282,6 +282,13 @@ _TX_HEADER = struct.Struct(">BBIIBBBB")
 
 _KIND_REQUEST = 0
 _KIND_RESPONSE = 1
+#: Client retransmission probe: "here is the response mask I hold".
+_KIND_PROBE = 2
+#: Server assembly status: "here is the request mask I hold".
+_KIND_STATUS = 3
+
+#: 32-bit delivery bitmask rider carried by PROBE and STATUS PDUs.
+_MASK = struct.Struct(">I")
 
 _client_ids = itertools.count(1)
 
@@ -296,6 +303,10 @@ class LiveTransactionResult:
     route_switches: int = 0
     payload: bytes = b""
     error: str = ""
+    #: Retransmission probes sent (selective retransmission, §4).
+    probes: int = 0
+    #: Individual request members re-sent after STATUS feedback.
+    members_resent: int = 0
 
 
 @dataclass
@@ -309,6 +320,12 @@ class _ClientTx:
     retries: int = 0
     retries_this_route: int = 0
     route_switches: int = 0
+    probes: int = 0
+    members_resent: int = 0
+    #: Route/priority the timeout loop last used — the STATUS handler
+    #: resends missing members along this without re-entering the loop.
+    route: Optional[LiveRoute] = None
+    priority: int = 0
 
 
 @dataclass
@@ -369,7 +386,15 @@ class LiveTransactor:
         payload: bytes,
         priority: int = 0,
     ) -> LiveTransactionResult:
-        """Issue one transaction; rebinds routes on repeated timeouts."""
+        """Issue one transaction; rebinds routes on repeated timeouts.
+
+        Retransmission is *selective* (§4): a timeout sends one small
+        PROBE carrying the client's response mask rather than blindly
+        replaying the whole request group.  The server answers either
+        with the response members the client is missing (transaction
+        already processed) or a STATUS naming which request members it
+        holds — and only the gap is re-sent.
+        """
         txid = next(self._txids) & 0xFFFFFFFF
         sizes = split_into_group(
             max(1, len(payload)), self.config.max_member_payload
@@ -381,9 +406,16 @@ class LiveTransactor:
         self._client_txs[txid] = tx
         started = time.monotonic()
         try:
+            first_send = True
             while True:
                 route = manager.current()
-                self._send_request_group(tx, route, priority)
+                tx.route = route
+                tx.priority = priority
+                if first_send:
+                    self._send_request_group(tx, route, priority)
+                    first_send = False
+                else:
+                    self._send_probe(tx, route, priority)
                 timeout = max(
                     self.config.base_timeout_s, 4.0 * route.expected_rtt()
                 )
@@ -397,6 +429,8 @@ class LiveTransactor:
                             ok=False, retries=tx.retries,
                             route_switches=tx.route_switches,
                             error="retries exhausted",
+                            probes=tx.probes,
+                            members_resent=tx.members_resent,
                         )
                     if tx.retries_this_route > self.config.retries_per_route:
                         manager.report_failure()
@@ -411,6 +445,8 @@ class LiveTransactor:
                     payload=b"".join(
                         tx.parts[i] for i in sorted(tx.parts)
                     ),
+                    probes=tx.probes,
+                    members_resent=tx.members_resent,
                 )
         finally:
             self._client_txs.pop(txid, None)
@@ -427,6 +463,37 @@ class LiveTransactor:
                 index, len(tx.sizes), self.config.socket, 0,
             )
             self.host.send(route, header + chunk, priority=priority)
+
+    def _send_probe(
+        self, tx: _ClientTx, route: LiveRoute, priority: int
+    ) -> None:
+        """One PROBE PDU: "this is the response mask I already hold"."""
+        tx.probes += 1
+        bits = tx.mask.bits if tx.mask is not None else 0
+        count = tx.mask.count if tx.mask is not None else 0
+        header = _TX_HEADER.pack(
+            _KIND_PROBE, 0, self.client_id, tx.txid,
+            0, count, self.config.socket, 0,
+        )
+        self.host.send(route, header + _MASK.pack(bits), priority=priority)
+
+    def _resend_missing(self, tx: _ClientTx, server_bits: int) -> None:
+        """Re-send only the request members a STATUS says are missing."""
+        route = tx.route
+        if route is None or tx.done is None or tx.done.is_set():
+            return
+        offset = 0
+        for index, size in enumerate(tx.sizes):
+            chunk = tx.payload[offset:offset + size]
+            offset += size
+            if (server_bits >> index) & 1:
+                continue  # the server already holds this member
+            tx.members_resent += 1
+            header = _TX_HEADER.pack(
+                _KIND_REQUEST, 0, self.client_id, tx.txid,
+                index, len(tx.sizes), self.config.socket, 0,
+            )
+            self.host.send(route, header + chunk, priority=tx.priority)
 
     # -- receive path ------------------------------------------------------
 
@@ -445,6 +512,10 @@ class LiveTransactor:
             )
         elif kind == _KIND_RESPONSE:
             self._on_response(txid, member, count, chunk)
+        elif kind == _KIND_PROBE:
+            self._on_probe(client, txid, reply_socket, chunk, delivered)
+        elif kind == _KIND_STATUS:
+            self._on_status(txid, chunk)
         else:
             self.host.metrics.drop("unknown_pdu")
 
@@ -505,6 +576,52 @@ class LiveTransactor:
         while len(self._response_cache) > self.config.response_cache_size:
             self._response_cache.popitem(last=False)
         self._send_response_group(txid, chunks, reply_socket, delivered)
+
+    def _on_probe(
+        self,
+        client: int,
+        txid: int,
+        reply_socket: int,
+        chunk: bytes,
+        delivered: LiveDelivered,
+    ) -> None:
+        """Server side of selective retransmission (§4).
+
+        Already answered: replay only the response members missing from
+        the client's mask.  Mid-assembly (or never heard of): send a
+        STATUS carrying the assembly mask so the client re-sends only
+        the request members that never arrived.
+        """
+        key = (client, txid)
+        have = _MASK.unpack_from(chunk)[0] if len(chunk) >= _MASK.size else 0
+        cached = self._response_cache.get(key)
+        if cached is not None:
+            chunks, cached_socket = cached
+            missing = [
+                c for i, c in enumerate(chunks) if not (have >> i) & 1
+            ]
+            self._send_response_group(
+                txid, missing, cached_socket, delivered
+            )
+            return
+        assembly = self._assemblies.get(key)
+        bits = assembly.mask.bits if assembly is not None else 0
+        count = assembly.mask.count if assembly is not None else 0
+        header = _TX_HEADER.pack(
+            _KIND_STATUS, 0, client, txid, 0, count, reply_socket, 0,
+        )
+        self.host.send_return(
+            delivered, header + _MASK.pack(bits), reply_socket=reply_socket,
+        )
+
+    def _on_status(self, txid: int, chunk: bytes) -> None:
+        """Client side: a STATUS names what the server holds — fill
+        exactly the gap, immediately, without waiting for the timeout
+        loop to come around again."""
+        tx = self._client_txs.get(txid)
+        if tx is None or len(chunk) < _MASK.size:
+            return
+        self._resend_missing(tx, _MASK.unpack_from(chunk)[0])
 
     def _send_response_group(
         self,

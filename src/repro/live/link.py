@@ -28,11 +28,13 @@ import itertools
 import random
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Deque, Dict, Optional, Set, Tuple
+from typing import Any, Callable, Deque, Dict, Optional, Set, Tuple
 
 from repro.live.frames import (
     FRAME_ACK,
     FRAME_DATA,
+    PREAMBLE_BYTES,
+    SEQ_BYTES,
     SEQ_NONE,
     decode_preamble,
     encode_ack,
@@ -65,12 +67,103 @@ class Impairments:
 
 @dataclass
 class ReliabilityConfig:
-    """Per-hop ack/retry policy for reliable sends."""
+    """Per-hop ack/retry policy for reliable sends.
+
+    Retries back off **exponentially with jitter**: each retry gap is
+    the previous gap times a random factor in
+    ``[1 + (backoff_factor-1)/2, backoff_factor]`` — strictly greater
+    than 1 (so gaps strictly increase) and never the same twice (so two
+    endpoints that lost frames at the same instant do not retry in
+    lockstep; the partition-then-heal retry storm is the failure mode
+    this kills).  ``backoff_factor=1.0`` restores the legacy fixed
+    interval.
+
+    The **retry budget** is a sliding-window cap: within any
+    ``retry_budget_window_s`` window the endpoint may issue at most
+    ``retry_budget_floor + retry_budget_ratio * sends_in_window``
+    retries; a frame whose retry would bust the budget is abandoned
+    (counted ``retry_budget_exhausted`` and reported via
+    ``on_peer_dead``) instead of fuelling the storm.
+    """
 
     ack_timeout_s: float = 0.05
     max_retries: int = 3
     #: Remembered sequence numbers per peer, for duplicate suppression.
     dedup_window: int = 1024
+    #: Multiplicative retry-gap growth (1.0 = legacy fixed interval).
+    backoff_factor: float = 2.0
+    #: Ceiling on any single retry gap (seconds).
+    backoff_max_s: float = 2.0
+    #: Sliding window over which the retry budget is measured.
+    retry_budget_window_s: float = 1.0
+    #: Retries always permitted per window, regardless of send volume.
+    retry_budget_floor: int = 32
+    #: Additional retries permitted per original send in the window.
+    retry_budget_ratio: float = 1.0
+
+
+class RetryBudget:
+    """Sliding-window retry accounting for one endpoint.
+
+    ``allow`` answers "may this endpoint retry *now*?" by comparing the
+    retries already issued inside the window against
+    ``floor + ratio * sends`` — the §6.3 storm cap: retry pressure is
+    permitted to scale with offered load but never to run away from it.
+    """
+
+    __slots__ = ("window_s", "floor", "ratio", "_sends", "_retries",
+                 "exhaustions")
+
+    def __init__(self, window_s: float, floor: int, ratio: float) -> None:
+        self.window_s = window_s
+        self.floor = floor
+        self.ratio = ratio
+        self._sends: Deque[float] = deque()
+        self._retries: Deque[float] = deque()
+        self.exhaustions = 0
+
+    def _expire(self, now: float) -> None:
+        horizon = now - self.window_s
+        while self._sends and self._sends[0] < horizon:
+            self._sends.popleft()
+        while self._retries and self._retries[0] < horizon:
+            self._retries.popleft()
+
+    def note_send(self, now: float) -> None:
+        self._expire(now)
+        self._sends.append(now)
+
+    def note_retry(self, now: float) -> None:
+        self._expire(now)
+        self._retries.append(now)
+
+    def allow(self, now: float) -> bool:
+        self._expire(now)
+        budget = self.floor + self.ratio * len(self._sends)
+        if len(self._retries) < budget:
+            return True
+        self.exhaustions += 1
+        return False
+
+
+def corrupt_datagram(datagram: bytes, seed: int) -> bytes:
+    """Deterministically flip one byte past the hop preamble.
+
+    The preamble survives (the frame still decodes and acks normally) —
+    Sirpent carries no header checksum, so chaos corruption must be
+    *delivered* and become the transport layer's problem (§4.1), not
+    vanish as line noise.  Frames too short to have a body pass through
+    unchanged.
+    """
+    if len(datagram) <= PREAMBLE_BYTES:
+        return datagram
+    index = PREAMBLE_BYTES + (seed % (len(datagram) - PREAMBLE_BYTES))
+    flip = ((seed >> 8) & 0xFF) or 0xA5
+    return (
+        datagram[:index]
+        + bytes([datagram[index] ^ flip])
+        + datagram[index + 1:]
+    )
 
 
 class _Protocol(asyncio.DatagramProtocol):
@@ -105,6 +198,15 @@ class LiveEndpoint:
             reliability if reliability is not None else ReliabilityConfig()
         )
         self._rng = random.Random(self.impairments.seed)
+        #: Jitter source for retry backoff — seeded per endpoint *name*
+        #: so no two endpoints share a retry rhythm (desynchronization
+        #: is the point), yet each run is reproducible.
+        self._backoff_rng = random.Random(f"backoff:{name}")
+        self._budget = RetryBudget(
+            self.reliability.retry_budget_window_s,
+            self.reliability.retry_budget_floor,
+            self.reliability.retry_budget_ratio,
+        )
         self._transport: Optional[asyncio.DatagramTransport] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self.address: Optional[Address] = None
@@ -112,8 +214,16 @@ class LiveEndpoint:
         self.on_frame: Optional[Callable[[bytes, Address], None]] = None
         #: Called once per reliable frame abandoned after all retries.
         self.on_peer_dead: Optional[Callable[[Address], None]] = None
+        #: Called on every retransmission: ``on_retry(addr, seq, gap_s)``
+        #: (the chaos soak logs these to detect synchronized bursts).
+        self.on_retry: Optional[Callable[[Address, int, float], None]] = None
+        #: Chaos seam (:mod:`repro.chaos.seam`): ``fault_hook(addr)``
+        #: returns a per-datagram fault decision or None.  Duck-typed so
+        #: the live layer stays independent of the chaos package.
+        self.fault_hook: Optional[Callable[[Address], Any]] = None
         self._seq = itertools.count(1)
-        self._pending: Dict[int, Tuple[bytes, Address, int]] = {}
+        #: seq -> (datagram, addr, retries_left, current_gap_s).
+        self._pending: Dict[int, Tuple[bytes, Address, int, float]] = {}
         self._retry_timers: Dict[int, asyncio.TimerHandle] = {}
         self._seen: Dict[Address, Tuple[Set[int], Deque[int]]] = {}
         self.closed = False
@@ -121,7 +231,23 @@ class LiveEndpoint:
     # -- lifecycle ---------------------------------------------------------
 
     async def open(self, host: str = "127.0.0.1", port: int = 0) -> Address:
-        """Bind the socket; returns the bound ``(host, port)``."""
+        """Bind the socket; returns the bound ``(host, port)``.
+
+        Re-opening a previously closed endpoint (a crashed router
+        restarting) **re-derives** its soft state: the retry table and
+        the per-peer dedup windows are cleared, and the hop sequence
+        space restarts at a *random* initial number — peers kept their
+        dedup windows across our death, so resuming at 1 would make
+        them discard our first post-restart frames as duplicates.
+        """
+        if self.closed:
+            self.closed = False
+            self._pending.clear()
+            self._retry_timers.clear()
+            self._seen.clear()
+            self._seq = itertools.count(
+                self._backoff_rng.randrange(1, 1 << (8 * SEQ_BYTES - 2))
+            )
         self._loop = asyncio.get_running_loop()
         self._transport, _ = await self._loop.create_datagram_endpoint(
             lambda: _Protocol(self), local_addr=(host, port)
@@ -159,14 +285,23 @@ class LiveEndpoint:
             seq = next(self._seq)
             datagram = restamp_seq(datagram, seq)
             self._pending[seq] = (
-                datagram, addr, self.reliability.max_retries
+                datagram, addr, self.reliability.max_retries,
+                self.reliability.ack_timeout_s,
             )
-            self._arm_retry(seq)
+            self._budget.note_send(self._now())
+            self._arm_retry(seq, self.reliability.ack_timeout_s)
         self.metrics.record_out(len(datagram))
         self._impaired_send(datagram, addr)
         return seq
 
+    def _now(self) -> float:
+        return self._loop.time() if self._loop is not None else 0.0
+
     def _impaired_send(self, datagram: bytes, addr: Address) -> None:
+        fate = self.fault_hook(addr) if self.fault_hook is not None else None
+        if fate is not None and fate.drop:
+            self.metrics.drop("chaos_dropped")
+            return
         imp = self.impairments
         if imp.loss_rate > 0.0 and self._rng.random() < imp.loss_rate:
             self.metrics.drop("loss_injected")
@@ -177,6 +312,15 @@ class LiveEndpoint:
         if imp.reorder_rate > 0.0 and self._rng.random() < imp.reorder_rate:
             # Reordering = holding this datagram past its successors.
             delay += imp.jitter_s + 2e-3
+        if fate is not None:
+            delay += fate.extra_delay_s
+            if fate.corrupt_seed is not None:
+                datagram = corrupt_datagram(datagram, fate.corrupt_seed)
+            if fate.duplicate and self._loop is not None:
+                # The twin trails the original by a millisecond.
+                self._loop.call_later(
+                    delay + 1e-3, self._raw_send, datagram, addr
+                )
         if delay > 0.0 and self._loop is not None:
             self._loop.call_later(delay, self._raw_send, datagram, addr)
         else:
@@ -192,19 +336,30 @@ class LiveEndpoint:
 
     # -- per-hop reliability -----------------------------------------------
 
-    def _arm_retry(self, seq: int) -> None:
+    def _arm_retry(self, seq: int, delay_s: float) -> None:
         if self._loop is None:
             return
         self._retry_timers[seq] = self._loop.call_later(
-            self.reliability.ack_timeout_s, self._on_ack_timeout, seq
+            delay_s, self._on_ack_timeout, seq
         )
+
+    def _next_gap(self, gap_s: float) -> float:
+        """Exponential backoff with jitter: strictly growing, never twice
+        the same — see :class:`ReliabilityConfig`."""
+        factor = self.reliability.backoff_factor
+        if factor <= 1.0:
+            return gap_s  # legacy fixed-interval retries
+        growth = 1.0 + (factor - 1.0) * (
+            0.5 + 0.5 * self._backoff_rng.random()
+        )
+        return min(self.reliability.backoff_max_s, gap_s * growth)
 
     def _on_ack_timeout(self, seq: int) -> None:
         self._retry_timers.pop(seq, None)
         entry = self._pending.get(seq)
         if entry is None:
             return
-        datagram, addr, retries_left = entry
+        datagram, addr, retries_left, gap_s = entry
         if retries_left <= 0:
             # Peer is unresponsive: give up on this frame.
             self._pending.pop(seq, None)
@@ -212,10 +367,24 @@ class LiveEndpoint:
             if self.on_peer_dead is not None:
                 self.on_peer_dead(addr)
             return
-        self._pending[seq] = (datagram, addr, retries_left - 1)
+        now = self._now()
+        if not self._budget.allow(now):
+            # Retrying now would join a storm: abandon the frame instead
+            # (the §6.3 cap — retry pressure may track offered load but
+            # never run away from it).
+            self._pending.pop(seq, None)
+            self.metrics.drop("retry_budget_exhausted")
+            if self.on_peer_dead is not None:
+                self.on_peer_dead(addr)
+            return
+        gap_s = self._next_gap(gap_s)
+        self._pending[seq] = (datagram, addr, retries_left - 1, gap_s)
         self.metrics.retries += 1
+        self._budget.note_retry(now)
+        if self.on_retry is not None:
+            self.on_retry(addr, seq, gap_s)
         self._impaired_send(datagram, addr)
-        self._arm_retry(seq)
+        self._arm_retry(seq, gap_s)
 
     def _on_ack(self, seq: int) -> None:
         self.metrics.acks_in += 1

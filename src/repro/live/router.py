@@ -184,6 +184,40 @@ class LiveRouter:
         """Shut the router down (its peers will see a dead hop)."""
         self.endpoint.close()
 
+    async def restart(self, host: str = "127.0.0.1") -> Address:
+        """Crash recovery: rebind the socket, **re-derive** soft state.
+
+        §2.2's claim is that a Sirpent router keeps *only* soft state —
+        so recovery is: keep the configuration (port wiring, mint
+        secret, policy), throw away every cache, and come back up.  The
+        token cache and flow cache are rebuilt empty (they repopulate
+        from traffic), the pipeline is rebuilt over them, and the
+        endpoint re-opens on the **same UDP port** so peers' wiring
+        stays valid.  The endpoint's own soft state (retry table, dedup
+        windows, hop sequence space) is re-derived by
+        :meth:`~repro.live.link.LiveEndpoint.open`'s reopen path.
+        """
+        port = self.address[1] if self.address is not None else 0
+        self.token_cache = TokenCache(
+            self.mint,
+            policy=self.config.token_policy,
+            require_tokens=self.config.require_tokens,
+        )
+        self.flow_cache = FlowCache(
+            capacity=self.config.flow_cache_capacity,
+            ttl_ms=self.config.flow_cache_ttl_ms,
+            enabled=self.config.flow_cache,
+        )
+        self.pipeline = ForwardingPipeline(
+            self.name,
+            token_cache=self.token_cache,
+            ports=_LivePortMap(self),
+            flow_cache=self.flow_cache,
+            capabilities=Capabilities(multicast=False),
+        )
+        self._started_at = time.monotonic()
+        return await self.endpoint.open(host, port)
+
     def set_tracer(self, tracer) -> None:
         """Install a :class:`repro.obs.trace.Tracer` on this router."""
         self.tracer = tracer

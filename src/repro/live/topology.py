@@ -174,6 +174,28 @@ class LiveOverlay:
         """
         self._node(name).stop()
 
+    async def restart_router(self, name: str) -> Address:
+        """Bring a killed router back on its original UDP port.
+
+        The router re-derives all soft state (§2.2) — token cache, flow
+        cache, hop sequence space — while its configuration (port
+        wiring, mint secret) survives, so no peer needs rewiring and
+        previously minted tokens verify on the reborn router.
+        """
+        if name not in self.routers:
+            raise KeyError(f"no live router {name!r}")
+        address = await self.routers[name].restart(self.bind_host)
+        self.addresses[name] = address
+        return address
+
+    async def restart_directory(self) -> Address:
+        """Bring a stopped directory server back on its original port."""
+        port = self.directory_address[1] if self.directory_address else 0
+        self.directory_address = await self.directory_server.start(
+            self.bind_host, port
+        )
+        return self.directory_address
+
     def _node(self, name: str):
         if name in self.routers:
             return self.routers[name]

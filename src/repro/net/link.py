@@ -18,6 +18,7 @@ gets ``on_abort`` when the truncated tail arrives.
 
 from __future__ import annotations
 
+import copy
 import random
 from typing import Any, Callable, Optional, TYPE_CHECKING
 
@@ -109,6 +110,12 @@ class Channel:
         self.dst_attachment: Optional["Attachment"] = None
         self.current: Optional[Transmission] = None
         self.up = True
+        #: Chaos seam (:mod:`repro.chaos.seam`): a zero-argument hook
+        #: returning a per-packet fault decision (``drop``/``duplicate``/
+        #: ``corrupt_seed``/``extra_delay_s``) or None.  Duck-typed so
+        #: the net layer stays independent of the chaos package; the
+        #: interpreter installs it per directed channel.
+        self.chaos: Optional[Callable[[], Any]] = None
         # statistics
         self.packets_sent = Counter(f"{name}.packets")
         self.bytes_sent = Counter(f"{name}.bytes")
@@ -167,15 +174,36 @@ class Channel:
         self.current = tx
         self.utilization.busy(self.sim.now)
 
-        if self.up:
-            header_at = self.sim.now + self.transmission_time(header_bytes) + self.propagation_delay
-            complete_at = self.sim.now + self.transmission_time(size) + self.propagation_delay
+        fate = self.chaos() if self.chaos is not None else None
+        if self.up and (fate is None or not fate.drop):
+            extra = fate.extra_delay_s if fate is not None else 0.0
+            header_at = (
+                self.sim.now + self.transmission_time(header_bytes)
+                + self.propagation_delay + extra
+            )
+            complete_at = (
+                self.sim.now + self.transmission_time(size)
+                + self.propagation_delay + extra
+            )
             delivered = packet
             if self.corruption_rate > 0 and self.rng is not None:
                 if self.rng.random() < self.corruption_rate:
                     delivered = self._corrupt(packet)
+            if fate is not None and fate.corrupt_seed is not None:
+                corrupt = getattr(delivered, "corrupted_copy", None)
+                if corrupt is not None:
+                    delivered = corrupt(random.Random(fate.corrupt_seed))
             tx.header_event = self.sim.at(header_at, self._deliver_header, delivered, tx)
             tx.complete_event = self.sim.at(complete_at, self._deliver_complete, delivered, tx)
+            if fate is not None and fate.duplicate:
+                # A duplicated datagram arrives one transmission time
+                # behind the original, store-and-forward style.  It must
+                # be an independent object: the first traversal mutates
+                # its header (strip/reverse/append).
+                self.sim.at(
+                    complete_at + self.transmission_time(size),
+                    self._deliver_complete, copy.deepcopy(delivered), tx,
+                )
         free_at = self.sim.now + self.transmission_time(size)
         tx.free_event = self.sim.at(free_at, self._free, tx)
         return tx

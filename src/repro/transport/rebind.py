@@ -12,6 +12,16 @@ and react to congestion and link failures."
 against each route's advertised base RTT, and switches on explicit
 failure or sustained degradation.  It can refresh its route set from
 the directory ("periodically requesting route advisories").
+
+Failed routes are *quarantined*: each failure parks the route behind an
+exponentially growing cooldown, and rotation only considers routes
+whose cooldown has expired.  Without this, a round-robin rotation walks
+straight back onto a dead route one switch later and burns a full
+retransmission ladder re-discovering the same failure.  When every
+route is quarantined the manager first asks the directory for fresh
+routes, then — if the directory has nothing — re-probes the route whose
+cooldown expires soonest (sending *somewhere* beats refusing to send).
+A good RTT sample on a quarantined route clears its record.
 """
 
 from __future__ import annotations
@@ -27,6 +37,29 @@ class NoRouteError(Exception):
     """All cached routes have been exhausted."""
 
 
+class _RouteHealth:
+    """Per-route failure record behind the quarantine policy."""
+
+    __slots__ = ("failures", "quarantined_until")
+
+    def __init__(self) -> None:
+        self.failures = 0
+        self.quarantined_until = 0.0
+
+    def quarantine(
+        self, now: float, base_s: float, factor: float, max_s: float
+    ) -> float:
+        """Record one failure; return the cooldown imposed."""
+        self.failures += 1
+        cooldown = min(max_s, base_s * factor ** (self.failures - 1))
+        self.quarantined_until = now + cooldown
+        return cooldown
+
+    def clear(self) -> None:
+        self.failures = 0
+        self.quarantined_until = 0.0
+
+
 class RouteManager:
     """Holds alternates for one destination; picks and rebinds."""
 
@@ -37,6 +70,11 @@ class RouteManager:
         degradation_factor: float = 3.0,
         degradation_samples: int = 4,
         refresher: Optional[Callable[[], List[Route]]] = None,
+        quarantine_base_s: float = 0.25,
+        quarantine_factor: float = 2.0,
+        quarantine_max_s: float = 10.0,
+        refresh_backoff_base_s: float = 0.25,
+        refresh_backoff_max_s: float = 5.0,
     ) -> None:
         if not routes:
             raise NoRouteError("route manager needs at least one route")
@@ -45,10 +83,20 @@ class RouteManager:
         self.degradation_factor = degradation_factor
         self.degradation_samples = degradation_samples
         self.refresher = refresher
+        self.quarantine_base_s = quarantine_base_s
+        self.quarantine_factor = quarantine_factor
+        self.quarantine_max_s = quarantine_max_s
+        self.refresh_backoff_base_s = refresh_backoff_base_s
+        self.refresh_backoff_max_s = refresh_backoff_max_s
         self._current = 0
         self._consecutive_slow = 0
+        self._health = [_RouteHealth() for _ in routes]
+        self._refresh_empty_streak = 0
+        self._refresh_blocked_until = 0.0
         self.switches = Counter("route_switches")
         self.failures = Counter("route_failures")
+        self.quarantines = Counter("route_quarantines")
+        self.refresh_empty = Counter("rebind_refresh_empty")
         self.rtt_samples = Histogram("route_rtt")
         self.last_switch_at: Optional[float] = None
 
@@ -59,6 +107,14 @@ class RouteManager:
 
     def alternates(self) -> List[Route]:
         return [r for i, r in enumerate(self.routes) if i != self._current]
+
+    def quarantined(self) -> List[Route]:
+        """Routes currently parked behind a cooldown."""
+        now = self.sim.now
+        return [
+            r for r, h in zip(self.routes, self._health)
+            if h.quarantined_until > now
+        ]
 
     # -- feedback ------------------------------------------------------------
 
@@ -76,10 +132,18 @@ class RouteManager:
                 self._switch(reason="degraded")
         else:
             self._consecutive_slow = 0
+            # A good round trip is proof of life: pardon the route.
+            self._health[self._current].clear()
 
     def report_failure(self) -> Route:
-        """Explicit loss (retransmissions exhausted): switch immediately."""
+        """Explicit loss (retransmissions exhausted): quarantine the
+        failed route and switch to an eligible alternate."""
         self.failures.add()
+        self.quarantines.add()
+        self._health[self._current].quarantine(
+            self.sim.now, self.quarantine_base_s,
+            self.quarantine_factor, self.quarantine_max_s,
+        )
         self._switch(reason="failure")
         return self.current()
 
@@ -90,29 +154,81 @@ class RouteManager:
 
     # -- rebinding -------------------------------------------------------------
 
+    def _eligible(self) -> List[int]:
+        """Indices whose quarantine cooldown has expired, excluding the
+        current route (a switch must move *somewhere else*)."""
+        now = self.sim.now
+        return [
+            i for i, h in enumerate(self._health)
+            if i != self._current and h.quarantined_until <= now
+        ]
+
     def _switch(self, reason: str) -> None:
         self._consecutive_slow = 0
         self.switches.add()
         self.last_switch_at = self.sim.now
-        if len(self.routes) > 1:
-            self._current = (self._current + 1) % len(self.routes)
-        elif self.refresher is not None:
+        eligible = self._eligible()
+        if not eligible and self.refresher is not None:
+            # Every alternate is quarantined: ask the directory before
+            # re-probing a route we just watched die.
+            before = self.routes
             self.refresh()
+            if self.routes is not before:
+                return  # fresh set adopted; its first route is current
+            eligible = self._eligible()
+        if eligible:
+            # Next eligible route in cyclic order after the current one.
+            n = len(self.routes)
+            self._current = min(
+                eligible, key=lambda i: (i - self._current - 1) % n
+            )
+            return
+        if len(self.routes) > 1:
+            # All quarantined and the directory had nothing: re-probe
+            # whichever cooldown expires soonest (oldest failure wins
+            # ties — it has had the longest to recover).
+            self._current = min(
+                (i for i in range(len(self.routes)) if i != self._current),
+                key=lambda i: (self._health[i].quarantined_until, i),
+            )
 
     def refresh(self) -> None:
-        """Re-query the directory for a fresh route set."""
+        """Re-query the directory for a fresh route set.
+
+        An empty answer is *not* silently survivable: it is counted
+        (``rebind_refresh_empty``) and imposes an exponentially growing
+        backoff before the directory is asked again, so an outage does
+        not turn every route switch into a directory query.
+        """
         if self.refresher is None:
+            return
+        now = self.sim.now
+        if now < self._refresh_blocked_until:
             return
         fresh = self.refresher()
         if fresh:
-            self.routes = list(fresh)
-            self._current = 0
+            self._install(fresh)
+            self._refresh_empty_streak = 0
+            self._refresh_blocked_until = 0.0
+            return
+        self.refresh_empty.add()
+        self._refresh_empty_streak += 1
+        backoff = min(
+            self.refresh_backoff_max_s,
+            self.refresh_backoff_base_s
+            * 2.0 ** (self._refresh_empty_streak - 1),
+        )
+        self._refresh_blocked_until = now + backoff
 
     def adopt(self, routes: List[Route]) -> None:
         """Accept a pushed route advisory (§6.3)."""
         if routes:
-            self.routes = list(routes)
-            self._current = 0
+            self._install(routes)
+
+    def _install(self, routes: List[Route]) -> None:
+        self.routes = list(routes)
+        self._health = [_RouteHealth() for _ in self.routes]
+        self._current = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -1,0 +1,111 @@
+"""Chaos on the simulator substrate: deterministic and sound."""
+
+from repro.chaos import (
+    InvariantChecker,
+    chaos_plan,
+    chaos_scenario,
+    run_sim_soak,
+)
+from repro.chaos.plan import FaultPlan, FaultSpec
+from repro.chaos.sim_interp import SimFaultInterpreter
+
+
+def test_sim_soak_is_deterministic():
+    """Same plan, same seed: byte-identical applied schedule and the
+    same transaction outcomes — 'replay seed 7' means exactly that."""
+    plan = chaos_plan(7, duration_s=3.0)
+    one = run_sim_soak(plan)
+    two = run_sim_soak(plan)
+    assert one.applied_ndjson == two.applied_ndjson
+    assert one.ok_count == two.ok_count
+    assert one.failed_count == two.failed_count
+    assert [tx.retries for tx in one.transactions] == [
+        tx.retries for tx in two.transactions
+    ]
+
+
+def test_sim_soak_passes_every_invariant():
+    plan = chaos_plan(7, duration_s=3.0)
+    report = run_sim_soak(plan)
+    assert report.transactions
+    assert report.ok_count > 0
+    InvariantChecker(plan).assert_ok(report)
+
+
+def test_full_drop_on_one_path_is_survived_via_the_alternate():
+    """A 100%-drop window on one diamond path must not fail a single
+    transaction: the client's held alternate (§6.3) absorbs it."""
+    plan = FaultPlan(
+        seed=3,
+        specs=(
+            FaultSpec("drop", "rA<->p1", onset_s=0.2, duration_s=1.0,
+                      rate=1.0),
+            FaultSpec("drop", "p1<->rB", onset_s=0.2, duration_s=1.0,
+                      rate=1.0),
+        ),
+        name="one-path-dark",
+    )
+    report = run_sim_soak(plan)
+    assert report.failed_count == 0
+    assert report.ok_count == len(report.transactions)
+    InvariantChecker(plan).assert_ok(report)
+
+
+def test_duplicate_fault_never_reaches_the_application_twice():
+    """Chaos duplicates frames on the wire; transport dedup must keep
+    app-level delivery exactly-once (§4's server-side dedup)."""
+    plan = FaultPlan(
+        seed=5,
+        specs=(
+            FaultSpec("duplicate", "rA<->p1", onset_s=0.0, duration_s=2.0,
+                      rate=1.0),
+            FaultSpec("duplicate", "p1<->rB", onset_s=0.0, duration_s=2.0,
+                      rate=1.0),
+        ),
+        name="dup-storm",
+    )
+    report = run_sim_soak(plan)
+    assert report.ok_count > 0
+    assert all(c == 1 for c in report.delivery_counts.values())
+
+
+def test_router_crash_flushes_soft_state_only():
+    """§2.2: a restarted router keeps nothing but config — its token
+    and flow caches come back empty, and traffic still flows."""
+    scenario = chaos_scenario(1)
+    plan = FaultPlan(
+        seed=9,
+        specs=(
+            FaultSpec("router_crash", "router:p1", onset_s=0.5,
+                      duration_s=0.5),
+        ),
+        name="crash-p1",
+    )
+    interp = SimFaultInterpreter(scenario.sim, scenario.topology, plan)
+    interp.schedule(0.0)
+    router = scenario.topology.nodes["p1"]
+    router.token_cache._entries[b"sentinel"] = object()
+    scenario.sim.run(until=2.0)
+    assert b"sentinel" not in router.token_cache._entries
+    assert interp.injector.router_crashes.count == 1
+    assert interp.injector.router_restarts.count == 1
+
+
+def test_directory_outage_gates_the_refresher():
+    plan = FaultPlan(
+        seed=2,
+        specs=(
+            FaultSpec("directory_outage", "directory", onset_s=0.5,
+                      duration_s=0.5),
+        ),
+        name="dir-out",
+    )
+    scenario = chaos_scenario(1)
+    interp = SimFaultInterpreter(scenario.sim, scenario.topology, plan)
+    interp.schedule(0.0)
+    observed = {}
+    scenario.sim.at(0.2, lambda: observed.setdefault("before", interp.directory_up))
+    scenario.sim.at(0.7, lambda: observed.setdefault("during", interp.directory_up))
+    scenario.sim.at(1.2, lambda: observed.setdefault("after", interp.directory_up))
+    scenario.sim.run(until=2.0)
+    assert observed == {"before": True, "during": False, "after": True}

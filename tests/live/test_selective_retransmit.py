@@ -1,0 +1,134 @@
+"""Selective retransmission in :class:`LiveTransactor` (§4).
+
+Regression for the blind full-group resend: a timed-out transaction
+used to replay every request member.  Now the client sends one PROBE
+carrying its response mask; the server answers with either the missing
+response members (already processed) or a STATUS naming the request
+members it holds — and only the gap crosses the wire again.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.core.host import SirpentHost
+from repro.core.router import SirpentRouter
+from repro.live import LiveOverlay, LiveTransactor, WallClock
+from repro.live.host import (
+    _KIND_REQUEST,
+    _KIND_RESPONSE,
+    _TX_HEADER,
+    TransactorConfig,
+)
+from repro.net.topology import Topology
+from repro.sim.engine import Simulator
+from repro.transport.rebind import RouteManager
+
+pytestmark = pytest.mark.live
+
+
+def _line_topology():
+    sim = Simulator()
+    topo = Topology(sim)
+    client = SirpentHost(sim, "client")
+    server = SirpentHost(sim, "server")
+    r1 = SirpentRouter(sim, "r1")
+    topo.connect(client, r1)
+    topo.connect(r1, server)
+    return topo
+
+
+class _Dropper:
+    """Wraps ``host.send`` to drop chosen transactor PDUs once each."""
+
+    def __init__(self, host, doomed):
+        #: (kind, member) pairs to drop on first sight.
+        self.doomed = set(doomed)
+        self.dropped = []
+        self._original = host.send
+        host.send = self._send
+        self._host = host
+
+    def _send(self, route, payload, **kwargs):
+        if len(payload) >= _TX_HEADER.size:
+            kind, _f, _c, _tx, member, _n, _s, _r = _TX_HEADER.unpack_from(
+                payload
+            )
+            if (kind, member) in self.doomed:
+                self.doomed.discard((kind, member))
+                self.dropped.append((kind, member))
+                return None  # the datagram "vanishes"
+        return self._original(route, payload, **kwargs)
+
+
+async def _transact_with_drops(client_drops=(), server_drops=()):
+    overlay = LiveOverlay(_line_topology())
+    await overlay.start()
+    try:
+        client = overlay.hosts["client"]
+        server = overlay.hosts["server"]
+        served = []
+        server_tx = LiveTransactor(server)
+        server_tx.serve(lambda request: served.append(request) or b"echo:" + request)
+        client_tx = LiveTransactor(
+            client,
+            TransactorConfig(base_timeout_s=0.08, max_member_payload=32),
+        )
+        client_dropper = _Dropper(client, client_drops)
+        server_dropper = _Dropper(server, server_drops)
+        routes = overlay.routes(
+            "client", "server", k=1, dest_socket=client_tx.config.socket,
+        )
+        manager = RouteManager(WallClock(), routes)
+        payload = bytes(range(64))  # two 32-byte members
+        result = await client_tx.transact(manager, payload)
+        return result, served, client_dropper, server_dropper, payload
+    finally:
+        overlay.stop()
+
+
+def test_lost_request_member_is_resent_selectively():
+    """Drop one of two request members: after the timeout the client
+    probes, learns the server holds member 0, and resends only member 1
+    — not the whole group."""
+    result, served, dropper, _sd, payload = asyncio.run(
+        _transact_with_drops(client_drops=[(_KIND_REQUEST, 1)])
+    )
+    assert result.ok
+    assert result.payload == b"echo:" + payload
+    assert len(served) == 1, "handler must run exactly once"
+    assert dropper.dropped == [(_KIND_REQUEST, 1)]
+    assert result.probes >= 1
+    assert result.members_resent == 1, (
+        f"resent {result.members_resent} members for a single gap"
+    )
+
+
+def test_fully_lost_group_is_resent_in_full_via_status():
+    """Both members lost: the STATUS mask is empty and the whole group
+    is (correctly) resent — selectivity degrades to the old behavior
+    exactly when the old behavior was right."""
+    result, served, _cd, _sd, payload = asyncio.run(
+        _transact_with_drops(
+            client_drops=[(_KIND_REQUEST, 0), (_KIND_REQUEST, 1)]
+        )
+    )
+    assert result.ok
+    assert result.payload == b"echo:" + payload
+    assert len(served) == 1
+    assert result.members_resent == 2
+
+
+def test_lost_response_member_is_replayed_without_reexecution():
+    """Drop one response member: the probe carries the client's
+    response mask and the server replays only the missing member from
+    its cache — the handler never runs twice (§4 exactly-once)."""
+    result, served, _cd, server_dropper, payload = asyncio.run(
+        _transact_with_drops(server_drops=[(_KIND_RESPONSE, 0)])
+    )
+    assert result.ok
+    assert result.payload == b"echo:" + payload
+    assert len(served) == 1, "a lost response must not re-run the handler"
+    assert server_dropper.dropped == [(_KIND_RESPONSE, 0)]
+    assert result.probes >= 1
+    assert result.members_resent == 0, "no request member needed resending"
