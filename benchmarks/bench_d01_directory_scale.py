@@ -1,0 +1,234 @@
+"""D01 — directory cluster scale: QPS by shard count, cache, failover.
+
+ROADMAP item 1 asks whether the §3 directory can be made *horizontal*
+without giving up its semantics.  This experiment loads the sharded,
+replicated cluster with **100 000 names** and measures three things:
+
+1. **Lookup QPS versus shard count (1 / 2 / 4, rf=2).**  Shards are
+   independent serial servers, so aggregate capacity is the total
+   lookups divided by the *slowest shard's* batch time — the honest
+   model for horizontal scaling (a perfectly balanced ring approaches
+   ``n``-fold; hash skew shows up directly as lost speed-up).
+2. **Cold vs warm route-cache hit rate** at the shard-aware client
+   (footnote 10: a cached name costs no directory round trip at all).
+3. **Failover rebind-storm timing**: mid-storm the target shard's
+   leader is killed; the membership monitor promotes the most-caught-up
+   follower and the storm retries through it.  The run then *proves*
+   zero acknowledged writes were lost by replaying the survivor's log
+   into a fresh replica and comparing state — and proves exactly-once
+   by checking no request id holds more than one log entry.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from typing import Dict, List
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+for _entry in (_ROOT, os.path.join(_ROOT, "src")):
+    if _entry not in sys.path:
+        sys.path.insert(0, _entry)
+
+from repro.directory.cluster.client import ClusterClient
+from repro.directory.cluster.cluster import DirectoryCluster
+from repro.directory.cluster.protocol import CommandRequest
+from repro.directory.cluster.replica import ShardReplica
+
+from benchmarks._common import format_table, publish
+
+#: The namespace every configuration serves (the acceptance floor).
+TOTAL_NAMES = 100_000
+
+#: Distinct region prefixes — the sharding keys the ring spreads.
+REGIONS = 997
+
+#: Lookups timed per configuration.
+LOOKUPS = 40_000
+
+#: Names the cache experiment touches (twice: cold pass, warm pass).
+CACHED_NAMES = 2_000
+
+#: Rebinds in the failover storm, and where mid-storm the leader dies.
+STORM_WRITES = 2_000
+KILL_AT = 1_000
+
+
+def _name(n: int) -> str:
+    return f"h{n}.region{n % REGIONS}.net"
+
+
+def _load_cluster(shard_count: int) -> DirectoryCluster:
+    cluster = DirectoryCluster(shard_count=shard_count, replication_factor=2)
+    for n in range(TOTAL_NAMES):
+        cluster.execute_raw(CommandRequest.make(
+            "register_host", {"name": _name(n), "node": f"node-{n}"},
+            f"seed-{n}",
+        ))
+    return cluster
+
+
+def _lookup_scaling(cluster: DirectoryCluster) -> Dict[str, float]:
+    """Aggregate QPS = total ops / slowest shard's serial batch time."""
+    by_shard: Dict[str, List[CommandRequest]] = {}
+    for n in range(LOOKUPS):
+        name = _name(n % TOTAL_NAMES)
+        request = CommandRequest.make(
+            "lookup", {"name": name}, f"lk-{n}"
+        )
+        by_shard.setdefault(cluster.shard_for(name), []).append(request)
+    batch_times = []
+    for shard_id, requests in sorted(by_shard.items()):
+        shard = cluster.shards[shard_id]
+        started = time.perf_counter()
+        for request in requests:
+            shard.execute(request)
+        batch_times.append(time.perf_counter() - started)
+    slowest = max(batch_times)
+    total = sum(batch_times)
+    return {
+        "qps": LOOKUPS / slowest,
+        "mean_latency_us": total / LOOKUPS * 1e6,
+        "slowest_batch_s": slowest,
+    }
+
+
+def _cache_rates(cluster: DirectoryCluster):
+    client = ClusterClient(
+        cluster.execute_raw, name="cachebench", cache_ttl_s=1e9,
+        clock=time.perf_counter,
+    )
+    for n in range(CACHED_NAMES):
+        client.lookup(_name(n))
+    cold = client.cache_hit_rate
+    client.cache_hits = client.cache_misses = 0
+    started = time.perf_counter()
+    for n in range(CACHED_NAMES):
+        client.lookup(_name(n))
+    warm_time = time.perf_counter() - started
+    return cold, client.cache_hit_rate, warm_time / CACHED_NAMES * 1e6
+
+
+def _failover_storm(cluster: DirectoryCluster):
+    """Rebind storm with a mid-storm leader kill; returns the verdict."""
+    target_region = 7  # every stormed name shares one shard
+    storm_names = [
+        f"s{n}.stormregion{target_region}.net" for n in range(STORM_WRITES)
+    ]
+    shard_id = cluster.shard_for(storm_names[0])
+    for n, name in enumerate(storm_names):
+        cluster.execute_raw(CommandRequest.make(
+            "register_host", {"name": name, "node": f"node-s{n}"},
+            f"storm-seed-{n}",
+        ))
+
+    failover_s = [0.0]
+
+    def monitor(request_id: str, attempt: int) -> None:
+        # The membership monitor: detect the dead leader, promote.
+        started = time.perf_counter()
+        if cluster.shards[shard_id].leader is None:
+            cluster.fail_over(shard_id)
+            failover_s[0] = time.perf_counter() - started
+
+    client = ClusterClient(
+        cluster.execute_raw, name="stormbench", on_retry=monitor,
+    )
+    acked: Dict[str, str] = {}
+    started = time.perf_counter()
+    for n, name in enumerate(storm_names):
+        if n == KILL_AT:
+            cluster.kill_shard_leader(shard_id)
+        result = client.rebind(name, f"node-m{n}")
+        acked[str(result["name"])] = f"node-m{n}"
+    storm_s = time.perf_counter() - started
+
+    # Zero acked-write loss, proved by log replay: a fresh replica
+    # rebuilt from the authoritative log must hold every acked rebind.
+    shard = cluster.shards[shard_id]
+    replayer = ShardReplica(shard_id, f"{shard_id}/replay")
+    replayer.rebuild_from(shard.authoritative_log().entries_from(1))
+    lost = [
+        name for name, node in acked.items()
+        if replayer.store.names.get(name) != node
+    ]
+    doubled = {
+        rid: n for rid, n in shard.request_id_counts().items() if n > 1
+    }
+    assert replayer.store.names == shard.leader.store.names
+    return {
+        "storm_s": storm_s,
+        "failover_s": failover_s[0],
+        "retries": client.retries,
+        "acked": len(acked),
+        "lost": len(lost),
+        "doubled": len(doubled),
+    }
+
+
+def bench_d01_directory_scale(benchmark) -> None:
+    scale_rows = []
+    results = {}
+    for shard_count in (1, 2, 4):
+        cluster = _load_cluster(shard_count)
+        stats = benchmark(_lookup_scaling, cluster)
+        results[shard_count] = stats
+        scale_rows.append((
+            shard_count,
+            cluster.total_names(),
+            LOOKUPS,
+            stats["qps"],
+            stats["mean_latency_us"],
+            stats["qps"] / results[1]["qps"],
+        ))
+        if shard_count == 4:
+            flagship = cluster
+
+    cold_rate, warm_rate, warm_us = _cache_rates(flagship)
+    storm = _failover_storm(flagship)
+
+    publish("d01_directory_scale", "\n\n".join([
+        format_table(
+            "D01a  lookup QPS vs shard count (rf=2, 100k names)",
+            ["shards", "names", "lookups", "agg QPS",
+             "mean us/op", "speed-up"],
+            scale_rows,
+        ),
+        format_table(
+            "D01b  route-cache hit rate (shard-aware client)",
+            ["pass", "hit rate", "mean us/lookup"],
+            [
+                ("cold", cold_rate, "-"),
+                ("warm", warm_rate, f"{warm_us:.2f}"),
+            ],
+        ),
+        format_table(
+            "D01c  failover rebind storm (leader killed mid-storm)",
+            ["rebinds", "storm s", "failover s", "retries",
+             "acked", "lost", "dup execs"],
+            [(
+                STORM_WRITES, storm["storm_s"], storm["failover_s"],
+                storm["retries"], storm["acked"], storm["lost"],
+                storm["doubled"],
+            )],
+        ),
+    ]))
+
+    # The shapes the experiment exists to pin down:
+    assert flagship.total_names() >= TOTAL_NAMES  # 4x2 sustains 100k
+    assert results[4]["qps"] > 2.0 * results[1]["qps"], (
+        "4 shards must out-serve 1 shard by well over 2x"
+    )
+    assert results[2]["qps"] > 1.3 * results[1]["qps"]
+    assert cold_rate == 0.0 and warm_rate > 0.95
+    assert storm["acked"] == STORM_WRITES
+    assert storm["lost"] == 0, "an acknowledged rebind vanished"
+    assert storm["doubled"] == 0, "a request id executed twice"
+    assert storm["retries"] >= 1  # the kill really interrupted the storm
+
+
+if __name__ == "__main__":
+    from benchmarks.run_all import _InlineBenchmark
+
+    bench_d01_directory_scale(_InlineBenchmark())

@@ -45,6 +45,7 @@ EXPERIMENTS = [
     ("a05", "bench_a05_nab_host_overhead"),
     ("a06", "bench_a06_hierarchical_fanout"),
     ("a07", "bench_a07_blocked_policies"),
+    ("d01", "bench_d01_directory_scale"),
     ("l01", "bench_l01_live_loopback"),
     ("o01", "bench_o01_obs_overhead"),
     ("s01", "bench_s01_sirlint_speed"),

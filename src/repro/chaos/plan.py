@@ -35,7 +35,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 LINK_FAULT_KINDS = ("drop", "duplicate", "reorder", "corrupt", "delay")
 
 #: Whole-entity faults (no per-packet rate; on/off for the duration).
-ENTITY_FAULT_KINDS = ("partition", "router_crash", "directory_outage")
+ENTITY_FAULT_KINDS = (
+    "partition", "router_crash", "directory_outage", "shard_failover",
+)
 
 #: Every fault kind the engine understands.
 FAULT_KINDS = LINK_FAULT_KINDS + ENTITY_FAULT_KINDS
@@ -64,7 +66,11 @@ class FaultSpec:
     * ``"node:x"`` — every directed link touching node ``x``
       (for ``partition``: the §6.3 "router becomes a black hole" case);
     * ``"router:x"`` — the router process itself (``router_crash``);
-    * ``"directory"`` — the directory service (``directory_outage``).
+    * ``"directory"`` — the directory service (``directory_outage``);
+    * ``"shard:x"`` — one directory-cluster shard's leader
+      (``shard_failover``: start kills the leader, stop restarts the
+      crashed replica as a follower; promotion happens in between at
+      the cluster's detection latency).
     """
 
     kind: str
@@ -94,6 +100,8 @@ class FaultSpec:
             raise PlanError("directory_outage must target 'directory'")
         if self.kind == "router_crash" and not self.target.startswith("router:"):
             raise PlanError("router_crash must target 'router:<name>'")
+        if self.kind == "shard_failover" and not self.target.startswith("shard:"):
+            raise PlanError("shard_failover must target 'shard:<id>'")
         return self
 
 

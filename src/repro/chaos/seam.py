@@ -193,6 +193,8 @@ class FaultInjector:
         self.on_router_restart: EntityHandler = None
         self.on_directory_down: EntityHandler = None
         self.on_directory_up: EntityHandler = None
+        self.on_shard_down: EntityHandler = None
+        self.on_shard_up: EntityHandler = None
         #: NDJSON-able record of everything that happened, in order.
         self.fault_log: List[Dict[str, object]] = []
         #: Schedule events actually applied (the replay identity).
@@ -207,6 +209,7 @@ class FaultInjector:
         self.router_crashes = Counter("chaos_router_crashes")
         self.router_restarts = Counter("chaos_router_restarts")
         self.directory_outages = Counter("chaos_directory_outages")
+        self.shard_failovers = Counter("chaos_shard_failovers")
         self.active_faults = Gauge("chaos_active_faults")
         self._injection_counters = {
             "drop": self.drop_injected,
@@ -233,7 +236,8 @@ class FaultInjector:
             self.corrupt_injected, self.delay_injected,
             self.reorder_injected, self.partition_drops,
             self.router_crashes, self.router_restarts,
-            self.directory_outages, self.active_faults,
+            self.directory_outages, self.shard_failovers,
+            self.active_faults,
         ):
             registry.register(metric, **labels)
 
@@ -290,6 +294,14 @@ class FaultInjector:
                     self.on_directory_down(event.target, at)
             elif self.on_directory_up is not None:
                 self.on_directory_up(event.target, at)
+        elif event.kind == "shard_failover":
+            name = event.target[len("shard:"):]
+            if starting:
+                self.shard_failovers.add()
+                if self.on_shard_down is not None:
+                    self.on_shard_down(name, at)
+            elif self.on_shard_up is not None:
+                self.on_shard_up(name, at)
         if starting:
             self.active_faults.inc()
         else:

@@ -21,9 +21,14 @@ from repro.directory.names import HierarchicalName
 from repro.directory.pathfind import PathObjective, dijkstra, k_shortest_paths
 from repro.directory.regions import RegionServer
 from repro.directory.routes import Route
-from repro.directory.service import DirectoryService, RouteQuery
+from repro.directory.service import (
+    BindingConflictError,
+    DirectoryService,
+    RouteQuery,
+)
 
 __all__ = [
+    "BindingConflictError",
     "DirectoryService",
     "HierarchicalName",
     "PathObjective",

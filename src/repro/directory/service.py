@@ -35,6 +35,26 @@ from repro.viper.portinfo import CompressedEthernetInfo, EthernetInfo
 from repro.viper.wire import HeaderSegment
 
 
+class BindingConflictError(ValueError):
+    """A registration that contradicts an existing binding.
+
+    Registration is *idempotent*: re-registering an identical binding
+    is a silent no-op (required for at-least-once command replay — a
+    retried register must not fail just because its first copy landed).
+    A **different** binding for the same name is a typed error, never
+    last-write-wins; moving a name is the explicit
+    :meth:`DirectoryService.rebind_host` operation.
+    """
+
+    def __init__(self, name: str, bound_to: object, requested: object) -> None:
+        super().__init__(
+            f"{name} is bound to {bound_to!r}, refusing {requested!r}"
+        )
+        self.name = name
+        self.bound_to = bound_to
+        self.requested = requested
+
+
 @dataclass
 class RouteQuery:
     """Parameters of one route request."""
@@ -95,8 +115,18 @@ class DirectoryService:
     # -- registration -----------------------------------------------------------
 
     def register_host(self, node_name: str, name: str) -> HierarchicalName:
-        """Bind a character-string name to a topology node."""
+        """Bind a character-string name to a topology node.
+
+        Idempotent: re-registering the same binding is a no-op; a
+        conflicting binding raises :class:`BindingConflictError` (use
+        :meth:`rebind_host` for deliberate moves).
+        """
         parsed = HierarchicalName.parse(name)
+        existing = self._names.get(str(parsed))
+        if existing is not None:
+            if existing == node_name:
+                return parsed
+            raise BindingConflictError(str(parsed), existing, node_name)
         self._names[str(parsed)] = node_name
         if self.root_server is not None:
             self.root_server.register(parsed, node_name)
@@ -119,7 +149,23 @@ class DirectoryService:
         if not node_names:
             raise ValueError("a service needs at least one provider")
         parsed = HierarchicalName.parse(name)
+        existing = self._services.get(str(parsed))
+        if existing is not None:
+            if existing == list(node_names):
+                return
+            raise BindingConflictError(str(parsed), existing, list(node_names))
         self._services[str(parsed)] = list(node_names)
+
+    def rebind_host(self, node_name: str, name: str) -> HierarchicalName:
+        """Deliberately move a name to a (possibly new) node (§6.3).
+
+        The explicit non-idempotent-write escape hatch: unlike
+        :meth:`register_host` this never conflicts — migration and
+        failover rebinds are supposed to replace the old binding.
+        """
+        parsed = HierarchicalName.parse(name)
+        self._names.pop(str(parsed), None)
+        return self.register_host(node_name, name)
 
     def node_of(self, destination: str) -> Optional[str]:
         key = str(HierarchicalName.parse(destination))

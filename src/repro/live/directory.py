@@ -1,42 +1,70 @@
-"""The live directory: route queries over newline-delimited JSON TCP.
+"""The live directory: a versioned NDJSON-TCP command protocol.
 
 §3 makes routes *directory attributes*: a client asks the directory for
 a route to a destination and receives stacked VIPER segments plus the
 route's advertised parameters.  In the live overlay that query is a
 real network round trip — a TCP connection carrying one JSON object per
-line in each direction::
+line in each direction.  Two protocol versions share the listener:
+
+**v1** (legacy, PR 1) — implicit version, read-mostly::
 
     -> {"id": "q-1-ab12cd34", "method": "routes",
         "params": {"client": "client", "destination": "server", "k": 2}}
-    <- {"id": "q-1-ab12cd34",
-        "result": {"routes": [{"destination": "server",
-                               "segments": ["0000020e", ...],
-                               "first_hop_port": 2, ...}]}}
+    <- {"id": "q-1-ab12cd34", "result": {"routes": [...]}}
+
+**v2** (this protocol) — explicit ``v``, typed responses, writes::
+
+    -> {"v": 2, "id": "c1-17", "method": "register_host",
+        "params": {"name": "venus.cs.stanford.edu", "node": "venus"}}
+    <- {"id":"c1-17","result":{"name":"venus.cs.stanford.edu",
+        "node":"venus"},"status":"success","v":2}
+    -> {"v": 2, "id": "c1-17", "method": "register_host", ...}   (retry)
+    <- (the *byte-identical* cached line — never re-executed)
+
+A frame carrying ``"v"`` is dispatched through the typed
+:mod:`repro.directory.cluster.protocol` objects: requests parse or fail
+with a *named* error code, write commands are deduplicated by request
+id (replayed retries get the cached canonical bytes back), and each
+connection serves its in-flight commands **concurrently** — one slow
+route computation no longer convoys the queries behind it.  A frame
+without ``"v"`` takes the untouched v1 path, so old clients
+interoperate with a v2 server byte-for-byte.
 
 Every request carries an ``X-Request-ID``-style correlation id; the
 server echoes it verbatim so responses can be matched (and traced)
-regardless of ordering, and errors name the id they answer.  Header
-segments travel as hex of the *existing* VIPER wire codec
-(:func:`repro.viper.wire.encode_segment`), so a route fetched over TCP
-is byte-identical to one handed out inside the simulator — tokens
-minted by the directory verify unchanged on live routers.
+regardless of ordering.  Header segments travel as hex of the
+*existing* VIPER wire codec (:func:`repro.viper.wire.encode_segment`),
+so a route fetched over TCP is byte-identical to one handed out inside
+the simulator — tokens minted by the directory verify unchanged on live
+routers.
 
 The server wraps any ``(client_node, RouteQuery) -> List[Route]``
 callable — in practice :meth:`repro.directory.service.DirectoryService.
-query`, which is how the sim's directory logic (path selection, token
-minting, load adjustment) serves the live overlay without duplication.
+query` — plus, for v2 writes, an optional ``backend`` exposing
+``register_host`` / ``register_service`` / ``rebind_host`` (the
+:class:`~repro.directory.service.DirectoryService` signature).
 """
 
 from __future__ import annotations
 
 import asyncio
+import inspect
 import itertools
 import json
 import os
+from collections import OrderedDict
 from typing import Callable, Dict, List, Optional, Set
 
+from repro.directory.cluster.protocol import (
+    CommandError,
+    CommandRequest,
+    CommandResponse,
+    PROTOCOL_V2,
+    ProtocolError,
+    VersionError,
+)
 from repro.directory.routes import Route
-from repro.directory.service import RouteQuery
+from repro.directory.service import BindingConflictError, RouteQuery
 from repro.live.host import LiveRoute
 from repro.live.link import Address
 from repro.viper.errors import ViperDecodeError
@@ -51,15 +79,29 @@ DEFAULT_BASE_RTT_S = 1e-3
 #: Reference payload size used to turn a Route's model into one number.
 RTT_PROBE_BYTES = 64
 
+#: Write responses remembered per server for idempotent replay.
+DEDUP_CAPACITY = 4096
+
 
 def route_to_json(route: Route) -> Dict[str, object]:
-    """Serialize one directory Route into its wire (JSON) form."""
-    base_rtt = route.expected_rtt(RTT_PROBE_BYTES)
+    """Serialize one directory Route into its wire (JSON) form.
+
+    ``base_rtt_s`` is the *operating* estimate — floored to
+    :data:`DEFAULT_BASE_RTT_S` when the model predicts zero, because
+    downstream rebinding logic divides by it.  The flooring is no
+    longer silent: ``measured_rtt_s`` always carries the model's real
+    prediction and ``rtt_floor_applied`` says which one ``base_rtt_s``
+    is, so clients can tell measured from floored.
+    """
+    measured = route.expected_rtt(RTT_PROBE_BYTES)
+    floored = measured <= 0.0
     return {
         "destination": route.destination,
         "segments": [encode_segment(s).hex() for s in route.segments],
         "first_hop_port": route.first_hop_port,
-        "base_rtt_s": base_rtt if base_rtt > 0.0 else DEFAULT_BASE_RTT_S,
+        "base_rtt_s": DEFAULT_BASE_RTT_S if floored else measured,
+        "measured_rtt_s": measured,
+        "rtt_floor_applied": floored,
         "hop_count": route.hop_count,
         "mtu": route.mtu,
     }
@@ -83,30 +125,57 @@ def route_from_json(obj: Dict[str, object]) -> LiveRoute:
         base_rtt_s=float(obj.get("base_rtt_s", DEFAULT_BASE_RTT_S)),  # type: ignore[arg-type]
         hop_count=int(obj.get("hop_count", 0)),  # type: ignore[arg-type]
         mtu=int(obj.get("mtu", 1500)),  # type: ignore[arg-type]
+        rtt_floor_applied=bool(obj.get("rtt_floor_applied", False)),
     )
 
 
 class DirectoryError(Exception):
-    """An error response from the live directory (or a protocol fault)."""
+    """An error response from the live directory (or a protocol fault).
 
-
-class LiveDirectoryServer:
-    """Serves route queries over an NDJSON TCP listener.
-
-    ``query`` is any callable with the shape of
-    :meth:`~repro.directory.service.DirectoryService.query`; the server
-    is pure protocol plumbing and holds no routing state of its own.
+    v2 failures carry their typed ``code`` and ``retryable`` flag;
+    v1-era errors leave the defaults (empty code, not retryable).
     """
 
     def __init__(
-        self, query: Callable[[str, RouteQuery], List[Route]]
+        self, message: str, code: str = "", retryable: bool = False
+    ) -> None:
+        super().__init__(message)
+        self.code = code
+        self.retryable = retryable
+
+
+class LiveDirectoryServer:
+    """Serves the versioned directory protocol over one TCP listener.
+
+    ``query`` is any callable with the shape of
+    :meth:`~repro.directory.service.DirectoryService.query`; ``backend``
+    (optional) provides the v2 write surface with the
+    :class:`~repro.directory.service.DirectoryService` method
+    signatures.  The server is protocol plumbing and holds no routing
+    state of its own — only the bounded dedup cache of v2 write
+    responses, which is what makes at-least-once client retries safe.
+    """
+
+    def __init__(
+        self,
+        query: Callable[[str, RouteQuery], List[Route]],
+        backend: Optional[object] = None,
+        dedup_capacity: int = DEDUP_CAPACITY,
     ) -> None:
         self.query = query
+        self.backend = backend
+        self.dedup_capacity = dedup_capacity
         self._server: Optional[asyncio.AbstractServer] = None
         self._writers: Set[asyncio.StreamWriter] = set()
+        self._tasks: Set[asyncio.Task] = set()
+        #: request id -> canonical response bytes (v2 writes only).
+        self._dedup: "OrderedDict[str, bytes]" = OrderedDict()
         self.address: Optional[Address] = None
         self.queries_served = 0
         self.errors = 0
+        self.v1_frames = 0
+        self.v2_frames = 0
+        self.dedup_hits = 0
 
     async def start(self, host: str = "127.0.0.1", port: int = 0) -> Address:
         """Start listening; returns the bound ``(host, port)``."""
@@ -122,6 +191,9 @@ class LiveDirectoryServer:
         if self._server is not None:
             self._server.close()
             self._server = None
+        for task in list(self._tasks):
+            task.cancel()
+        self._tasks.clear()
         for writer in list(self._writers):
             writer.close()
         self._writers.clear()
@@ -130,16 +202,20 @@ class LiveDirectoryServer:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         self._writers.add(writer)
+        write_lock = asyncio.Lock()
         try:
             while True:
                 line = await reader.readline()
                 if not line:
                     break
-                response = self._handle_line(line)
-                writer.write(
-                    (json.dumps(response) + "\n").encode(ENCODING)
+                # One task per command: in-flight commands on a single
+                # connection proceed concurrently, responses correlate
+                # by id (the write lock keeps lines whole).
+                task = asyncio.get_running_loop().create_task(
+                    self._serve_line(line, writer, write_lock)
                 )
-                await writer.drain()
+                self._tasks.add(task)
+                task.add_done_callback(self._tasks.discard)
         except (ConnectionError, asyncio.IncompleteReadError):
             pass
         except asyncio.CancelledError:
@@ -151,10 +227,44 @@ class LiveDirectoryServer:
             self._writers.discard(writer)
             writer.close()
 
-    def _handle_line(self, line: bytes) -> Dict[str, object]:
-        request_id: object = None
+    async def _serve_line(
+        self,
+        line: bytes,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        payload = await self._handle_line(line)
+        try:
+            async with write_lock:
+                writer.write(payload)
+                await writer.drain()
+        except (ConnectionError, OSError):
+            pass  # peer went away; the reader loop notices EOF
+
+    # -- dispatch ----------------------------------------------------------
+
+    async def _handle_line(self, line: bytes) -> bytes:
+        """One request line in, one response line (bytes) out."""
         try:
             request = json.loads(line.decode(ENCODING))
+        except ValueError as exc:
+            self.errors += 1
+            return (
+                json.dumps({"id": None, "error": str(exc)}) + "\n"
+            ).encode(ENCODING)
+        if isinstance(request, dict) and "v" in request:
+            self.v2_frames += 1
+            return await self._handle_v2(request)
+        self.v1_frames += 1
+        return (
+            json.dumps(await self._handle_v1(request)) + "\n"
+        ).encode(ENCODING)
+
+    # -- the v1 path (byte-compatible with PR 1 clients) -------------------
+
+    async def _handle_v1(self, request: object) -> Dict[str, object]:
+        request_id: object = None
+        try:
             if not isinstance(request, dict):
                 raise ValueError("request is not a JSON object")
             request_id = request.get("id")
@@ -165,13 +275,113 @@ class LiveDirectoryServer:
             if method == "ping":
                 return {"id": request_id, "result": {"pong": True}}
             if method == "routes":
-                return {"id": request_id, "result": self._serve_routes(params)}
+                return {
+                    "id": request_id,
+                    "result": await self._serve_routes(params),
+                }
             raise ValueError(f"unknown method {method!r}")
         except (ValueError, KeyError, TypeError, ViperDecodeError) as exc:
             self.errors += 1
             return {"id": request_id, "error": str(exc)}
 
-    def _serve_routes(self, params: Dict[str, object]) -> Dict[str, object]:
+    # -- the v2 path (typed, deduplicated, concurrent) ---------------------
+
+    async def _handle_v2(self, obj: Dict[str, object]) -> bytes:
+        request_id = obj.get("id")
+        request_id = request_id if isinstance(request_id, str) else ""
+        try:
+            request = CommandRequest.parse(obj)
+        except VersionError as exc:
+            self.errors += 1
+            return CommandResponse.failure(request_id, CommandError.make(
+                "version_unsupported", str(exc),
+                {"supported": [PROTOCOL_V2]},
+            )).encode()
+        except ProtocolError as exc:
+            self.errors += 1
+            return CommandResponse.failure(request_id, CommandError.make(
+                "bad_request", str(exc),
+            )).encode()
+        if request.is_write:
+            cached = self._dedup.get(request.request_id)
+            if cached is not None:
+                self.dedup_hits += 1
+                return cached
+        response = await self._dispatch_v2(request)
+        encoded = response.encode()
+        if request.is_write:
+            self._remember(request.request_id, encoded)
+        if not response.ok:
+            self.errors += 1
+        return encoded
+
+    def _remember(self, request_id: str, encoded: bytes) -> None:
+        """LRU-bound the dedup cache (drop oldest write response)."""
+        self._dedup[request_id] = encoded
+        self._dedup.move_to_end(request_id)
+        while len(self._dedup) > self.dedup_capacity:
+            self._dedup.popitem(last=False)
+
+    async def _dispatch_v2(self, request: CommandRequest) -> CommandResponse:
+        params = request.params_dict
+        rid = request.request_id
+        try:
+            if request.method == "ping":
+                return CommandResponse.success(rid, {"pong": True})
+            if request.method == "routes":
+                return CommandResponse.success(
+                    rid, await self._serve_routes(params)
+                )
+            if request.method in (
+                "register_host", "register_service", "rebind",
+            ):
+                return self._serve_write(request)
+            return CommandResponse.failure(rid, CommandError.make(
+                "unknown_method", f"unknown method {request.method!r}",
+            ))
+        except BindingConflictError as exc:
+            return CommandResponse.failure(rid, CommandError.make(
+                "conflict", str(exc),
+                {"name": exc.name, "bound_to": exc.bound_to},
+            ))
+        except (ValueError, KeyError, TypeError, ViperDecodeError) as exc:
+            return CommandResponse.failure(rid, CommandError.make(
+                "bad_request", f"{request.method}: {exc}",
+            ))
+
+    def _serve_write(self, request: CommandRequest) -> CommandResponse:
+        if self.backend is None:
+            return CommandResponse.failure(
+                request.request_id,
+                CommandError.make(
+                    "unavailable",
+                    "this directory serves no write commands "
+                    "(no backend configured)",
+                ),
+            )
+        params = request.params_dict
+        name = str(params["name"])
+        if request.method == "register_host":
+            parsed = self.backend.register_host(str(params["node"]), name)
+            return CommandResponse.success(request.request_id, {
+                "name": str(parsed), "node": str(params["node"]),
+            })
+        if request.method == "register_service":
+            nodes = params["nodes"]
+            if not isinstance(nodes, list):
+                raise ValueError("nodes must be a list")
+            self.backend.register_service(name, [str(n) for n in nodes])
+            return CommandResponse.success(request.request_id, {
+                "name": name, "nodes": [str(n) for n in nodes],
+            })
+        parsed = self.backend.rebind_host(str(params["node"]), name)
+        return CommandResponse.success(request.request_id, {
+            "name": str(parsed), "node": str(params["node"]),
+        })
+
+    async def _serve_routes(
+        self, params: Dict[str, object]
+    ) -> Dict[str, object]:
         query = RouteQuery(
             destination=str(params["destination"]),
             k=int(params.get("k", 1)),  # type: ignore[arg-type]
@@ -179,7 +389,12 @@ class LiveDirectoryServer:
             with_tokens=bool(params.get("with_tokens", False)),
             reverse_ok=bool(params.get("reverse_ok", True)),
         )
+        # ``query`` may be a plain callable or a coroutine function; an
+        # awaitable result lets slow lookups yield, so the other
+        # in-flight commands on this connection keep making progress.
         routes = self.query(str(params["client"]), query)
+        if inspect.isawaitable(routes):
+            routes = await routes
         self.queries_served += 1
         return {"routes": [route_to_json(r) for r in routes]}
 
@@ -191,6 +406,12 @@ class LiveDirectoryClient:
     callers by correlation id, not arrival order.  Ids are generated
     ``q-<n>-<random hex>`` so traces of interleaved clients stay
     unambiguous, in the spirit of ``X-Request-ID`` headers.
+
+    The client speaks protocol **v2** by default (explicit ``v`` field,
+    typed errors, write commands whose retries reuse the original
+    request id so the server's dedup cache answers them); constructing
+    with ``protocol_version=1`` reproduces a legacy PR 1 client
+    byte-for-byte, which is how the interop tests pin v1 compatibility.
 
     Connection loss is a *first-class* event, not a hang: when the
     directory drops the TCP connection (EOF or reset), every pending
@@ -206,10 +427,12 @@ class LiveDirectoryClient:
         name: str = "client",
         reconnect_base_s: float = 0.05,
         reconnect_max_s: float = 2.0,
+        protocol_version: int = PROTOCOL_V2,
     ) -> None:
         self.name = name
         self.reconnect_base_s = reconnect_base_s
         self.reconnect_max_s = reconnect_max_s
+        self.protocol_version = protocol_version
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
         self._reader_task: Optional[asyncio.Task] = None
@@ -224,6 +447,8 @@ class LiveDirectoryClient:
         self.disconnects = 0
         #: Successful automatic reconnects after a loss.
         self.reconnects = 0
+        #: Write commands retried with their original request id.
+        self.write_retries = 0
 
     @property
     def connected(self) -> bool:
@@ -294,7 +519,8 @@ class LiveDirectoryClient:
         if now < self._reconnect_blocked_until:
             raise DirectoryError(
                 "directory reconnect backing off "
-                f"({self._reconnect_blocked_until - now:.3f}s remaining)"
+                f"({self._reconnect_blocked_until - now:.3f}s remaining)",
+                retryable=True,
             )
         if self._reader_task is not None:
             self._reader_task.cancel()
@@ -310,25 +536,43 @@ class LiveDirectoryClient:
             )
             self._reconnect_blocked_until = loop.time() + delay
             raise DirectoryError(
-                f"directory reconnect failed: {exc}"
+                f"directory reconnect failed: {exc}", retryable=True,
             ) from exc
         self.reconnects += 1
 
     def _next_id(self) -> str:
         return f"q-{next(self._counter)}-{os.urandom(4).hex()}"
 
+    def _frame(
+        self, method: str, params: Dict[str, object], request_id: str
+    ) -> str:
+        obj: Dict[str, object] = {
+            "id": request_id, "method": method, "params": params,
+        }
+        if self.protocol_version >= PROTOCOL_V2:
+            obj["v"] = self.protocol_version
+        return json.dumps(obj)
+
     async def _request(
         self, method: str, params: Dict[str, object], timeout_s: float
+    ) -> Dict[str, object]:
+        return await self._request_with_id(
+            method, params, self._next_id(), timeout_s
+        )
+
+    async def _request_with_id(
+        self,
+        method: str,
+        params: Dict[str, object],
+        request_id: str,
+        timeout_s: float,
     ) -> Dict[str, object]:
         await self._ensure_connected()
         if self._writer is None:  # pragma: no cover - ensure guarantees
             raise DirectoryError("directory client is not connected")
-        request_id = self._next_id()
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         self._pending[request_id] = future
-        line = json.dumps(
-            {"id": request_id, "method": method, "params": params}
-        )
+        line = self._frame(method, params, request_id)
         try:
             self._writer.write((line + "\n").encode(ENCODING))
             await self._writer.drain()
@@ -336,14 +580,15 @@ class LiveDirectoryClient:
             self._on_connection_lost()
             self._pending.pop(request_id, None)
             raise DirectoryError(
-                f"directory write failed: {exc}"
+                f"directory write failed: {exc}", retryable=True,
             ) from exc
         try:
             return await asyncio.wait_for(future, timeout_s)
         except asyncio.TimeoutError:
             raise DirectoryError(
                 f"directory request {request_id} timed out "
-                f"after {timeout_s}s"
+                f"after {timeout_s}s",
+                retryable=True,
             ) from None
         finally:
             self._pending.pop(request_id, None)
@@ -376,10 +621,28 @@ class LiveDirectoryClient:
         future = self._pending.get(str(response.get("id")))
         if future is None or future.done():
             return
+        if response.get("v") == PROTOCOL_V2 and "status" in response:
+            try:
+                typed = CommandResponse.parse(response)
+            except ProtocolError as exc:
+                future.set_exception(DirectoryError(str(exc)))
+                return
+            if typed.ok:
+                future.set_result(typed.result_dict)
+            else:
+                error = typed.error
+                assert error is not None
+                future.set_exception(DirectoryError(
+                    f"[{error.code}] {error.message}",
+                    code=error.code, retryable=error.retryable,
+                ))
+            return
         if "error" in response:
             future.set_exception(DirectoryError(str(response["error"])))
         else:
             future.set_result(response.get("result") or {})
+
+    # -- read operations ---------------------------------------------------
 
     async def ping(self, timeout_s: float = 1.0) -> bool:
         """Round-trip liveness probe."""
@@ -411,5 +674,82 @@ class LiveDirectoryClient:
             raise DirectoryError("malformed routes response")
         return [route_from_json(obj) for obj in raw_routes]
 
+    # -- write operations (v2, idempotent retries) -------------------------
+
+    async def _write(
+        self,
+        method: str,
+        params: Dict[str, object],
+        timeout_s: float,
+        attempts: int,
+    ) -> Dict[str, object]:
+        """Issue one write, retrying **with the same request id**.
+
+        At-least-once delivery made safe: a retry after a lost
+        response replays through the server's dedup cache instead of
+        re-executing, so the caller sees exactly-once semantics.
+        """
+        if self.protocol_version < PROTOCOL_V2:
+            raise DirectoryError(
+                f"{method} needs protocol v2 "
+                f"(client speaks v{self.protocol_version})"
+            )
+        request_id = self._next_id()
+        last: Optional[DirectoryError] = None
+        for attempt in range(max(1, attempts)):
+            try:
+                return await self._request_with_id(
+                    method, params, request_id, timeout_s
+                )
+            except DirectoryError as exc:
+                if not exc.retryable:
+                    raise
+                last = exc
+                if attempt + 1 < attempts:
+                    self.write_retries += 1
+        assert last is not None
+        raise last
+
+    async def register_host(
+        self,
+        name: str,
+        node: str,
+        timeout_s: float = 1.0,
+        attempts: int = 3,
+    ) -> Dict[str, object]:
+        """Bind ``name`` to ``node`` (idempotent; conflicts are typed)."""
+        return await self._write(
+            "register_host", {"name": name, "node": node},
+            timeout_s, attempts,
+        )
+
+    async def register_service(
+        self,
+        name: str,
+        nodes: List[str],
+        timeout_s: float = 1.0,
+        attempts: int = 3,
+    ) -> Dict[str, object]:
+        """Bind a service name to its provider hosts (§3)."""
+        return await self._write(
+            "register_service", {"name": name, "nodes": list(nodes)},
+            timeout_s, attempts,
+        )
+
+    async def rebind(
+        self,
+        name: str,
+        node: str,
+        timeout_s: float = 1.0,
+        attempts: int = 3,
+    ) -> Dict[str, object]:
+        """Deliberately move ``name`` to ``node`` (§6.3 rebinding)."""
+        return await self._write(
+            "rebind", {"name": name, "node": node}, timeout_s, attempts,
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<LiveDirectoryClient {self.name!r}>"
+        return (
+            f"<LiveDirectoryClient {self.name!r} "
+            f"v{self.protocol_version}>"
+        )

@@ -68,6 +68,10 @@ class LiveRoute:
     base_rtt_s: float = 1e-3
     hop_count: int = 0
     mtu: int = 1500
+    #: True when ``base_rtt_s`` is the directory's floor, not the
+    #: route model's prediction (which was zero, e.g. loopback) — lets
+    #: rebinding logic tell a measured estimate from a floored one.
+    rtt_floor_applied: bool = False
 
     def expected_rtt(self, payload_size: int = 0, reply_size: int = 0) -> float:
         """Advertised base RTT (payload sizes are second-order on loopback)."""
