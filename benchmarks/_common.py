@@ -9,8 +9,9 @@ who wins, by roughly what factor — not absolute numbers.
 
 from __future__ import annotations
 
+import json
 import os
-from typing import Iterable, List, Sequence
+from typing import Iterable, List, Optional, Sequence
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
@@ -44,12 +45,80 @@ def _cell(value: object) -> str:
     return str(value)
 
 
-def publish(name: str, text: str) -> None:
-    """Print the table and persist it under benchmarks/results/."""
+def publish(name: str, text: str, data: Optional[dict] = None) -> None:
+    """Print the table; persist text AND machine-readable JSON.
+
+    Alongside the human table (``<name>.txt``) every bench now also
+    writes ``BENCH_<name>.json`` — ``data`` verbatim when the bench
+    supplies structured results, otherwise a generic parse of the
+    :func:`format_table` text (title, headers, typed rows) — so CI and
+    regression tooling diff results without scraping tables.
+    """
     print("\n" + text + "\n")
     os.makedirs(RESULTS_DIR, exist_ok=True)
     with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as handle:
         handle.write(text + "\n")
+    payload = {"name": name}
+    payload.update(data if data is not None else parse_table(text))
+    with open(
+        os.path.join(RESULTS_DIR, f"BENCH_{name}.json"), "w"
+    ) as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def parse_table(text: str) -> dict:
+    """Recover ``{title, headers, rows}`` from a :func:`format_table`.
+
+    Column boundaries come from the dashes separator line, so cells
+    containing spaces survive; numeric-looking cells are typed.  Text
+    that is not a table (no separator) degrades to ``{"text": ...}``.
+    """
+    lines = text.splitlines()
+    dash_index = next(
+        (i for i, line in enumerate(lines)
+         if line.strip() and set(line.strip()) <= {"-", " "} and i >= 2),
+        None,
+    )
+    if dash_index is None or dash_index < 1:
+        return {"text": text}
+    title = lines[0] if lines else ""
+    header_line = lines[dash_index - 1]
+    # Column spans: runs of dashes in the separator line.
+    spans: List[tuple] = []
+    start = None
+    separator = lines[dash_index]
+    for index, char in enumerate(separator + " "):
+        if char == "-" and start is None:
+            start = index
+        elif char != "-" and start is not None:
+            spans.append((start, index))
+            start = None
+    def cut(line: str):
+        cells = []
+        for n, (lo, hi) in enumerate(spans):
+            # The final column may overflow its dash width.
+            piece = line[lo:] if n == len(spans) - 1 else line[lo:hi]
+            cells.append(piece.strip())
+        return cells
+    headers = cut(header_line)
+    rows = []
+    for line in lines[dash_index + 1:]:
+        if not line.strip():
+            break  # blank line ends the table; what follows is prose
+        rows.append([_typed(cell) for cell in cut(line)])
+    return {"title": title, "headers": headers, "rows": rows}
+
+
+def _typed(cell: str) -> object:
+    try:
+        return int(cell)
+    except ValueError:
+        pass
+    try:
+        return float(cell)
+    except ValueError:
+        return cell
 
 
 def assert_close(actual: float, expected: float, rel: float, what: str = "") -> None:

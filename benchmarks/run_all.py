@@ -11,6 +11,8 @@ arguments (e.g. ``e05 a03``) only those run.  Tables also land in
 from __future__ import annotations
 
 import importlib
+import inspect
+import json
 import os
 import sys
 import time
@@ -66,6 +68,7 @@ class _InlineBenchmark:
 def main(argv) -> int:
     wanted = {a.lower() for a in argv[1:]}
     failures = []
+    runs = []
     for exp_id, module_name in EXPERIMENTS:
         if wanted and exp_id not in wanted:
             continue
@@ -76,12 +79,34 @@ def main(argv) -> int:
         )
         started = time.time()
         try:
-            bench_fn(_InlineBenchmark())
+            # Most benches take pytest-benchmark's fixture; the
+            # subprocess-timing ones (s01, r01) take no arguments.
+            if inspect.signature(bench_fn).parameters:
+                bench_fn(_InlineBenchmark())
+            else:
+                bench_fn()
             status = "ok"
         except AssertionError as error:
             failures.append((exp_id, error))
             status = f"SHAPE-CHECK FAILED: {error}"
-        print(f"[{exp_id}] {status} ({time.time() - started:.1f}s)\n")
+        elapsed = time.time() - started
+        runs.append({
+            "id": exp_id,
+            "module": module_name,
+            "status": "ok" if status == "ok" else "shape_check_failed",
+            "seconds": round(elapsed, 3),
+        })
+        print(f"[{exp_id}] {status} ({elapsed:.1f}s)\n")
+    # Machine-readable summary next to the per-bench BENCH_<id>.json
+    # files (written by _common.publish for every table published).
+    results_dir = os.path.join(os.path.dirname(__file__), "results")
+    os.makedirs(results_dir, exist_ok=True)
+    with open(os.path.join(results_dir, "BENCH_run_all.json"), "w") as fh:
+        json.dump(
+            {"experiments": runs, "failures": len(failures)},
+            fh, indent=2, sort_keys=True,
+        )
+        fh.write("\n")
     if failures:
         print(f"{len(failures)} experiment(s) failed their shape checks.")
         return 1

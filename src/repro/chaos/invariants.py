@@ -68,6 +68,10 @@ class SoakReport:
     fault_log: List[dict] = field(default_factory=list)
     #: Canonical NDJSON of the applied schedule (replay identity).
     applied_ndjson: str = ""
+    #: Flight-recorder NDJSON dump taken at soak end (forensics: the
+    #: last window of packet fates, retries, elections and fault
+    #: applications in causal order; "" = no recorder installed).
+    flight_dump: str = ""
 
     @property
     def ok_count(self) -> int:
@@ -122,10 +126,16 @@ class InvariantChecker:
         violations = self.check(report)
         if violations:
             rendered = "\n  ".join(str(v) for v in violations)
-            raise InvariantViolationError(
+            message = (
                 f"{report.substrate} soak of plan {self.plan.name!r} "
                 f"broke {len(violations)} invariant(s):\n  {rendered}"
             )
+            if report.flight_dump:
+                message += (
+                    "\nflight recorder dump (last window, causal "
+                    "order):\n" + report.flight_dump
+                )
+            raise InvariantViolationError(message)
 
     # -- the five invariants ----------------------------------------------
 

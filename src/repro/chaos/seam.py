@@ -45,6 +45,7 @@ from repro.chaos.plan import (
     START,
     expand_target,
 )
+from repro.obs.recorder import NULL_RECORDER
 from repro.obs.registry import Counter, Gauge, MetricsRegistry
 
 #: Entity handler signature: ``handler(target_name, at_seconds)``.
@@ -197,6 +198,11 @@ class FaultInjector:
         self.on_shard_up: EntityHandler = None
         #: NDJSON-able record of everything that happened, in order.
         self.fault_log: List[Dict[str, object]] = []
+        #: Flight recorder mirror (install via :class:`FlightRecorder`'s
+        #: ``install`` or assign directly): every applied schedule event
+        #: and harness event also lands in the shared ring, so a flight
+        #: dump reconstructs the fault timeline next to packet fates.
+        self.recorder = NULL_RECORDER
         #: Schedule events actually applied (the replay identity).
         self.applied: List[FaultEvent] = []
         # chaos_* observability.
@@ -246,6 +252,11 @@ class FaultInjector:
         entry: Dict[str, object] = {"event": kind, "at": round(at, 6)}
         entry.update(fields)
         self.fault_log.append(entry)
+        if self.recorder.enabled:
+            # A caller-supplied node (e.g. a retry's endpoint) wins over
+            # the harness attribution.
+            node = str(fields.pop("node", "chaos"))
+            self.recorder.record(kind, node=node, t=at, **fields)
 
     def fault_log_ndjson(self) -> str:
         """The whole log, one canonical JSON object per line."""
@@ -310,6 +321,12 @@ class FaultInjector:
         entry = dict(event.to_json())
         entry["at"] = round(at, 6)
         self.fault_log.append(entry)
+        if self.recorder.enabled:
+            self.recorder.record(
+                "fault_applied", node="chaos", t=at,
+                kind=event.kind, target=event.target,
+                action=event.action,
+            )
 
     # -- the per-packet question ------------------------------------------
 

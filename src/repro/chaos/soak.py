@@ -32,6 +32,7 @@ from repro.directory.routes import Route
 from repro.live.directory import DirectoryError, LiveDirectoryClient
 from repro.live.host import LiveTransactor, TransactorConfig, WallClock
 from repro.live.topology import LiveOverlay
+from repro.obs.recorder import FlightRecorder
 from repro.scenarios import build_sirpent_parallel
 from repro.scenarios.builders import SirpentScenario
 from repro.transport.rebind import RouteManager
@@ -85,6 +86,10 @@ def run_sim_soak(
     scenario = chaos_scenario(seed)
     sim = scenario.sim
     interp = SimFaultInterpreter(sim, scenario.topology, plan)
+    # Flight recorder on the virtual clock: fault applications and
+    # harness events land in the ring, dumped into the report at the end.
+    recorder = FlightRecorder(clock=lambda: sim.now)
+    interp.injector.recorder = recorder
     interp.schedule(0.0)
 
     config = TransportConfig(base_timeout=5e-3)
@@ -142,6 +147,9 @@ def run_sim_soak(
         delivery_counts=delivery_counts,
         fault_log=interp.injector.fault_log,
         applied_ndjson=interp.injector.applied_ndjson(),
+        flight_dump=recorder.dump_ndjson(
+            last_s=sim.now, now=sim.now, reason="soak_end"
+        ),
     )
 
 
@@ -168,7 +176,12 @@ async def _drive_live(
         def plan_now() -> float:
             return loop.time() - anchor
 
+        # Re-clock the overlay's always-on recorder to plan-relative
+        # seconds and share it with the injector, so packet fates and
+        # fault applications interleave on one timeline.
+        overlay.recorder.clock = plan_now
         injector = interp.injector
+        injector.recorder = overlay.recorder
         for name in list(overlay.routers) + list(overlay.hosts):
             endpoint = overlay._node(name).endpoint
 
@@ -246,6 +259,9 @@ async def _drive_live(
             delivery_counts=delivery_counts,
             fault_log=injector.fault_log,
             applied_ndjson=injector.applied_ndjson(),
+            flight_dump=overlay.recorder.dump_ndjson(
+                last_s=plan_now(), now=plan_now(), reason="soak_end"
+            ),
         )
     finally:
         if refresh_task is not None:

@@ -38,6 +38,7 @@ from repro.chaos.plan import FaultPlan, FaultSpec
 from repro.chaos.seam import FaultInjector
 from repro.directory.cluster.client import ClusterClient, ClusterCommandError
 from repro.directory.cluster.cluster import DirectoryCluster
+from repro.obs.recorder import FlightRecorder
 from repro.obs.registry import MetricsRegistry
 
 
@@ -56,6 +57,9 @@ class ClusterSoakConfig:
     rebind_weight: float = 0.2     # remainder registers fresh names
     max_attempts: int = 4
     registry: Optional[MetricsRegistry] = None
+    #: Shared flight recorder (None = the soak makes its own; either
+    #: way the end-of-run dump lands in ``SoakReport.flight_dump``).
+    recorder: Optional[FlightRecorder] = None
 
 
 def shard_failover_plan(
@@ -105,6 +109,19 @@ def run_cluster_soak(
     )
     injector = FaultInjector(plan, edges=())
     clock = _VirtualClock()
+    # The shared ring: cluster replicas, the injector and the harness
+    # all append to it on the virtual clock, so the dump's causal order
+    # is the soak's event order.
+    recorder = cfg.recorder
+    if recorder is None:
+        recorder = FlightRecorder(clock=clock.now)
+    injector.recorder = recorder
+    cluster.set_recorder(recorder)
+    cluster.set_clock(clock.now)
+    rebind_recovery = (
+        cfg.registry.histogram("rebind_recovery_s")
+        if cfg.registry is not None else None
+    )
     promotions: List[_Pending] = []
     crashed: Dict[str, str] = {}  # shard id -> crashed replica id
 
@@ -185,6 +202,11 @@ def run_cluster_soak(
             elif roll < cfg.lookup_weight + cfg.rebind_weight:
                 target = names[n][rng.randrange(len(names[n]))]
                 client.rebind(target, f"node-{n}-m{txid}")
+                if rebind_recovery is not None:
+                    # Wall time (virtual) from issuing the rebind to its
+                    # acknowledgement — retries and backoff included, so
+                    # a mid-failover rebind shows its true recovery cost.
+                    rebind_recovery.add(clock.now() - started)
             else:
                 fresh += 1
                 name = f"f{fresh}.c{n}.region{fresh % 11}.net"
@@ -208,6 +230,9 @@ def run_cluster_soak(
         delivery_counts=dict(cluster.request_id_counts()),
         fault_log=injector.fault_log,
         applied_ndjson=injector.applied_ndjson(),
+        flight_dump=recorder.dump_ndjson(
+            last_s=None, now=clock.now(), reason="soak_end"
+        ),
     )
     return report
 

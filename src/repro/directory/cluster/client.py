@@ -84,10 +84,19 @@ class ClusterClient:
     # -- the retry loop ----------------------------------------------------
 
     def command(
-        self, method: str, params: Dict[str, object]
+        self, method: str, params: Dict[str, object],
+        trace: Optional[Dict[str, object]] = None,
     ) -> CommandResponse:
-        """Issue one command, retrying retryable failures in place."""
-        request = CommandRequest.make(method, params, self._next_request_id())
+        """Issue one command, retrying retryable failures in place.
+
+        ``trace`` is an optional cross-layer trace context
+        (``{"id": ..., "parent": ...}``) carried on every attempt of
+        the command — retries reuse the same request id *and* the same
+        trace, so the whole retry saga lands in one trace record.
+        """
+        request = CommandRequest.make(
+            method, params, self._next_request_id(), trace=trace
+        )
         attempts = 0
         last_error = None
         while attempts < self.max_attempts:
@@ -114,36 +123,49 @@ class ClusterClient:
 
     # -- typed operations --------------------------------------------------
 
-    def register_host(self, name: str, node: str) -> Dict[str, object]:
+    def register_host(
+        self, name: str, node: str,
+        trace: Optional[Dict[str, object]] = None,
+    ) -> Dict[str, object]:
         result = self.command(
-            "register_host", {"name": name, "node": node}
+            "register_host", {"name": name, "node": node}, trace=trace
         ).result_dict
         self._cache.pop(str(result.get("name", name)), None)
         return result
 
     def register_service(
-        self, name: str, nodes: List[str]
+        self, name: str, nodes: List[str],
+        trace: Optional[Dict[str, object]] = None,
     ) -> Dict[str, object]:
         result = self.command(
-            "register_service", {"name": name, "nodes": list(nodes)}
+            "register_service", {"name": name, "nodes": list(nodes)},
+            trace=trace,
         ).result_dict
         self._cache.pop(str(result.get("name", name)), None)
         return result
 
-    def rebind(self, name: str, node: str) -> Dict[str, object]:
+    def rebind(
+        self, name: str, node: str,
+        trace: Optional[Dict[str, object]] = None,
+    ) -> Dict[str, object]:
         result = self.command(
-            "rebind", {"name": name, "node": node}
+            "rebind", {"name": name, "node": node}, trace=trace
         ).result_dict
         self._cache.pop(str(result.get("name", name)), None)
         return result
 
-    def unregister(self, name: str) -> Dict[str, object]:
-        result = self.command("unregister", {"name": name}).result_dict
+    def unregister(
+        self, name: str, trace: Optional[Dict[str, object]] = None,
+    ) -> Dict[str, object]:
+        result = self.command(
+            "unregister", {"name": name}, trace=trace
+        ).result_dict
         self._cache.pop(str(result.get("name", name)), None)
         return result
 
     def lookup(
-        self, name: str, use_cache: bool = True
+        self, name: str, use_cache: bool = True,
+        trace: Optional[Dict[str, object]] = None,
     ) -> Dict[str, object]:
         """Resolve one name, serving fresh-enough answers from cache."""
         now = self._clock()
@@ -153,7 +175,9 @@ class ClusterClient:
                 self.cache_hits += 1
                 return dict(hit[0])
         self.cache_misses += 1
-        result = self.command("lookup", {"name": name}).result_dict
+        result = self.command(
+            "lookup", {"name": name}, trace=trace
+        ).result_dict
         self._cache[name] = (dict(result), now)
         return result
 

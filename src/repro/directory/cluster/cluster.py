@@ -41,7 +41,13 @@ from repro.directory.cluster.ring import (
     DEFAULT_VNODES,
     shard_key,
 )
+from repro.obs.recorder import NULL_RECORDER
 from repro.obs.registry import Counter, Gauge, MetricsRegistry
+from repro.obs.trace import NULL_TRACER
+
+
+def _zero_clock() -> float:
+    return 0.0
 
 
 class _ShardMetrics:
@@ -92,6 +98,9 @@ class DirectoryCluster:
         self.shards: Dict[str, ReplicatedShard] = {}
         self._metrics: Dict[str, _ShardMetrics] = {}
         self._registry = registry
+        self.tracer = NULL_TRACER
+        self.recorder = NULL_RECORDER
+        self._clock = _zero_clock
         self.rebalanced_names = 0
         #: Monotone per-migration epoch: makes every rebalance command's
         #: request id globally unique, so a name that moves again in a
@@ -103,6 +112,9 @@ class DirectoryCluster:
 
     def _boot_shard(self, shard_id: str) -> ReplicatedShard:
         shard = ReplicatedShard(shard_id, self.replication_factor)
+        shard.tracer = self.tracer
+        shard.recorder = self.recorder
+        shard.clock = self._clock
         self.ring.add(shard_id)
         self.shards[shard_id] = shard
         metrics = _ShardMetrics(shard)
@@ -110,6 +122,26 @@ class DirectoryCluster:
         if self._registry is not None:
             metrics.register(self._registry, shard_id)
         return shard
+
+    # -- observability installation ----------------------------------------
+
+    def set_tracer(self, tracer) -> None:
+        """Install one tracer on the cluster front and every shard."""
+        self.tracer = tracer
+        for shard in self.shards.values():
+            shard.tracer = tracer
+
+    def set_recorder(self, recorder) -> None:
+        """Install one flight recorder on every shard."""
+        self.recorder = recorder
+        for shard in self.shards.values():
+            shard.recorder = recorder
+
+    def set_clock(self, clock) -> None:
+        """Install the timestamp source observability events use."""
+        self._clock = clock
+        for shard in self.shards.values():
+            shard.clock = clock
 
     # -- routing -----------------------------------------------------------
 
@@ -134,6 +166,19 @@ class DirectoryCluster:
                 CommandError.make("bad_request", str(exc)),
             ).encode()
         shard = self.shards[shard_id]
+        tid = request.trace_id
+        if tid and self.tracer.enabled:
+            # Record the routing decision under the parent we were
+            # handed, then hand the shard a context parented on the
+            # cluster — each layer owns exactly one level of the tree.
+            self.tracer.event(
+                tid, self._clock(), "cluster", "command_route",
+                parent=request.trace_dict.get("parent", ""),
+                shard=shard_id, method=request.method,
+            )
+            request = request.with_trace(
+                {**request.trace_dict, "parent": "cluster"}
+            )
         try:
             response = shard.execute(request)
         except ShardUnavailableError as exc:

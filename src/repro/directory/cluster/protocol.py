@@ -90,21 +90,32 @@ def canonical_params(params: Mapping[str, object]) -> str:
 
 @dataclass(frozen=True)
 class CommandRequest:
-    """One typed command request: ``{"v", "id", "method", "params"}``."""
+    """One typed command request: ``{"v", "id", "method", "params"}``.
+
+    ``trace`` is the optional cross-layer trace context (the X-Request-ID
+    correlation pattern, extended to a span tree): when present it is
+    ``{"id": <int trace id>, "parent": <span name>}``, stored as a
+    sorted tuple.  Trace context rides only on *requests* — responses
+    (and therefore the dedup cache's canonical bytes) never carry it,
+    so a traced retry still replays byte-identical cached bytes.
+    """
 
     method: str
     params: Tuple[Tuple[str, object], ...]
     request_id: str
     v: int = PROTOCOL_V2
+    trace: Tuple[Tuple[str, object], ...] = field(default_factory=tuple)
 
     @staticmethod
     def make(
-        method: str, params: Mapping[str, object], request_id: str
+        method: str, params: Mapping[str, object], request_id: str,
+        trace: Optional[Mapping[str, object]] = None,
     ) -> "CommandRequest":
         return CommandRequest(
             method=method,
             params=tuple(sorted(dict(params).items())),
             request_id=request_id,
+            trace=tuple(sorted(dict(trace).items())) if trace else (),
         )
 
     @property
@@ -112,16 +123,40 @@ class CommandRequest:
         return dict(self.params)
 
     @property
+    def trace_dict(self) -> Dict[str, object]:
+        """The trace context as a dict (empty when untraced)."""
+        return dict(self.trace)
+
+    @property
+    def trace_id(self) -> int:
+        """The trace id, or 0 when untraced (tracer guard convention)."""
+        value = self.trace_dict.get("id", 0)
+        return value if isinstance(value, int) else 0
+
+    def with_trace(
+        self, trace: Optional[Mapping[str, object]]
+    ) -> "CommandRequest":
+        """The same request with its trace context replaced."""
+        return CommandRequest(
+            method=self.method, params=self.params,
+            request_id=self.request_id, v=self.v,
+            trace=tuple(sorted(dict(trace).items())) if trace else (),
+        )
+
+    @property
     def is_write(self) -> bool:
         return self.method in WRITE_METHODS
 
     def to_json(self) -> Dict[str, object]:
-        return {
+        out: Dict[str, object] = {
             "v": self.v,
             "id": self.request_id,
             "method": self.method,
             "params": self.params_dict,
         }
+        if self.trace:
+            out["trace"] = self.trace_dict
+        return out
 
     def encode(self) -> bytes:
         return canonical_encode(self.to_json())
@@ -151,10 +186,14 @@ class CommandRequest:
         params = obj.get("params") or {}
         if not isinstance(params, dict):
             raise ProtocolError("request 'params' must be a JSON object")
+        trace = obj.get("trace") or {}
+        if not isinstance(trace, dict):
+            raise ProtocolError("request 'trace' must be a JSON object")
         return CommandRequest(
             method=method,
             params=tuple(sorted(params.items())),
             request_id=request_id,
+            trace=tuple(sorted(trace.items())),
         )
 
 

@@ -24,7 +24,7 @@ and the replay *is* the recovery proof the acceptance criteria ask for.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.directory.cluster.log import CommandLog, LogEntry
 from repro.directory.cluster.protocol import (
@@ -32,6 +32,12 @@ from repro.directory.cluster.protocol import (
     canonical_params,
 )
 from repro.directory.cluster.store import ShardStore
+from repro.obs.recorder import NULL_RECORDER
+from repro.obs.trace import NULL_TRACER
+
+
+def _zero_clock() -> float:
+    return 0.0
 
 #: Replica roles.
 LEADER = "leader"
@@ -103,6 +109,15 @@ class ReplicatedShard:
         self.failovers = 0
         self.dedup_hits = 0
         self.commands_applied = 0
+        #: Observability hooks — NULL by default, installed by the
+        #: cluster (or a test) via the tracer/recorder install pattern.
+        self.tracer = NULL_TRACER
+        self.recorder = NULL_RECORDER
+        self.clock: Callable[[], float] = _zero_clock
+        #: Trace ids that hit this shard while leaderless: the next
+        #: promotion is stitched into them (trace continuity across
+        #: failover).
+        self._awaiting_traces: Set[int] = set()
         self.replicas: List[ShardReplica] = []
         for n in range(replication_factor):
             replica = ShardReplica(shard_id, f"{shard_id}/r{n}")
@@ -149,16 +164,35 @@ class ReplicatedShard:
         caller (cluster front) translates that into the retryable
         ``shard_unavailable`` protocol error.
         """
+        tid = request.trace_id
+        traced = tid and self.tracer.enabled
+        parent = request.trace_dict.get("parent", "") if traced else ""
         leader = self.leader
         if leader is None:
+            if traced:
+                self.tracer.event(
+                    tid, self.clock(), self.shard_id, "shard_unavailable",
+                    parent=parent, term=self.term,
+                )
+                self._awaiting_traces.add(tid)
             raise ShardUnavailableError(
                 f"{self.shard_id} has no live leader (term {self.term})"
             )
         if not request.is_write:
+            if traced:
+                self.tracer.event(
+                    tid, self.clock(), leader.replica_id, "leader_read",
+                    parent=parent, method=request.method,
+                )
             return leader.store.read(request).encode()
         cached = leader.store.cached_response(request.request_id)
         if cached is not None:
             self.dedup_hits += 1
+            if traced:
+                self.tracer.event(
+                    tid, self.clock(), leader.replica_id, "dedup_replay",
+                    parent=parent, request_id=request.request_id,
+                )
             return cached
         entry = LogEntry(
             index=leader.last_index + 1,
@@ -173,8 +207,25 @@ class ReplicatedShard:
             if follower.last_index < leader.last_index:
                 follower.catch_up_from(leader)
             follower.append_and_apply(entry)
+            if traced:
+                self.tracer.event(
+                    tid, self.clock(), follower.replica_id,
+                    "follower_apply", parent=leader.replica_id,
+                    index=entry.index,
+                )
         response = leader.append_and_apply(entry)
         self.commands_applied += 1
+        if traced:
+            self.tracer.event(
+                tid, self.clock(), leader.replica_id, "leader_commit",
+                parent=parent, index=entry.index, term=self.term,
+            )
+        if self.recorder.enabled:
+            self.recorder.record(
+                "log_appended", node=self.shard_id, t=self.clock(),
+                index=entry.index, method=request.method,
+                request_id=request.request_id, term=self.term,
+            )
         return response
 
     # -- failure & recovery ------------------------------------------------
@@ -190,6 +241,11 @@ class ReplicatedShard:
         if leader is None:
             return None
         leader.alive = False
+        if self.recorder.enabled:
+            self.recorder.record(
+                "leader_killed", node=self.shard_id, t=self.clock(),
+                replica=leader.replica_id, term=self.term,
+            )
         return leader.replica_id
 
     def fail_over(self) -> Optional[str]:
@@ -211,6 +267,22 @@ class ReplicatedShard:
         new_leader.role = LEADER
         self.term += 1
         self.failovers += 1
+        if self.recorder.enabled:
+            self.recorder.record(
+                "leader_promoted", node=self.shard_id, t=self.clock(),
+                replica=new_leader.replica_id, term=self.term,
+            )
+        # Stitch the promotion into every trace that found this shard
+        # leaderless: the client's retry will land on the new leader,
+        # and the trace shows *why* the retry succeeded.
+        if self._awaiting_traces and self.tracer.enabled:
+            now = self.clock()
+            for tid in self._awaiting_traces:
+                self.tracer.event(
+                    tid, now, new_leader.replica_id, "leader_promoted",
+                    parent=self.shard_id, term=self.term,
+                )
+        self._awaiting_traces.clear()
         return new_leader.replica_id
 
     def restart_replica(self, replica_id: str) -> int:
@@ -222,9 +294,15 @@ class ReplicatedShard:
         replica.alive = True
         replica.role = FOLLOWER
         leader = self.leader
-        if leader is None or leader is replica:
-            return 0
-        return replica.catch_up_from(leader)
+        replayed = 0
+        if leader is not None and leader is not replica:
+            replayed = replica.catch_up_from(leader)
+        if self.recorder.enabled:
+            self.recorder.record(
+                "replica_restarted", node=self.shard_id, t=self.clock(),
+                replica=replica_id, replayed=replayed, term=self.term,
+            )
+        return replayed
 
     # -- forensics ---------------------------------------------------------
 

@@ -52,6 +52,7 @@ import inspect
 import itertools
 import json
 import os
+import time
 from collections import OrderedDict
 from typing import Callable, Dict, List, Optional, Set
 
@@ -63,6 +64,8 @@ from repro.directory.cluster.protocol import (
     ProtocolError,
     VersionError,
 )
+from repro.obs.recorder import NULL_RECORDER
+from repro.obs.trace import NULL_TRACER
 from repro.directory.routes import Route
 from repro.directory.service import BindingConflictError, RouteQuery
 from repro.live.host import LiveRoute
@@ -161,10 +164,12 @@ class LiveDirectoryServer:
         query: Callable[[str, RouteQuery], List[Route]],
         backend: Optional[object] = None,
         dedup_capacity: int = DEDUP_CAPACITY,
+        name: str = "directory",
     ) -> None:
         self.query = query
         self.backend = backend
         self.dedup_capacity = dedup_capacity
+        self.name = name
         self._server: Optional[asyncio.AbstractServer] = None
         self._writers: Set[asyncio.StreamWriter] = set()
         self._tasks: Set[asyncio.Task] = set()
@@ -176,6 +181,23 @@ class LiveDirectoryServer:
         self.v1_frames = 0
         self.v2_frames = 0
         self.dedup_hits = 0
+        #: Observability hooks (NULL until installed; see repro.obs).
+        self.tracer = NULL_TRACER
+        self.recorder = NULL_RECORDER
+        self.clock: Callable[[], float] = time.monotonic
+        self._command_ms = None  # Histogram once attach_registry runs
+
+    def set_tracer(self, tracer) -> None:
+        """Install the tracer v2 commands stitch their spans into."""
+        self.tracer = tracer
+
+    def set_recorder(self, recorder) -> None:
+        """Install the flight recorder command fates are logged to."""
+        self.recorder = recorder
+
+    def attach_registry(self, registry) -> None:
+        """Expose v2 command service latency as ``directory_command_ms``."""
+        self._command_ms = registry.histogram("directory_command_ms")
 
     async def start(self, host: str = "127.0.0.1", port: int = 0) -> Address:
         """Start listening; returns the bound ``(host, port)``."""
@@ -302,10 +324,31 @@ class LiveDirectoryServer:
             return CommandResponse.failure(request_id, CommandError.make(
                 "bad_request", str(exc),
             )).encode()
+        started = self.clock()
+        tid = request.trace_id
+        traced = tid and self.tracer.enabled
+        if traced:
+            # Stitch this command into the caller's trace, then hand
+            # downstream layers a context parented on *this* server —
+            # each layer owns one level of the rendered tree.
+            from_parent = request.trace_dict.get("parent", "")
+            self.tracer.event(
+                tid, started, self.name, "command_received",
+                parent=from_parent, method=request.method,
+                request_id=request.request_id,
+            )
+            request = request.with_trace(
+                {**request.trace_dict, "parent": self.name}
+            )
         if request.is_write:
             cached = self._dedup.get(request.request_id)
             if cached is not None:
                 self.dedup_hits += 1
+                if traced:
+                    self.tracer.event(
+                        tid, self.clock(), self.name, "dedup_replay",
+                        request_id=request.request_id,
+                    )
                 return cached
         response = await self._dispatch_v2(request)
         encoded = response.encode()
@@ -313,6 +356,19 @@ class LiveDirectoryServer:
             self._remember(request.request_id, encoded)
         if not response.ok:
             self.errors += 1
+        if self._command_ms is not None:
+            self._command_ms.add((self.clock() - started) * 1e3)
+        if self.recorder.enabled:
+            self.recorder.record(
+                "command_served", node=self.name, t=self.clock(),
+                method=request.method, request_id=request.request_id,
+                ok=response.ok,
+            )
+        if traced:
+            self.tracer.event(
+                tid, self.clock(), self.name, "command_answered",
+                status=response.status,
+            )
         return encoded
 
     def _remember(self, request_id: str, encoded: bytes) -> None:
@@ -361,8 +417,16 @@ class LiveDirectoryServer:
             )
         params = request.params_dict
         name = str(params["name"])
+        # Backends that opt in (``accepts_trace``) get the trace
+        # context forwarded — this is the hop that carries a trace from
+        # the TCP protocol layer into the cluster command fan-out.
+        extra: Dict[str, object] = {}
+        if request.trace and getattr(self.backend, "accepts_trace", False):
+            extra["trace"] = request.trace_dict
         if request.method == "register_host":
-            parsed = self.backend.register_host(str(params["node"]), name)
+            parsed = self.backend.register_host(
+                str(params["node"]), name, **extra
+            )
             return CommandResponse.success(request.request_id, {
                 "name": str(parsed), "node": str(params["node"]),
             })
@@ -370,11 +434,15 @@ class LiveDirectoryServer:
             nodes = params["nodes"]
             if not isinstance(nodes, list):
                 raise ValueError("nodes must be a list")
-            self.backend.register_service(name, [str(n) for n in nodes])
+            self.backend.register_service(
+                name, [str(n) for n in nodes], **extra
+            )
             return CommandResponse.success(request.request_id, {
                 "name": name, "nodes": [str(n) for n in nodes],
             })
-        parsed = self.backend.rebind_host(str(params["node"]), name)
+        parsed = self.backend.rebind_host(
+            str(params["node"]), name, **extra
+        )
         return CommandResponse.success(request.request_id, {
             "name": str(parsed), "node": str(params["node"]),
         })
@@ -397,6 +465,48 @@ class LiveDirectoryServer:
             routes = await routes
         self.queries_served += 1
         return {"routes": [route_to_json(r) for r in routes]}
+
+
+class ClusterDirectoryBackend:
+    """Adapts a :class:`~repro.directory.cluster.client.ClusterClient`
+    to the live server's write-backend surface.
+
+    This is the live NDJSON-TCP directory fronting the sharded,
+    replicated cluster: v2 writes arriving over TCP become cluster
+    commands (routed by ring ownership, retried through failover,
+    deduplicated by request id), and — because ``accepts_trace`` is
+    True — the server forwards each request's trace context, so one
+    trace stitches the TCP command, the cluster's routing decision, and
+    both replicas' log appends.
+    """
+
+    accepts_trace = True
+
+    def __init__(self, client) -> None:
+        self.client = client
+
+    def register_host(
+        self, node: str, name: str,
+        trace: Optional[Dict[str, object]] = None,
+    ) -> str:
+        result = self.client.register_host(name, node, trace=trace)
+        return str(result.get("name", name))
+
+    def register_service(
+        self, name: str, nodes: List[str],
+        trace: Optional[Dict[str, object]] = None,
+    ) -> None:
+        self.client.register_service(name, list(nodes), trace=trace)
+
+    def rebind_host(
+        self, node: str, name: str,
+        trace: Optional[Dict[str, object]] = None,
+    ) -> str:
+        result = self.client.rebind(name, node, trace=trace)
+        return str(result.get("name", name))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ClusterDirectoryBackend {self.client!r}>"
 
 
 class LiveDirectoryClient:
@@ -544,20 +654,26 @@ class LiveDirectoryClient:
         return f"q-{next(self._counter)}-{os.urandom(4).hex()}"
 
     def _frame(
-        self, method: str, params: Dict[str, object], request_id: str
+        self, method: str, params: Dict[str, object], request_id: str,
+        trace: Optional[Dict[str, object]] = None,
     ) -> str:
         obj: Dict[str, object] = {
             "id": request_id, "method": method, "params": params,
         }
         if self.protocol_version >= PROTOCOL_V2:
             obj["v"] = self.protocol_version
+            # Trace context is a v2-only field: a v1 frame never grows
+            # keys, which is what keeps the legacy path byte-pinned.
+            if trace:
+                obj["trace"] = dict(trace)
         return json.dumps(obj)
 
     async def _request(
-        self, method: str, params: Dict[str, object], timeout_s: float
+        self, method: str, params: Dict[str, object], timeout_s: float,
+        trace: Optional[Dict[str, object]] = None,
     ) -> Dict[str, object]:
         return await self._request_with_id(
-            method, params, self._next_id(), timeout_s
+            method, params, self._next_id(), timeout_s, trace=trace
         )
 
     async def _request_with_id(
@@ -566,13 +682,14 @@ class LiveDirectoryClient:
         params: Dict[str, object],
         request_id: str,
         timeout_s: float,
+        trace: Optional[Dict[str, object]] = None,
     ) -> Dict[str, object]:
         await self._ensure_connected()
         if self._writer is None:  # pragma: no cover - ensure guarantees
             raise DirectoryError("directory client is not connected")
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         self._pending[request_id] = future
-        line = self._frame(method, params, request_id)
+        line = self._frame(method, params, request_id, trace=trace)
         try:
             self._writer.write((line + "\n").encode(ENCODING))
             await self._writer.drain()
@@ -656,6 +773,7 @@ class LiveDirectoryClient:
         dest_socket: int = 0,
         with_tokens: bool = False,
         timeout_s: float = 1.0,
+        trace: Optional[Dict[str, object]] = None,
     ) -> List[LiveRoute]:
         """Fetch up to ``k`` routes to ``destination`` (§3 over TCP)."""
         result = await self._request(
@@ -668,6 +786,7 @@ class LiveDirectoryClient:
                 "with_tokens": with_tokens,
             },
             timeout_s,
+            trace=trace,
         )
         raw_routes = result.get("routes")
         if not isinstance(raw_routes, list):
@@ -682,12 +801,15 @@ class LiveDirectoryClient:
         params: Dict[str, object],
         timeout_s: float,
         attempts: int,
+        trace: Optional[Dict[str, object]] = None,
     ) -> Dict[str, object]:
         """Issue one write, retrying **with the same request id**.
 
         At-least-once delivery made safe: a retry after a lost
         response replays through the server's dedup cache instead of
         re-executing, so the caller sees exactly-once semantics.
+        Retries also reuse the trace context, so the whole saga is one
+        trace record.
         """
         if self.protocol_version < PROTOCOL_V2:
             raise DirectoryError(
@@ -699,7 +821,7 @@ class LiveDirectoryClient:
         for attempt in range(max(1, attempts)):
             try:
                 return await self._request_with_id(
-                    method, params, request_id, timeout_s
+                    method, params, request_id, timeout_s, trace=trace
                 )
             except DirectoryError as exc:
                 if not exc.retryable:
@@ -716,11 +838,12 @@ class LiveDirectoryClient:
         node: str,
         timeout_s: float = 1.0,
         attempts: int = 3,
+        trace: Optional[Dict[str, object]] = None,
     ) -> Dict[str, object]:
         """Bind ``name`` to ``node`` (idempotent; conflicts are typed)."""
         return await self._write(
             "register_host", {"name": name, "node": node},
-            timeout_s, attempts,
+            timeout_s, attempts, trace=trace,
         )
 
     async def register_service(
@@ -729,11 +852,12 @@ class LiveDirectoryClient:
         nodes: List[str],
         timeout_s: float = 1.0,
         attempts: int = 3,
+        trace: Optional[Dict[str, object]] = None,
     ) -> Dict[str, object]:
         """Bind a service name to its provider hosts (§3)."""
         return await self._write(
             "register_service", {"name": name, "nodes": list(nodes)},
-            timeout_s, attempts,
+            timeout_s, attempts, trace=trace,
         )
 
     async def rebind(
@@ -742,10 +866,12 @@ class LiveDirectoryClient:
         node: str,
         timeout_s: float = 1.0,
         attempts: int = 3,
+        trace: Optional[Dict[str, object]] = None,
     ) -> Dict[str, object]:
         """Deliberately move ``name`` to ``node`` (§6.3 rebinding)."""
         return await self._write(
             "rebind", {"name": name, "node": node}, timeout_s, attempts,
+            trace=trace,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

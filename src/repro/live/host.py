@@ -31,6 +31,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.live.frames import decode_live_frame, encode_live_frame
 from repro.live.link import Address, Impairments, LiveEndpoint, ReliabilityConfig
 from repro.live.metrics import EndpointMetrics
+from repro.obs.recorder import NULL_RECORDER
 from repro.obs.trace import NULL_TRACER
 from repro.sim.ids import PacketIdAllocator
 from repro.transport.flowcontrol import DeliveryMask, split_into_group
@@ -123,6 +124,8 @@ class LiveHost:
         #: Hop tracer (repro.obs); NULL_TRACER = tracing disabled.
         #: Timestamps are ``time.monotonic()`` seconds.
         self.tracer = NULL_TRACER
+        #: Flight recorder (repro.obs); NULL_RECORDER = not recording.
+        self.recorder = NULL_RECORDER
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -137,6 +140,10 @@ class LiveHost:
     def set_tracer(self, tracer) -> None:
         """Install a :class:`repro.obs.trace.Tracer` on this host."""
         self.tracer = tracer
+
+    def set_recorder(self, recorder) -> None:
+        """Install a :class:`repro.obs.recorder.FlightRecorder`."""
+        self.recorder = recorder
 
     def connect_port(self, port_id: int, peer: Address) -> None:
         """Map live ``port_id`` to the UDP address of the adjacent node."""
@@ -247,6 +254,11 @@ class LiveHost:
                     packet.trace_id, time.monotonic(), self.name,
                     "route_exhausted",
                 )
+            if self.recorder.enabled:
+                self.recorder.record(
+                    "frame_dropped", node=self.name,
+                    reason="route_exhausted",
+                )
             return
         socket = packet.segments[0].port
         handler = self.sockets.get(socket)
@@ -257,6 +269,10 @@ class LiveHost:
                     packet.trace_id, time.monotonic(), self.name,
                     "no_socket", socket=socket,
                 )
+            if self.recorder.enabled:
+                self.recorder.record(
+                    "frame_dropped", node=self.name, reason="no_socket",
+                )
             return
         arrival_port = self.addr_port.get(source, 0)
         self.metrics.delivered_local += 1
@@ -264,6 +280,10 @@ class LiveHost:
             self.tracer.deliver(
                 packet.trace_id, time.monotonic(), self.name,
                 socket=socket,
+            )
+        if self.recorder.enabled:
+            self.recorder.record(
+                "frame_delivered", node=self.name, socket=socket,
             )
         handler(LiveDelivered(
             packet=packet,
@@ -376,11 +396,24 @@ class LiveTransactor:
         self._response_cache: "OrderedDict[Tuple[int, int], Tuple[List[bytes], int]]" = (
             OrderedDict()
         )
+        #: SLO feed (attach_registry): transaction RTTs + retry budget.
+        self._rtt_ms = None
+        self._tx_started = None
+        self._tx_retries = None
         host.bind(self.config.socket, self._on_delivered)
 
     def serve(self, handler: Callable[[bytes], bytes]) -> None:
         """Install the request handler: ``payload -> response payload``."""
         self.handler = handler
+
+    def attach_registry(self, registry) -> None:
+        """Expose the SLO engine's raw inputs: per-transaction RTTs
+        (``transaction_rtt_ms``), transactions started
+        (``transactions_started``), and retries spent
+        (``transaction_retries``) — the retry-budget-headroom ratio."""
+        self._rtt_ms = registry.histogram("transaction_rtt_ms")
+        self._tx_started = registry.counter("transactions_started")
+        self._tx_retries = registry.counter("transaction_retries")
 
     # -- client side -------------------------------------------------------
 
@@ -409,6 +442,8 @@ class LiveTransactor:
         )
         self._client_txs[txid] = tx
         started = time.monotonic()
+        if self._tx_started is not None:
+            self._tx_started.add()
         try:
             first_send = True
             while True:
@@ -428,6 +463,13 @@ class LiveTransactor:
                 except asyncio.TimeoutError:
                     tx.retries += 1
                     tx.retries_this_route += 1
+                    if self._tx_retries is not None:
+                        self._tx_retries.add()
+                    if self.host.recorder.enabled:
+                        self.host.recorder.record(
+                            "transaction_retry", node=self.host.name,
+                            txid=txid, attempt=tx.retries,
+                        )
                     if tx.retries > self.config.max_total_retries:
                         return LiveTransactionResult(
                             ok=False, retries=tx.retries,
@@ -440,9 +482,16 @@ class LiveTransactor:
                         manager.report_failure()
                         tx.route_switches += 1
                         tx.retries_this_route = 0
+                        if self.host.recorder.enabled:
+                            self.host.recorder.record(
+                                "route_switched", node=self.host.name,
+                                txid=txid, switches=tx.route_switches,
+                            )
                     continue
                 rtt = time.monotonic() - started
                 manager.report_rtt(rtt, payload_size=max(1, len(payload)))
+                if self._rtt_ms is not None:
+                    self._rtt_ms.add(rtt * 1e3)
                 return LiveTransactionResult(
                     ok=True, rtt=rtt, retries=tx.retries,
                     route_switches=tx.route_switches,

@@ -44,6 +44,7 @@ from repro.dataplane import (
 from repro.live.frames import Preamble, peek_leading_segment, strip_and_append
 from repro.live.link import Address, Impairments, LiveEndpoint, ReliabilityConfig
 from repro.live.metrics import EndpointMetrics
+from repro.obs.recorder import NULL_RECORDER
 from repro.obs.trace import NULL_TRACER
 from repro.tokens.cache import CachePolicy, TokenCache
 from repro.tokens.capability import TokenMint
@@ -102,8 +103,13 @@ class _LiveEffectSink(EffectSink):
         self._trace_id = trace_id
 
     def bump(self, name: str, n: int = 1) -> None:
+        router = self._router
         for _ in range(n):
-            self._router.metrics.drop(name)
+            router.metrics.drop(name)
+        if router.recorder.enabled:
+            router.recorder.record(
+                "frame_dropped", node=router.name, reason=name, n=n,
+            )
 
     def trace_event(self, event: str, **fields: Any) -> None:
         router = self._router
@@ -172,6 +178,8 @@ class LiveRouter:
         #: Hop tracer (repro.obs); NULL_TRACER = tracing disabled.
         #: Timestamps are ``time.monotonic()`` seconds.
         self.tracer = NULL_TRACER
+        #: Flight recorder (repro.obs); NULL_RECORDER = not recording.
+        self.recorder = NULL_RECORDER
         self._started_at = time.monotonic()
 
     # -- wiring ------------------------------------------------------------
@@ -216,11 +224,21 @@ class LiveRouter:
             capabilities=Capabilities(multicast=False),
         )
         self._started_at = time.monotonic()
-        return await self.endpoint.open(host, port)
+        address = await self.endpoint.open(host, port)
+        if self.recorder.enabled:
+            self.recorder.record(
+                "router_restarted", node=self.name,
+                port=address[1] if address else 0,
+            )
+        return address
 
     def set_tracer(self, tracer) -> None:
         """Install a :class:`repro.obs.trace.Tracer` on this router."""
         self.tracer = tracer
+
+    def set_recorder(self, recorder) -> None:
+        """Install a :class:`repro.obs.recorder.FlightRecorder`."""
+        self.recorder = recorder
 
     def connect_port(self, port_id: int, peer: Address) -> None:
         """Map VIPER ``port_id`` to the UDP address of the next node."""
@@ -300,6 +318,8 @@ class LiveRouter:
         if decision.action is Action.DELIVER_LOCAL:
             self.metrics.delivered_local += 1
             sink.trace_event("deliver_local")
+            if self.recorder.enabled:
+                self.recorder.record("frame_delivered", node=self.name)
             if self.local_handler is not None:
                 self.local_handler(datagram, source)
             return
@@ -325,6 +345,11 @@ class LiveRouter:
             out_port=decision.out_port,
             segments_left=decision.segments_left,
         )
+        if self.recorder.enabled:
+            self.recorder.record(
+                "frame_forwarded", node=self.name,
+                in_port=in_port, out_port=decision.out_port,
+            )
         self.endpoint.send(
             forwarded, self.ports[decision.out_port],
             reliable=self.config.reliable_hops,

@@ -39,7 +39,9 @@ from repro.live.router import LiveRouter, LiveRouterConfig
 from repro.net.topology import Topology
 from repro.obs.adapters import register_endpoint_metrics
 from repro.obs.httpd import ObsHttpServer
+from repro.obs.recorder import FlightRecorder
 from repro.obs.registry import MetricsRegistry
+from repro.obs.slo import SloEngine
 
 
 def as_live_route(route) -> LiveRoute:
@@ -62,6 +64,8 @@ class LiveOverlay:
         host: str = "127.0.0.1",
         tracer=None,
         obs_port: Optional[int] = None,
+        recorder: Optional[FlightRecorder] = None,
+        slo_specs=None,
     ) -> None:
         self.topology = topology
         self.impairments = impairments
@@ -73,9 +77,17 @@ class LiveOverlay:
         #: Optional :class:`repro.obs.trace.Tracer` installed on every
         #: live node at :meth:`start` (None = tracing disabled).
         self.tracer = tracer
+        #: The always-on flight recorder, shared by every node of this
+        #: overlay (append order = causal order); pass one in to share
+        #: a ring with components outside the overlay (chaos seam).
+        self.recorder = recorder if recorder is not None else FlightRecorder()
         #: This overlay's own metrics registry; every endpoint's counters
         #: are adopted into it as pull-time collectors at :meth:`start`.
         self.registry = MetricsRegistry()
+        #: SLO burn-rate engine over this overlay's registry, serving
+        #: the obs endpoint's ``/slo`` (default objectives unless
+        #: ``slo_specs`` overrides them).
+        self.slo = SloEngine(self.registry, specs=slo_specs)
         #: TCP port for the ``/metrics`` + ``/trace`` HTTP endpoint
         #: (None = do not serve; 0 = pick an ephemeral port).
         self.obs_port = obs_port
@@ -147,8 +159,18 @@ class LiveOverlay:
             register_endpoint_metrics(self.registry, live_node.metrics)
             if self.tracer is not None:
                 live_node.set_tracer(self.tracer)
+        self.recorder.install(
+            *self.routers.values(), *self.hosts.values(),
+            self.directory_server,
+        )
+        self.directory_server.attach_registry(self.registry)
+        if self.tracer is not None:
+            self.directory_server.set_tracer(self.tracer)
         if self.obs_port is not None:
-            self.obs_server = ObsHttpServer(self.registry, tracer=self.tracer)
+            self.obs_server = ObsHttpServer(
+                self.registry, tracer=self.tracer,
+                slo=self.slo, recorder=self.recorder,
+            )
             self.obs_address = await self.obs_server.start(
                 self.bind_host, self.obs_port
             )

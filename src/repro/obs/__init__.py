@@ -19,11 +19,23 @@ Submodules
 ``adapters``
     Pull-time bridges that expose :class:`repro.core.router.RouterStats`
     and :class:`repro.live.metrics.EndpointMetrics` through a registry.
+``recorder``
+    The always-on bounded flight recorder (:class:`FlightRecorder`)
+    with NDJSON dumps, :func:`load_dump` and :func:`fault_timeline`
+    forensics, and the guarded :data:`NULL_RECORDER` default.
+``slo``
+    Declarative SLOs (:class:`SloSpec`) evaluated as multi-window burn
+    rates over registry histograms by :class:`SloEngine`.
 ``httpd``
-    Opt-in asyncio HTTP endpoint serving ``/metrics`` and ``/trace``.
+    Opt-in asyncio HTTP endpoint serving ``/metrics``, ``/trace``,
+    ``/slo`` and ``/dump``.
 ``report``
     ``python -m repro.obs.report`` — flame-style per-hop latency
-    breakdowns and top-k drop reasons from exported files.
+    breakdowns, cross-layer trace trees and top-k drop reasons from
+    exported files.
+``top``
+    ``python -m repro.obs.top`` — live SLO burn-rate console polling
+    an obs endpoint's ``/slo``.
 """
 
 from repro.obs.registry import (
@@ -33,6 +45,14 @@ from repro.obs.registry import (
     MetricsRegistry,
     get_registry,
 )
+from repro.obs.recorder import (
+    NULL_RECORDER,
+    FlightRecorder,
+    NullRecorder,
+    fault_timeline,
+    load_dump,
+)
+from repro.obs.slo import SloEngine, SloSpec, default_slos
 from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
 
 __all__ = [
@@ -41,6 +61,14 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "get_registry",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "FlightRecorder",
+    "fault_timeline",
+    "load_dump",
+    "SloEngine",
+    "SloSpec",
+    "default_slos",
     "NULL_TRACER",
     "NullTracer",
     "Tracer",

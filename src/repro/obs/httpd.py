@@ -1,4 +1,4 @@
-"""Opt-in HTTP endpoint serving ``/metrics`` and ``/trace``.
+"""Opt-in HTTP endpoint serving ``/metrics``, ``/trace``, ``/slo``, ``/dump``.
 
 A tiny asyncio HTTP/1.0 server — no framework, no threads — that a
 :class:`~repro.live.topology.LiveOverlay` (or any owner of a
@@ -9,7 +9,11 @@ A tiny asyncio HTTP/1.0 server — no framework, no threads — that a
   registry, scrape-ready.
 * ``GET /trace`` — JSON index of retained traces (id, source, status).
 * ``GET /trace?id=<decimal-or-0x-hex>`` — one trace's full event list
-  plus its per-hop span decomposition, as JSON.
+  plus its per-hop span decomposition and parent tree, as JSON.
+* ``GET /slo`` — the :class:`~repro.obs.slo.SloEngine`'s burn-rate
+  report as JSON (what ``python -m repro.obs.top`` polls).
+* ``GET /dump`` — the flight recorder's NDJSON dump of the last window
+  (``?last_s=<seconds>`` overrides it) — the "explicit trigger" path.
 
 The handler parses only the request line and discards headers; anything
 that is not a GET for a known path gets a 404/405.  It exists for
@@ -23,16 +27,22 @@ import json
 from typing import Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
+from repro.obs.recorder import NULL_RECORDER
 from repro.obs.registry import MetricsRegistry
-from repro.obs.trace import NULL_TRACER, spans_of
+from repro.obs.trace import NULL_TRACER, spans_of, tree_of
 
 
 class ObsHttpServer:
-    """Serves one registry (and optionally one tracer) over HTTP."""
+    """Serves one registry (and optionally tracer/SLO/recorder) over HTTP."""
 
-    def __init__(self, registry: MetricsRegistry, tracer=None) -> None:
+    def __init__(
+        self, registry: MetricsRegistry, tracer=None,
+        slo=None, recorder=None,
+    ) -> None:
         self.registry = registry
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.slo = slo
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
         self._server: Optional[asyncio.AbstractServer] = None
         self.address: Optional[Tuple[str, int]] = None
 
@@ -97,6 +107,35 @@ class ObsHttpServer:
             )
         if parts.path == "/trace":
             return self._respond_trace(parts.query)
+        if parts.path == "/slo":
+            if self.slo is None:
+                return (
+                    "404 Not Found", "text/plain", b"no SLO engine\n"
+                )
+            return (
+                "200 OK", "application/json",
+                self.slo.report_json().encode("utf-8"),
+            )
+        if parts.path == "/dump":
+            params = parse_qs(parts.query)
+            last_s = None
+            if params.get("last_s"):
+                try:
+                    last_s = float(params["last_s"][0])
+                except ValueError:
+                    return (
+                        "400 Bad Request", "text/plain", b"bad last_s\n"
+                    )
+            text = self.recorder.dump_ndjson(
+                last_s=last_s, reason="http_trigger"
+            )
+            if not text:
+                return (
+                    "404 Not Found", "text/plain", b"no flight recorder\n"
+                )
+            return (
+                "200 OK", "application/x-ndjson", text.encode("utf-8")
+            )
         return "404 Not Found", "text/plain", b"not found\n"
 
     def _respond_trace(self, query: str) -> Tuple[str, str, bytes]:
@@ -144,6 +183,7 @@ class ObsHttpServer:
                 }
                 for span in spans_of(record)
             ],
+            "tree": tree_of(record),
         }
         return (
             "200 OK", "application/json",

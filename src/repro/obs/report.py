@@ -26,7 +26,7 @@ import sys
 from collections import Counter as TallyCounter
 from typing import Dict, List, Optional
 
-from repro.obs.trace import TraceEvent, TraceRecord, spans_of
+from repro.obs.trace import TraceEvent, TraceRecord, spans_of, tree_of
 
 
 def load_ndjson(path: str) -> List[TraceRecord]:
@@ -101,6 +101,34 @@ def render_trace(record: TraceRecord, width: int = 30) -> str:
     return "\n".join(lines)
 
 
+def render_tree(record: TraceRecord) -> str:
+    """One trace as its cross-layer parent tree (plain text).
+
+    Renders :func:`~repro.obs.trace.tree_of` as an indented tree — one
+    line per node with its relative start offset and event names — so a
+    traced v2 rebind reads as host → directory → cluster → replicas in
+    one picture.
+    """
+    tree = tree_of(record)
+    header = (
+        f"trace {record.trace_id:#018x} [{tree['status']}] tree"
+    )
+    lines = [header]
+
+    def walk(node: dict, depth: int) -> None:
+        offset = max(0.0, node["start"] - record.started)
+        lines.append(
+            f"  {'  ' * depth}{node['node']}"
+            f"  +{_fmt_duration(offset)}  {node['events']} event(s)"
+        )
+        for child in node["children"]:
+            walk(child, depth + 1)
+
+    for root in tree["roots"]:
+        walk(root, 0)
+    return "\n".join(lines)
+
+
 def render_drop_reasons(records: List[TraceRecord], top: int = 10) -> str:
     """Top-k drop reasons over every dropped trace, with drop sites."""
     reasons: TallyCounter = TallyCounter()
@@ -146,6 +174,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--width", type=int, default=30,
         help="bar width in characters (default 30)",
     )
+    parser.add_argument(
+        "--tree", action="store_true",
+        help="also render each trace's cross-layer parent tree",
+    )
     args = parser.parse_args(argv)
     out = sys.stdout.write
     try:
@@ -161,6 +193,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     out(f"{len(records)} trace(s) loaded\n\n")
     for record in records[: args.limit]:
         out(render_trace(record, width=args.width) + "\n\n")
+        if args.tree:
+            out(render_tree(record) + "\n\n")
     if len(records) > args.limit:
         out(f"... {len(records) - args.limit} more not shown\n\n")
     out(render_drop_reasons(records, top=args.top) + "\n")

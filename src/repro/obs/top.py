@@ -1,0 +1,134 @@
+"""``python -m repro.obs.top`` — a live SLO burn-rate console.
+
+Polls an obs HTTP server's ``/slo`` endpoint (the JSON produced by
+:meth:`repro.obs.slo.SloEngine.report`) and renders a compact terminal
+dashboard: one row per objective with its target, current good/total,
+per-window burn rates, a burn bar, and an ``ok``/``burn``/``page``
+verdict.  ``--once`` prints a single frame (what the tests and CI
+artifacts use); without it the console redraws every ``--interval``
+seconds until interrupted.
+
+The renderer is a pure function over the report dict, so anything
+holding an :class:`~repro.obs.slo.SloEngine` in-process can call
+:func:`render_report` directly without a server.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+import urllib.request
+from typing import Any, Dict, List
+
+#: Burn-bar width in characters.
+BAR_WIDTH = 20
+
+#: Burn rate that fills the bar completely.
+BAR_FULL_BURN = 10.0
+
+_STATUS_MARKS = (("ok", " "), ("burn", "!"), ("page", "#"))
+
+
+def _status_mark(status: str) -> str:
+    for name, mark in _STATUS_MARKS:
+        if name == status:
+            return mark
+    return "?"
+
+
+def _burn_bar(burn: float, width: int = BAR_WIDTH) -> str:
+    filled = min(width, int(round(burn / BAR_FULL_BURN * width)))
+    if burn > 0 and filled == 0:
+        filled = 1
+    return "[" + "#" * filled + "." * (width - filled) + "]"
+
+
+def render_report(report: Dict[str, Any], width: int = 100) -> str:
+    """One console frame for an ``/slo`` report dict."""
+    statuses: List[Dict[str, Any]] = list(report.get("statuses", []))
+    specs = {spec["name"]: spec for spec in report.get("specs", [])}
+    windows: List[str] = []
+    for status in statuses:
+        for key in status.get("windows", {}):
+            if key not in windows:
+                windows.append(key)
+    windows.sort(key=float)
+    name_w = max([len("slo")] + [len(s["slo"]) for s in statuses])
+    header = (
+        f"{'slo':<{name_w}}  {'target':>7}  {'good/total':>15}  "
+        + "  ".join(f"burn@{w}s".rjust(10) for w in windows)
+        + f"  {'':{BAR_WIDTH + 2}}  status"
+    )
+    lines = [header, "-" * min(width, len(header))]
+    for status in statuses:
+        name = status["slo"]
+        target = status.get("target", specs.get(name, {}).get("target", 0.0))
+        burns = []
+        for w in windows:
+            window = status.get("windows", {}).get(w)
+            burns.append(
+                f"{window['burn']:>10.2f}" if window else " " * 10
+            )
+        mark = _status_mark(status.get("status", "ok"))
+        lines.append(
+            f"{name:<{name_w}}  {target:>6.1%}  "
+            f"{status.get('good', 0):>6.0f}/{status.get('total', 0):<8.0f}  "
+            + "  ".join(burns)
+            + f"  {_burn_bar(status.get('worst_burn', 0.0))}  "
+            + f"{mark} {status.get('status', 'ok')}"
+        )
+    if not statuses:
+        lines.append("(no SLOs reported)")
+    return "\n".join(lines)
+
+
+def fetch_report(url: str, timeout: float = 5.0) -> Dict[str, Any]:
+    """GET the ``/slo`` endpoint and parse the JSON report."""
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def main(argv=None) -> int:
+    """CLI entry point: poll ``--url`` and render frames until stopped."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.top",
+        description="Live SLO burn-rate console over an obs /slo endpoint.",
+    )
+    parser.add_argument(
+        "--url", default="http://127.0.0.1:8080/slo",
+        help="the /slo endpoint to poll (default %(default)s)",
+    )
+    parser.add_argument(
+        "--interval", type=float, default=2.0,
+        help="seconds between frames (default %(default)s)",
+    )
+    parser.add_argument(
+        "--once", action="store_true",
+        help="print one frame and exit (CI / test mode)",
+    )
+    args = parser.parse_args(argv)
+    while True:
+        try:
+            report = fetch_report(args.url)
+        except OSError as error:
+            sys.stderr.write(
+                f"repro.obs.top: cannot reach {args.url}: {error}\n"
+            )
+            return 1
+        frame = render_report(report)
+        if args.once:
+            sys.stdout.write(frame + "\n")
+            return 0
+        # Clear-and-home keeps the dashboard in place between frames.
+        sys.stdout.write("\x1b[2J\x1b[H" + frame + "\n")
+        sys.stdout.flush()
+        try:
+            time.sleep(args.interval)
+        except KeyboardInterrupt:  # pragma: no cover - interactive exit
+            return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - module entry point
+    sys.exit(main())

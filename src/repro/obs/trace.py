@@ -352,3 +352,62 @@ def spans_of(record: TraceRecord) -> List[HopSpan]:
                 HopSpan(event.node, event.t, event.t, [event])
             )
     return spans
+
+
+def tree_of(record: TraceRecord) -> Dict[str, Any]:
+    """The trace's cross-layer node tree.
+
+    Each node's parent is taken from the ``parent`` attr of its first
+    event when one names another node in the trace (the cross-layer
+    propagation protocol sets these: directory events are parented on
+    the requesting host, cluster routing on the directory, shard
+    replicas on the cluster).  Nodes without an explicit parent — hop
+    spans of a forwarded packet — chain onto the previously seen node,
+    which reproduces the source route's hop order.  Returns
+    ``{"roots": [{"node", "start", "events", "children": [...]}, ...]}``.
+    """
+    first_seen: List[str] = []
+    parents: Dict[str, str] = {}
+    starts: Dict[str, float] = {}
+    counts: Dict[str, int] = {}
+    for event in record.events:
+        node = event.node
+        counts[node] = counts.get(node, 0) + 1
+        if node in parents:
+            continue
+        explicit = str(event.attrs.get("parent", "")) if event.attrs else ""
+        if explicit and explicit != node:
+            parents[node] = explicit
+        elif first_seen:
+            parents[node] = first_seen[-1]
+        else:
+            parents[node] = ""
+        starts[node] = event.t
+        first_seen.append(node)
+    known = set(first_seen)
+    children: Dict[str, List[str]] = {node: [] for node in first_seen}
+    roots: List[str] = []
+    for node in first_seen:
+        parent = parents[node]
+        if parent in known and parent != node:
+            children[parent].append(node)
+        else:
+            roots.append(node)
+
+    def build(node: str, seen: frozenset) -> Dict[str, Any]:
+        kids = [
+            build(child, seen | {node})
+            for child in children[node] if child not in seen
+        ]
+        return {
+            "node": node,
+            "start": starts[node],
+            "events": counts[node],
+            "children": kids,
+        }
+
+    return {
+        "trace_id": record.trace_id,
+        "status": record.status,
+        "roots": [build(root, frozenset({root})) for root in roots],
+    }

@@ -5,6 +5,7 @@ from repro.obs.report import (
     main,
     render_drop_reasons,
     render_trace,
+    render_tree,
 )
 from repro.obs.trace import Tracer
 
@@ -72,6 +73,27 @@ class TestRendering:
     def test_no_drops_is_a_sentence(self):
         assert render_drop_reasons([]) == "no drops recorded"
 
+    def test_tree_indents_parented_layers(self, tmp_path):
+        tracer = Tracer()
+        tid = tracer.begin("h1", 0.0)
+        tracer.event(tid, 1e-4, "directory", "command_received",
+                     parent="h1")
+        tracer.event(tid, 2e-4, "cluster", "command_route",
+                     parent="directory")
+        record = tracer.record(tid)
+        text = render_tree(record)
+        lines = text.splitlines()
+        assert lines[0].startswith(f"trace {tid:#018x}")
+        assert lines[1].lstrip().startswith("h1")
+        assert lines[2].startswith("    directory") or (
+            "directory" in lines[2]
+            and len(lines[2]) - len(lines[2].lstrip())
+            < len(lines[3]) - len(lines[3].lstrip())
+        )
+        # Strictly deepening indentation: one level per layer.
+        indents = [len(l) - len(l.lstrip()) for l in lines[1:]]
+        assert indents == sorted(indents) and len(set(indents)) == 3
+
 
 class TestMain:
     def test_exit_zero_and_output(self, tmp_path, capsys):
@@ -98,3 +120,10 @@ class TestMain:
         path, _, _ = _exported(tmp_path)
         assert main([path, "--limit", "1"]) == 0
         assert "1 more not shown" in capsys.readouterr().out
+
+    def test_tree_flag_prints_trees(self, tmp_path, capsys):
+        path, tid, _ = _exported(tmp_path)
+        assert main([path, "--tree"]) == 0
+        out = capsys.readouterr().out
+        assert "] tree" in out
+        assert "event(s)" in out

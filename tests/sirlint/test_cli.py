@@ -48,10 +48,13 @@ def test_syntax_error_exits_two(tmp_path):
     assert "parse error" in proc.stdout
 
 
-def test_list_rules_names_all_six():
+def test_list_rules_names_all_seven():
     proc = run_cli("--list-rules")
     assert proc.returncode == 0
-    for rule_id in ("SIR001", "SIR002", "SIR003", "SIR004", "SIR005", "SIR006"):
+    for rule_id in (
+        "SIR001", "SIR002", "SIR003", "SIR004", "SIR005", "SIR006",
+        "SIR007",
+    ):
         assert rule_id in proc.stdout
 
 

@@ -480,3 +480,124 @@ def test_sir006_inline_suppression():
         path="src/repro/live/router.py",
     )
     assert findings == []
+
+
+# -- SIR007: flight-recorder event discipline --------------------------------
+
+
+def test_sir007_fires_on_dynamic_event_name():
+    findings = analyze(
+        """
+        class Router:
+            def restart(self, kind):
+                self.recorder.record(kind, node=self.name)
+        """,
+        "repro.live.router",
+        path="src/repro/live/router.py",
+    )
+    assert rules_fired(findings) == ["SIR007"]
+    assert any("static string" in f.message for f in findings)
+
+
+def test_sir007_fires_on_interpolated_event_name():
+    findings = analyze(
+        """
+        class Router:
+            def restart(self):
+                self.recorder.record(f"restarted_{self.name}")
+        """,
+        "repro.live.router",
+        path="src/repro/live/router.py",
+    )
+    assert rules_fired(findings) == ["SIR007"]
+
+
+def test_sir007_fires_on_non_snake_case_event_name():
+    findings = analyze(
+        """
+        class Router:
+            def restart(self):
+                self.recorder.record("RouterRestarted", node=self.name)
+        """,
+        "repro.live.router",
+        path="src/repro/live/router.py",
+    )
+    assert rules_fired(findings) == ["SIR007"]
+    assert any("snake_case" in f.message for f in findings)
+    assert any(f.symbol == "record-event:RouterRestarted" for f in findings)
+
+
+def test_sir007_fires_on_ring_access_and_direct_event():
+    findings = analyze(
+        """
+        from repro.obs.recorder import RecorderEvent
+
+        class Sneaky:
+            def inject(self, recorder):
+                recorder._ring.append(
+                    RecorderEvent(0, 0.0, "x", "forged", {})
+                )
+        """,
+        "repro.chaos.fixture",
+        path="src/repro/chaos/fixture.py",
+    )
+    symbols = {f.symbol for f in findings if f.rule == "SIR007"}
+    assert "ring-access:_ring" in symbols
+    assert "direct-event:RecorderEvent" in symbols
+
+
+def test_sir007_silent_on_static_snake_case_names():
+    findings = analyze(
+        """
+        class Router:
+            def restart(self):
+                if self.recorder.enabled:
+                    self.recorder.record("router_restarted", node=self.name)
+
+        def drive(injector, now):
+            injector.record("shard_promoted", now, shard="shard-0")
+        """,
+        "repro.live.router",
+        path="src/repro/live/router.py",
+    )
+    assert findings == []
+
+
+def test_sir007_exempts_delegating_record_wrappers():
+    findings = analyze(
+        """
+        class FaultInjector:
+            def record(self, kind, at, **fields):
+                if self.recorder.enabled:
+                    self.recorder.record(kind, node="chaos", t=at, **fields)
+        """,
+        "repro.chaos.seam",
+        path="src/repro/chaos/seam.py",
+    )
+    assert findings == []
+
+
+def test_sir007_ring_access_allowed_inside_recorder_module():
+    findings = analyze(
+        """
+        class FlightRecorder:
+            def events(self):
+                return list(self._ring)
+        """,
+        "repro.obs.recorder",
+        path="src/repro/obs/recorder.py",
+    )
+    assert findings == []
+
+
+def test_sir007_inline_suppression():
+    findings = analyze(
+        """
+        class Router:
+            def restart(self, kind):
+                self.recorder.record(kind)  # sirlint: disable=SIR007
+        """,
+        "repro.live.router",
+        path="src/repro/live/router.py",
+    )
+    assert findings == []

@@ -14,6 +14,7 @@ from sirlint.rules.base import Rule, run_rules
 from sirlint.rules.drops import DropDisciplineRule
 from sirlint.rules.metrics import MetricsRule
 from sirlint.rules.purity import PurityRule
+from sirlint.rules.recorder import RecorderDisciplineRule
 from sirlint.rules.state import MutableStateRule
 from sirlint.rules.wire import WireLayoutRule
 
@@ -25,6 +26,7 @@ ALL_RULES: Tuple[Type[Rule], ...] = (
     MetricsRule,       # SIR004
     WireLayoutRule,    # SIR005
     DropDisciplineRule,  # SIR006
+    RecorderDisciplineRule,  # SIR007
 )
 
 

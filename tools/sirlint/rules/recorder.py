@@ -1,0 +1,148 @@
+"""SIR007 — flight-recorder event discipline.
+
+PR 7's forensics contract: flight-recorder dumps are NDJSON grepped by
+*event name* after an incident, and `fault_timeline` reduces dumps by
+classifying those names into phases.  Both only work while event names
+are static snake_case strings — a dynamically built name can never be
+searched for, documented, or classified ahead of time — and while every
+event enters the ring through the recorder API (``record(...)`` on a
+recorder, or the fault injector's mirroring ``record``), never by
+touching the ring or fabricating :class:`RecorderEvent` objects.
+
+Checks:
+
+* every ``<recorder>.record(name, ...)`` / ``<injector>.record(name,
+  ...)`` call site must pass a fully static, snake_case event name as
+  its first argument (no interpolation, no variables).  Delegating
+  wrappers themselves named ``record`` — the injector's mirror that
+  forwards an already-validated name into the shared ring — are exempt;
+* outside :mod:`repro.obs.recorder` nothing may reach into the ring
+  (``._ring``) or construct :class:`RecorderEvent` directly.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, Optional, Tuple
+
+from sirlint.model import Finding, ModuleInfo, name_template
+from sirlint.rules.base import Rule
+
+SNAKE = re.compile(r"^[a-z][a-z0-9_]*$")
+
+#: Receiver names whose ``.record(...)`` feeds the flight-recorder ring.
+RECORDER_RECEIVERS = ("recorder", "injector")
+
+#: The module that owns the ring and may touch its internals.
+RECORDER_MODULE = "repro.obs.recorder"
+
+
+def _scoped_walk(
+    node: ast.AST, enclosing: Tuple[str, ...] = ()
+) -> Iterable[Tuple[ast.AST, Tuple[str, ...]]]:
+    """Yield ``(node, enclosing-function-names)`` over the whole tree."""
+    yield node, enclosing
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        enclosing = enclosing + (node.name,)
+    for child in ast.iter_child_nodes(node):
+        yield from _scoped_walk(child, enclosing)
+
+
+def _recorder_record_call(node: ast.Call) -> bool:
+    """True when ``node`` is ``<recorder|injector>.record(...)``."""
+    func = node.func
+    if not (isinstance(func, ast.Attribute) and func.attr == "record"):
+        return False
+    value = func.value
+    if isinstance(value, ast.Name):
+        return value.id in RECORDER_RECEIVERS
+    if isinstance(value, ast.Attribute):
+        return value.attr in RECORDER_RECEIVERS
+    return False
+
+
+def _event_name_node(node: ast.Call) -> Optional[ast.AST]:
+    if node.args:
+        first = node.args[0]
+        if isinstance(first, ast.Starred):
+            return None
+        return first
+    for kw in node.keywords:
+        if kw.arg == "name":
+            return kw.value
+    return None
+
+
+class RecorderDisciplineRule(Rule):
+    """SIR007: static snake_case event names, events only via the API."""
+
+    id = "SIR007"
+    title = "flight-recorder event discipline"
+    rationale = (
+        "PR 7 forensics: dumps are grepped and timeline-classified by "
+        "event name, so names must be static snake_case; the ring is "
+        "append-only through the recorder API."
+    )
+
+    def check(self, module: ModuleInfo) -> Iterable[Finding]:
+        owns_ring = module.name == RECORDER_MODULE
+        for node, enclosing in _scoped_walk(module.tree):
+            if isinstance(node, ast.Call) and _recorder_record_call(node):
+                if "record" in enclosing:
+                    # A delegating wrapper itself named ``record`` (the
+                    # injector's mirror) forwards an already-checked
+                    # name; its *callers* are the sites we police.
+                    continue
+                name_node = _event_name_node(node)
+                if name_node is None:
+                    yield module.finding(
+                        self.id, node,
+                        "recorder event emitted without a name argument "
+                        "— every record() call names its event",
+                        symbol="record-event:<missing>",
+                    )
+                    continue
+                template = name_template(name_node)
+                if template is None or "{}" in template:
+                    yield module.finding(
+                        self.id, name_node,
+                        "recorder event name must be a static string "
+                        "literal — dumps are grepped and timelines "
+                        "classified by name, so dynamic names cannot "
+                        "be audited",
+                        symbol="record-event:<dynamic>",
+                    )
+                    continue
+                if not SNAKE.match(template):
+                    yield module.finding(
+                        self.id, name_node,
+                        f"recorder event name {template!r} is not "
+                        "snake_case ([a-z][a-z0-9_]*)",
+                        symbol=f"record-event:{template}",
+                    )
+            if owns_ring:
+                continue
+            if isinstance(node, ast.Attribute) and node.attr == "_ring":
+                yield module.finding(
+                    self.id, node,
+                    "direct flight-recorder ring access — events enter "
+                    "and leave only via the recorder API (record() / "
+                    "events() / dump_ndjson())",
+                    symbol="ring-access:_ring",
+                )
+            if isinstance(node, ast.Call):
+                callee = node.func
+                callee_name = (
+                    callee.id if isinstance(callee, ast.Name)
+                    else callee.attr if isinstance(callee, ast.Attribute)
+                    else None
+                )
+                if callee_name == "RecorderEvent":
+                    yield module.finding(
+                        self.id, node,
+                        "RecorderEvent constructed outside the recorder "
+                        "— events are created only by record(), which "
+                        "assigns the causal sequence number",
+                        symbol="direct-event:RecorderEvent",
+                    )
