@@ -1,6 +1,6 @@
 """F2 — the dataplane fast paths: flow cache and zero-copy hop move.
 
-Two wall-clock claims about the refactored per-hop machinery:
+Three claims about the refactored per-hop machinery:
 
 * **Flow cache (§2.2)** — "routers cache tokens and flow information as
   soft state": a warm flow-cache decision must be at least 2x faster
@@ -10,14 +10,20 @@ Two wall-clock claims about the refactored per-hop machinery:
   raw bytes (arithmetic strip boundary + one memoryview copy of the
   untouched middle) must beat the structural decode -> advance ->
   re-encode path it is tested byte-exact against.
+* **Allocation discipline (PR 8)** — the in-place hop move on a
+  buffer-ring slot (:func:`repro.live.frames.hop_move_into`) must
+  allocate an order of magnitude fewer bytes per packet than the
+  structural path: tracemalloc's peak-growth around a single op is the
+  counter, because transient per-packet garbage is exactly what peaks.
 
-Both are shape checks on ratios, not absolute numbers: wall-clock
+Speedups are shape checks on ratios, not absolute numbers: wall-clock
 noise moves the microseconds, not who wins.
 """
 
 from __future__ import annotations
 
 import time
+import tracemalloc
 
 from repro.dataplane import (
     Action,
@@ -28,14 +34,18 @@ from repro.dataplane import (
     PortProfile,
 )
 from repro.live.frames import (
+    decode_preamble,
     encode_live_frame,
+    hop_move_into,
+    return_tail_of,
     strip_and_append,
     strip_and_append_slow,
 )
 from repro.tokens.cache import TokenCache
 from repro.tokens.capability import TokenMint
 from repro.viper.packet import SirpentPacket
-from repro.viper.wire import HeaderSegment
+from repro.viper.ring import BufferRing
+from repro.viper.wire import HeaderSegment, PacketView, segment_span
 
 from benchmarks._common import format_table, publish
 
@@ -49,6 +59,30 @@ def _per_op_us(fn, n: int) -> float:
     for _ in range(n):
         fn()
     return (time.perf_counter() - started) / n * 1e6
+
+
+def _alloc_per_op(fn, repeats: int = 9) -> int:
+    """Median tracemalloc peak growth (bytes) across single invocations.
+
+    Peak-minus-before catches transient garbage that a before/after
+    snapshot diff would miss (per-packet objects are freed before the
+    op returns — that churn is precisely what the zero-allocation
+    fastpath removes).
+    """
+    samples = []
+    tracemalloc.start()
+    try:
+        fn()  # warm caches so one-time allocations don't pollute sample 1
+        for _ in range(repeats):
+            before, _ = tracemalloc.get_traced_memory()
+            tracemalloc.reset_peak()
+            fn()
+            _, peak = tracemalloc.get_traced_memory()
+            samples.append(max(0, peak - before))
+    finally:
+        tracemalloc.stop()
+    samples.sort()
+    return samples[len(samples) // 2]
 
 
 def _build_pipeline():
@@ -115,18 +149,53 @@ def bench_f02_dataplane(benchmark):
     assert strip_and_append(datagram, return_segment) == \
         strip_and_append_slow(datagram, return_segment)
 
+    # In-place hop move on a buffer-ring slot (the PR 8 fastpath).  The
+    # move consumes the slot, so each op first restores the overwritten
+    # head region (a ~50-byte copy — charged against the fast path).
+    header_len = decode_preamble(datagram).header_len
+    first_end = segment_span(datagram, header_len)
+    tail = return_tail_of(return_segment)
+    preamble = decode_preamble(datagram)
+    ring = BufferRing(slots=1)
+    slot = ring.acquire()
+    slot.buffer[: len(datagram)] = datagram
+    view = PacketView.of_slot(slot, len(datagram))
+
+    def inplace_move():
+        view.start = 0
+        view.end = len(datagram)
+        slot.buffer[:first_end] = datagram[:first_end]
+        hop_move_into(view, tail, preamble, next_rel=first_end)
+
+    inplace_us = _per_op_us(inplace_move, STRIPS)
+    inplace_speedup = slow_us / inplace_us
+    inplace_move()
+    assert view.tobytes() == strip_and_append(datagram, return_segment)
+
+    # Allocation churn per hop move (tracemalloc peak growth).
+    slow_alloc = _alloc_per_op(
+        lambda: strip_and_append_slow(datagram, return_segment)
+    )
+    fast_alloc = _alloc_per_op(
+        lambda: strip_and_append(datagram, return_segment)
+    )
+    inplace_alloc = _alloc_per_op(inplace_move)
+
     hit_rate = pipeline.flow_cache.stats.hit_rate()
     rows = [
-        ("per-hop decision, cold (flush each)", f"{cold_us:.2f}", "1.0x"),
+        ("per-hop decision, cold (flush each)", f"{cold_us:.2f}", "1.0x", ""),
         ("per-hop decision, warm flow cache", f"{warm_us:.2f}",
-         f"{decision_speedup:.1f}x"),
-        ("live hop move, structural codec", f"{slow_us:.2f}", "1.0x"),
+         f"{decision_speedup:.1f}x", ""),
+        ("live hop move, structural codec", f"{slow_us:.2f}", "1.0x",
+         slow_alloc),
         ("live hop move, zero-copy bytes", f"{fast_us:.2f}",
-         f"{strip_speedup:.1f}x"),
+         f"{strip_speedup:.1f}x", fast_alloc),
+        ("live hop move, in-place ring slot", f"{inplace_us:.2f}",
+         f"{inplace_speedup:.1f}x", inplace_alloc),
     ]
     table = format_table(
         "F2  dataplane fast paths — flow cache and zero-copy hop move",
-        ["path", "us/op", "speedup"],
+        ["path", "us/op", "speedup", "alloc B/op"],
         rows,
     )
     note = (
@@ -135,15 +204,44 @@ def bench_f02_dataplane(benchmark):
         "portInfo decoding (§2.2 'cached version of the token ... in\n"
         "real time'); the zero-copy move finds the strip boundary\n"
         "arithmetically and copies the untouched middle bytes exactly\n"
-        "once, byte-exact against the structural path."
+        "once; the in-place move rewrites the packet inside its ring\n"
+        "slot and appends the memoized return tail — no output frame\n"
+        "is ever constructed (alloc B/op = tracemalloc peak growth)."
     )
-    publish("f02_dataplane", table + note)
+    publish("f02_dataplane", table + note, data={
+        "title": "F2 dataplane fast paths",
+        "metrics": {
+            "warm_decision_us": round(warm_us, 3),
+            "decision_speedup": round(decision_speedup, 2),
+            "strip_fast_us": round(fast_us, 3),
+            "strip_inplace_us": round(inplace_us, 3),
+            "strip_speedup": round(strip_speedup, 2),
+            "alloc_bytes_structural": slow_alloc,
+            "alloc_bytes_zero_copy": fast_alloc,
+            "alloc_bytes_inplace": inplace_alloc,
+        },
+        "higher_is_better": ["decision_speedup", "strip_speedup"],
+        "lower_is_better": [
+            "warm_decision_us", "strip_fast_us", "strip_inplace_us",
+            "alloc_bytes_structural", "alloc_bytes_zero_copy",
+            "alloc_bytes_inplace",
+        ],
+    })
 
     assert decision_speedup >= 2.0, (
         f"warm flow-cache decision only {decision_speedup:.2f}x cold"
     )
     assert strip_speedup >= 2.0, (
         f"zero-copy hop move only {strip_speedup:.2f}x structural"
+    )
+    assert inplace_speedup >= 2.0, (
+        f"in-place hop move only {inplace_speedup:.2f}x structural"
+    )
+    # The point of PR 8: per-packet allocation collapses on the
+    # in-place path (the structural path builds a whole object layer).
+    assert inplace_alloc * 4 <= slow_alloc, (
+        f"in-place move allocates {inplace_alloc}B/op vs structural "
+        f"{slow_alloc}B/op — expected at least a 4x reduction"
     )
 
 

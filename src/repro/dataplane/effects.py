@@ -66,6 +66,12 @@ class Decision:
     out_port: int = -1
     effective: Optional[HeaderSegment] = None
     return_segment: Optional[HeaderSegment] = None
+    #: Wire span of the return hop — ``encode_segment(return_segment)
+    #: ++ 2-byte back-length`` — memoized by the flow cache at install
+    #: time so the warm fast path appends bytes it never re-encodes
+    #: (None on cold decisions and when the return hop was rebuilt for
+    #: fresh arrival portInfo; the driver then encodes once itself).
+    return_tail: Optional[bytes] = None
     splice_tail: List[HeaderSegment] = field(default_factory=list)
     dst_mac: Optional[Any] = None
     truncate_to: int = 0

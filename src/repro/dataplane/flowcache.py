@@ -44,7 +44,7 @@ from repro.viper.wire import HeaderSegment
 FlowKey = Tuple[bytes, int, int, int, bool, bytes]
 
 
-def flow_key(
+def flow_key(  # sirlint: hot
     token: bytes, in_port: int, port: int, priority: int,
     rpf: bool, portinfo: bytes,
 ) -> FlowKey:
@@ -79,6 +79,11 @@ class FlowEntry:
     #: re-constructing it (segments are immutable by convention; the
     #: receiver's ``build_return_route`` copies).
     return_segment: Optional[HeaderSegment] = None
+    #: The return hop's *wire span* (encoded segment ++ 2-byte
+    #: back-length), encoded once at install — the warm path hands it
+    #: to the driver (``Decision.return_tail``) for a zero-encode
+    #: in-place append.
+    return_tail: Optional[bytes] = None
     #: Post-hop wire-size change of the strip/reverse/append move
     #: (splice tail + trailer element − stripped segment), so the warm
     #: truncation check is one add + compare.
@@ -118,7 +123,7 @@ class FlowCache:
 
     # -- the fast path -----------------------------------------------------
 
-    def lookup(self, key: FlowKey, now_ms: int) -> Optional[FlowEntry]:
+    def lookup(self, key: FlowKey, now_ms: int) -> Optional[FlowEntry]:  # sirlint: hot
         """Return the live entry for ``key``, expiring it if stale."""
         if not self.enabled:
             return None

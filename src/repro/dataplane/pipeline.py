@@ -37,14 +37,14 @@ from repro.dataplane.multicast import (
 )
 from repro.tokens.cache import TokenCache, Verdict
 from repro.viper.errors import DecodeError
-from repro.viper.packet import TRAILER_LENGTH_BYTES
+from repro.viper.packet import TRAILER_LENGTH_BYTES, TRUNCATION_SENTINEL
 from repro.viper.portinfo import (
     COMPRESSED_ETHERNET_INFO_BYTES,
     CompressedEthernetInfo,
     EthernetInfo,
     ETHERNET_INFO_BYTES,
 )
-from repro.viper.wire import LOCAL_PORT, HeaderSegment
+from repro.viper.wire import LOCAL_PORT, HeaderSegment, encode_segment
 
 #: ``HopInput.in_port`` value meaning "arrival port unknown" — the
 #: return segment cannot be built and the flow is never cached (the
@@ -125,6 +125,12 @@ class HopInput:
     the link-reversed network-specific bytes for the return hop — how
     they are derived (swapping the arrival frame's MACs, reversing the
     segment's own Ethernet portInfo) is link knowledge the driver owns.
+
+    ``segment`` may be a structural :class:`HeaderSegment` (sim) or a
+    zero-copy :class:`~repro.viper.wire.SegmentView` over a buffer-ring
+    slot (live fast path) — the pipeline reads only the duck-typed
+    surface the two share, and materialises ``token``/``portinfo``
+    bytes exactly where the flow-cache key needs hashable values.
     """
 
     segment: HeaderSegment
@@ -289,11 +295,22 @@ class ForwardingPipeline:
                     if spliced else 0
                 )
                 post_delta = splice_extra - segment.wire_size()
+                return_tail = None
                 if decision.return_segment is not None:
                     post_delta += (
                         decision.return_segment.wire_size()
                         + TRAILER_LENGTH_BYTES
                     )
+                    # Encode the return hop's wire span exactly once per
+                    # flow; every warm packet appends these bytes verbatim
+                    # (frames too large for the 2-byte back-length cannot
+                    # be memoized — the driver's own encode rejects them).
+                    encoded_return = encode_segment(decision.return_segment)
+                    if len(encoded_return) < TRUNCATION_SENTINEL:
+                        return_tail = encoded_return + len(
+                            encoded_return
+                        ).to_bytes(TRAILER_LENGTH_BYTES, "big")
+                decision.return_tail = return_tail
                 self.flow_cache.install(key, FlowEntry(
                     out_port=resolved_port,
                     dst_mac=dst_mac,
@@ -303,6 +320,7 @@ class ForwardingPipeline:
                     token_entry=entry,
                     expires_at_ms=expiry,
                     return_segment=decision.return_segment,
+                    return_tail=return_tail,
                     post_size_delta=post_delta,
                 ), hop.now_ms)
         return decision
@@ -342,7 +360,7 @@ class ForwardingPipeline:
         ]
         return Decision(Action.FANOUT, branches=branches)
 
-    def _decide_cached(
+    def _decide_cached(  # sirlint: hot
         self, hop: HopInput, key: Any, cached: FlowEntry
     ) -> Optional[Decision]:
         """Fast path: the flow is known — admit, account, forward.
@@ -365,32 +383,70 @@ class ForwardingPipeline:
                 self.flow_cache.invalidate_token(segment.token)
                 return None
         # Everything below reuses work memoized at install time: the
-        # return segment, the splice tail sizes and the post-hop size
-        # delta are all pinned by the flow key, so the warm path does
-        # no segment construction and no wire-size arithmetic.
+        # return segment, its encoded wire span, the splice tail sizes
+        # and the post-hop size delta are all pinned by the flow key,
+        # so the warm path does no segment construction, no wire-size
+        # arithmetic and no per-packet container allocation (sirlint
+        # SIR008 polices this function).
         return_segment = cached.return_segment
+        return_tail = cached.return_tail
         post_size_delta = cached.post_size_delta
         if return_segment is not None:
             reverse_info = hop.reverse_portinfo()
             if reverse_info != return_segment.portinfo:
                 # The upstream link re-framed (new arrival MACs) under
-                # the cached flow: rebuild this packet's return hop.
+                # the cached flow: rebuild this packet's return hop
+                # (the driver re-encodes — the memoized span is stale).
                 rebuilt = return_segment.copy(portinfo=reverse_info)
                 post_size_delta += (
                     rebuilt.wire_size() - return_segment.wire_size()
                 )
                 return_segment = rebuilt
-        if cached.splice is None:
-            effective = segment
-            splice_tail = []
-        else:
-            effective = cached.splice[0].copy(
-                priority=segment.priority, dib=segment.dib
+                return_tail = None
+        if cached.splice is not None:
+            return self._cached_spliced_decision(
+                hop, cached, return_segment, return_tail, post_size_delta,
+                profile,
             )
-            splice_tail = [
-                s.copy(priority=segment.priority)
-                for s in cached.splice[1:]
-            ]
+        truncate_to = 0
+        if profile.mtu and hop.wire_size + post_size_delta > profile.mtu:
+            truncate_to = profile.mtu
+        return Decision(
+            Action.FORWARD,
+            out_port=cached.out_port,
+            effective=segment,
+            return_segment=return_segment,
+            return_tail=return_tail,
+            dst_mac=cached.dst_mac,
+            truncate_to=truncate_to,
+            segments_left=hop.seg_count - 1,
+            flow_cache_hit=True,
+        )
+
+    def _cached_spliced_decision(
+        self,
+        hop: HopInput,
+        cached: FlowEntry,
+        return_segment: Optional[HeaderSegment],
+        return_tail: Optional[bytes],
+        post_size_delta: int,
+        profile: PortProfile,
+    ) -> Decision:
+        """Warm-path tail for transit-spliced flows.
+
+        Splice copies re-stamp the packet's priority per copy, so this
+        arm allocates per packet by design — it is split out of
+        :meth:`_decide_cached` to keep the plain-forward warm path
+        under the SIR008 allocation discipline.
+        """
+        segment = hop.segment
+        effective = cached.splice[0].copy(
+            priority=segment.priority, dib=segment.dib
+        )
+        splice_tail = [
+            s.copy(priority=segment.priority)
+            for s in cached.splice[1:]
+        ]
         truncate_to = 0
         if profile.mtu and hop.wire_size + post_size_delta > profile.mtu:
             truncate_to = profile.mtu
@@ -399,10 +455,10 @@ class ForwardingPipeline:
             out_port=cached.out_port,
             effective=effective,
             return_segment=return_segment,
+            return_tail=return_tail,
             splice_tail=splice_tail,
             dst_mac=cached.dst_mac,
             truncate_to=truncate_to,
-            token_delay=0.0,
             segments_left=hop.seg_count - 1,
             flow_cache_hit=True,
         )

@@ -356,6 +356,112 @@ def strip_and_append(
     ))
 
 
+# -- in-place fast path (buffer-ring views) ----------------------------------
+
+
+def encode_preamble_into(
+    buffer, offset: int, seq: int, seg_count: int, payload_len: int,
+    trace_id: int = 0,
+) -> int:
+    """Write a data-frame preamble into ``buffer`` at ``offset`` in place.
+
+    The allocation-free twin of :func:`encode_preamble` for the hop
+    fast path (always ``FRAME_DATA`` — acks use a preallocated scratch
+    frame).  Returns the header length written (11, or 19 when traced).
+    """
+    if not 0 <= seq <= 0xFFFFFFFF:
+        raise ValueError(f"sequence {seq} outside 32 bits")
+    if not 0 <= seg_count <= MAX_SEGMENTS:
+        raise ValueError(f"segment count {seg_count} outside 0..{MAX_SEGMENTS}")
+    if not 0 <= payload_len <= MAX_PAYLOAD_BYTES:
+        raise ValueError(f"payload length {payload_len} outside 16 bits")
+    buffer[offset] = 0x56      # 'V'
+    buffer[offset + 1] = 0x4C  # 'L'
+    buffer[offset + 2] = VERSION
+    buffer[offset + 3] = FRAME_DATA | (FLAG_TRACED if trace_id else 0)
+    buffer[offset + 4] = (seq >> 24) & 0xFF
+    buffer[offset + 5] = (seq >> 16) & 0xFF
+    buffer[offset + 6] = (seq >> 8) & 0xFF
+    buffer[offset + 7] = seq & 0xFF
+    buffer[offset + 8] = seg_count
+    buffer[offset + 9] = (payload_len >> 8) & 0xFF
+    buffer[offset + 10] = payload_len & 0xFF
+    if not trace_id:
+        return PREAMBLE_BYTES
+    if not 0 < trace_id <= 0xFFFFFFFFFFFFFFFF:
+        raise ValueError(f"trace id {trace_id} outside 64 bits")
+    at = offset + PREAMBLE_BYTES
+    for shift in (56, 48, 40, 32, 24, 16, 8, 0):
+        buffer[at] = (trace_id >> shift) & 0xFF
+        at += 1
+    return PREAMBLE_BYTES + TRACE_ID_BYTES
+
+
+def restamp_seq_into(buffer, offset: int, seq: int) -> None:
+    """In-place twin of :func:`restamp_seq` for slot-backed frames."""
+    if not 0 <= seq <= 0xFFFFFFFF:
+        raise ValueError(f"sequence {seq} outside 32 bits")
+    at = offset + SEQ_OFFSET
+    buffer[at] = (seq >> 24) & 0xFF
+    buffer[at + 1] = (seq >> 16) & 0xFF
+    buffer[at + 2] = (seq >> 8) & 0xFF
+    buffer[at + 3] = seq & 0xFF
+
+
+def return_tail_of(return_segment: HeaderSegment) -> bytes:
+    """The trailer tail the hop move appends, encoded once.
+
+    ``encoded return segment ++ 2-byte back-length`` — the span the
+    flow cache memoizes (:attr:`repro.dataplane.flowcache.FlowEntry.
+    return_tail`) so the warm path appends bytes it never re-encodes.
+    """
+    encoded = encode_segment(return_segment)
+    if len(encoded) >= TRUNCATION_SENTINEL:
+        raise ValueError("return segment too large to frame in the trailer")
+    return encoded + len(encoded).to_bytes(TRAILER_LENGTH_BYTES, "big")
+
+
+def hop_move_into(
+    view, tail: bytes, preamble: Preamble = None, next_rel: int = None,
+    seq: int = SEQ_NONE,
+) -> bool:
+    """The router's core move, **in place** on a buffer-ring view.
+
+    Strips the leading header segment by rewriting the (decremented)
+    preamble directly before the surviving bytes — the packet *moves
+    forward inside its slot* instead of being copied — and appends the
+    memoized return tail (see :func:`return_tail_of`) into the slot's
+    tail-room.  Byte-exact with :func:`strip_and_append` /
+    :func:`strip_and_append_slow`; the differential fuzz suite pins
+    this.
+
+    ``preamble``/``next_rel`` (the leading segment's end, relative to
+    the view start) skip re-validation when the caller already parsed
+    them.  Returns False — view untouched — when the tail-room cannot
+    hold ``tail``, in which case the caller materialises.
+    """
+    if view.end + len(tail) > len(view.buffer):
+        return False
+    mem = view.mem
+    if preamble is None:
+        preamble = decode_preamble(mem)
+    if preamble.kind != FRAME_DATA or preamble.seg_count == 0:
+        raise ViperDecodeError("cannot forward: no leading segment")
+    if next_rel is None:
+        next_rel = segment_span(mem, preamble.header_len)
+    header_len = preamble.header_len
+    new_start = view.start + next_rel - header_len
+    encode_preamble_into(
+        view.buffer, new_start, seq, preamble.seg_count - 1,
+        preamble.payload_len, trace_id=preamble.trace_id,
+    )
+    view.start = new_start
+    end = view.end
+    view.buffer[end:end + len(tail)] = tail
+    view.end = end + len(tail)
+    return True
+
+
 def strip_and_append_slow(
     datagram: bytes, return_segment: HeaderSegment, seq: int = SEQ_NONE
 ) -> bytes:

@@ -114,6 +114,12 @@ class LiveHost:
             name, metrics=self.metrics,
             impairments=impairments, reliability=reliability,
         )
+        # One wakeup, many frames: the endpoint hands whole batches of
+        # ring-slot views.  A host is where packets leave the overlay —
+        # reception decodes the full frame into a SirpentPacket anyway —
+        # so each view is materialised once, its slot released straight
+        # away (before any handler runs), and the per-frame path reused.
+        self.endpoint.on_batch = self._on_batch
         self.endpoint.on_frame = self._on_frame
         self.reliable_hops = reliable_hops
         self.ports: Dict[int, Address] = {}
@@ -239,6 +245,13 @@ class LiveHost:
         )
 
     # -- receiving ---------------------------------------------------------
+
+    def _on_batch(self, batch) -> None:
+        """Consume one endpoint wakeup's worth of ring-slot views."""
+        for view, source in batch:
+            datagram = view.tobytes()
+            view.release()
+            self._on_frame(datagram, source)
 
     def _on_frame(self, datagram: bytes, source: Address) -> None:
         try:

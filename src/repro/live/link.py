@@ -1,24 +1,43 @@
-"""Asyncio UDP endpoints: the live overlay's point-to-point channels.
+"""Batched UDP endpoints: the live overlay's point-to-point channels.
 
 Each live node (router, host) owns one :class:`LiveEndpoint` — a bound
-UDP socket wrapped in ``asyncio``'s datagram machinery.  The endpoint
-provides:
+non-blocking UDP socket driven straight off the event loop's readiness
+callbacks.  The endpoint provides:
 
 * **framed delivery** — datagrams that do not carry a valid overlay
   preamble are dropped and counted, never raised (the live analogue of
   "a router must survive line noise"),
+* **batched zero-copy receive** — one loop wakeup drains up to
+  ``rx_batch`` datagrams with ``recvmsg_into`` straight into
+  :class:`~repro.viper.ring.BufferRing` slots and hands the whole
+  batch of :class:`~repro.viper.wire.PacketView` s to :attr:`on_batch`
+  in one call, so the per-datagram cost of the event loop is amortised
+  N ways and no ``bytes`` object is built for the datagram
+  (:attr:`on_frame` remains as the materialising per-frame fallback),
 * **per-hop reliability** — frames sent with :meth:`LiveEndpoint.send`
-  under ``reliable=True`` carry a hop sequence number; the receiving
-  endpoint acks it immediately and the sender retries on an ack
-  timeout, finally declaring the peer dead (:attr:`on_peer_dead`) —
-  this is what makes a killed router *observable* instead of a silent
-  black hole,
+  / :meth:`~LiveEndpoint.send_view` under ``reliable=True`` carry a
+  hop sequence number; the receiving endpoint acks it immediately and
+  the sender retries on an ack timeout, finally declaring the peer
+  dead (:attr:`on_peer_dead`) — this is what makes a killed router
+  *observable* instead of a silent black hole.  A reliable view's ring
+  slot stays **pinned** in the retry table until the ack (or the final
+  abandonment) releases it,
+* **coalesced sends** — :meth:`send_parts` gathers one datagram from
+  several buffers via ``sendmsg`` (plain ``sendto`` of the joined
+  bytes as the fallback); a full socket buffer queues the frame and
+  flushes on writability instead of dropping,
 * **injected impairments** — deterministic, seeded loss/delay/jitter/
   reordering applied on transmit, so the loopback overlay can rehearse
-  a lossy WAN.
+  a lossy WAN.  Impaired (or chaos-faulted) transmissions materialise
+  the frame once — they hold it past the send call — which keeps the
+  fault seams off the zero-allocation path without changing them.
 
 The endpoint knows nothing about routing; routers and hosts subscribe
-via :attr:`on_frame` and receive ``(datagram, source_address)``.
+via :attr:`on_batch` (views) or :attr:`on_frame` (bytes).
+
+**View ownership**: a batch consumer owns every slot in the batch and
+must release each view (or hand it to :meth:`send_view`, which then
+owns it) exactly once — see ARCHITECTURE §14.
 """
 
 from __future__ import annotations
@@ -26,9 +45,10 @@ from __future__ import annotations
 import asyncio
 import itertools
 import random
+import socket
 from collections import deque
 from dataclasses import dataclass
-from typing import Any, Callable, Deque, Dict, Optional, Set, Tuple
+from typing import Any, Callable, Deque, Dict, List, Optional, Set, Tuple
 
 from repro.live.frames import (
     FRAME_ACK,
@@ -36,15 +56,27 @@ from repro.live.frames import (
     PREAMBLE_BYTES,
     SEQ_BYTES,
     SEQ_NONE,
+    SEQ_OFFSET,
     decode_preamble,
     encode_ack,
     restamp_seq,
+    restamp_seq_into,
 )
 from repro.live.metrics import EndpointMetrics
 from repro.viper.errors import ViperDecodeError
+from repro.viper.ring import BufferRing
+from repro.viper.wire import PacketView
 
 #: A UDP peer address.
 Address = Tuple[str, int]
+
+#: Default maximum datagrams drained per loop wakeup.
+RX_BATCH = 32
+
+#: Linux reports datagram truncation in ``recvmsg`` flags; on platforms
+#: without the flag oversize datagrams are silently truncated (and then
+#: dropped as undecodable when the length fields disagree).
+_MSG_TRUNC = getattr(socket, "MSG_TRUNC", 0)
 
 
 @dataclass
@@ -146,39 +178,42 @@ class RetryBudget:
         return False
 
 
-def corrupt_datagram(datagram: bytes, seed: int) -> bytes:
+def corrupt_datagram(datagram, seed: int) -> bytes:
     """Deterministically flip one byte past the hop preamble.
 
     The preamble survives (the frame still decodes and acks normally) —
     Sirpent carries no header checksum, so chaos corruption must be
     *delivered* and become the transport layer's problem (§4.1), not
     vanish as line noise.  Frames too short to have a body pass through
-    unchanged.
+    unchanged.  The flip happens in a single ``bytearray`` in place —
+    one copy, not the three-slice concatenation this used to do.
     """
     if len(datagram) <= PREAMBLE_BYTES:
-        return datagram
+        return datagram if isinstance(datagram, bytes) else bytes(datagram)
     index = PREAMBLE_BYTES + (seed % (len(datagram) - PREAMBLE_BYTES))
     flip = ((seed >> 8) & 0xFF) or 0xA5
-    return (
-        datagram[:index]
-        + bytes([datagram[index] ^ flip])
-        + datagram[index + 1:]
-    )
+    corrupted = bytearray(datagram)
+    corrupted[index] ^= flip
+    return bytes(corrupted)
 
 
-class _Protocol(asyncio.DatagramProtocol):
-    """Thin adapter forwarding asyncio callbacks into the endpoint."""
+class _PendingFrame:
+    """One reliable frame awaiting its ack.
 
-    def __init__(self, endpoint: "LiveEndpoint") -> None:
-        self.endpoint = endpoint
+    ``data`` is the exact wire bytes to retransmit; when ``slot`` is
+    set, ``data`` is a memoryview into that (pinned) ring slot and the
+    ack/abandonment path owns releasing it.
+    """
 
-    def datagram_received(self, data: bytes, addr: Address) -> None:
-        """Hand every received datagram to the owning endpoint."""
-        self.endpoint._on_datagram(data, addr)
+    __slots__ = ("data", "slot", "addr", "retries_left", "gap_s")
 
-    def error_received(self, exc: OSError) -> None:
-        """Count asynchronous socket errors (e.g. ICMP port unreachable)."""
-        self.endpoint.metrics.drop("socket_error")
+    def __init__(self, data, slot, addr: Address, retries_left: int,
+                 gap_s: float) -> None:
+        self.data = data
+        self.slot = slot
+        self.addr = addr
+        self.retries_left = retries_left
+        self.gap_s = gap_s
 
 
 class LiveEndpoint:
@@ -190,6 +225,8 @@ class LiveEndpoint:
         metrics: Optional[EndpointMetrics] = None,
         impairments: Optional[Impairments] = None,
         reliability: Optional[ReliabilityConfig] = None,
+        ring: Optional[BufferRing] = None,
+        rx_batch: int = RX_BATCH,
     ) -> None:
         self.name = name
         self.metrics = metrics if metrics is not None else EndpointMetrics(name)
@@ -207,10 +244,20 @@ class LiveEndpoint:
             self.reliability.retry_budget_floor,
             self.reliability.retry_budget_ratio,
         )
-        self._transport: Optional[asyncio.DatagramTransport] = None
+        #: Preallocated packet buffers; RX fills slots in place and the
+        #: reliable-send path pins them until acked.
+        self.ring = ring if ring is not None else BufferRing()
+        self.rx_batch = rx_batch
+        self._sock: Optional[socket.socket] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self.address: Optional[Address] = None
-        #: Delivery callback: ``on_frame(datagram, source_address)``.
+        #: Batched delivery callback: ``on_batch([(view, source), ...])``.
+        #: The consumer owns (and must release) every view's slot.
+        self.on_batch: Optional[
+            Callable[[List[Tuple[PacketView, Address]]], None]
+        ] = None
+        #: Per-frame fallback callback: ``on_frame(datagram, source)``
+        #: (materialises each datagram; used when ``on_batch`` is unset).
         self.on_frame: Optional[Callable[[bytes, Address], None]] = None
         #: Called once per reliable frame abandoned after all retries.
         self.on_peer_dead: Optional[Callable[[Address], None]] = None
@@ -222,10 +269,19 @@ class LiveEndpoint:
         #: the live layer stays independent of the chaos package.
         self.fault_hook: Optional[Callable[[Address], Any]] = None
         self._seq = itertools.count(1)
-        #: seq -> (datagram, addr, retries_left, current_gap_s).
-        self._pending: Dict[int, Tuple[bytes, Address, int, float]] = {}
+        self._pending: Dict[int, _PendingFrame] = {}
         self._retry_timers: Dict[int, asyncio.TimerHandle] = {}
         self._seen: Dict[Address, Tuple[Set[int], Deque[int]]] = {}
+        #: Frames deferred by a momentarily full socket buffer.
+        self._tx_backlog: Deque[Tuple[bytes, Address]] = deque()
+        self._writer_armed = False
+        #: Reusable ack frame — the seq field is restamped per ack.
+        self._ack_scratch = bytearray(encode_ack(0))
+        #: Reusable single-buffer list for ``recvmsg_into``.
+        self._recv_buffers: List[Any] = [None]
+        #: Drain-loop accounting (wakeup amortisation, for the bench).
+        self.rx_batches = 0
+        self.rx_datagrams = 0
         self.closed = False
 
     # -- lifecycle ---------------------------------------------------------
@@ -249,22 +305,45 @@ class LiveEndpoint:
                 self._backoff_rng.randrange(1, 1 << (8 * SEQ_BYTES - 2))
             )
         self._loop = asyncio.get_running_loop()
-        self._transport, _ = await self._loop.create_datagram_endpoint(
-            lambda: _Protocol(self), local_addr=(host, port)
-        )
-        self.address = self._transport.get_extra_info("sockname")[:2]
+        sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        sock.setblocking(False)
+        try:
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, 1 << 20)
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_SNDBUF, 1 << 20)
+        except OSError:  # pragma: no cover - platform limits
+            pass
+        sock.bind((host, port))
+        self._sock = sock
+        self._loop.add_reader(sock.fileno(), self._on_readable)
+        self.address = sock.getsockname()[:2]
         return self.address
 
     def close(self) -> None:
-        """Close the socket and cancel every pending retry."""
+        """Close the socket, cancel retries, unpin every pending slot."""
         self.closed = True
         for timer in self._retry_timers.values():
             timer.cancel()
         self._retry_timers.clear()
+        for entry in self._pending.values():
+            if entry.slot is not None:
+                self.ring.release(entry.slot)
         self._pending.clear()
-        if self._transport is not None:
-            self._transport.close()
-            self._transport = None
+        self._tx_backlog.clear()
+        sock = self._sock
+        if sock is not None:
+            self._sock = None
+            if self._loop is not None and not self._loop.is_closed():
+                try:
+                    self._loop.remove_reader(sock.fileno())
+                except (OSError, ValueError):  # pragma: no cover
+                    pass
+                if self._writer_armed:
+                    try:
+                        self._loop.remove_writer(sock.fileno())
+                    except (OSError, ValueError):  # pragma: no cover
+                        pass
+            self._writer_armed = False
+            sock.close()
 
     # -- transmit ----------------------------------------------------------
 
@@ -278,14 +357,14 @@ class LiveEndpoint:
         :func:`~repro.live.frames.encode_live_frame` with their default
         ``seq``) — this method owns the sequence space.
         """
-        if self.closed or self._transport is None:
+        if self.closed or self._sock is None:
             return SEQ_NONE
         seq = SEQ_NONE
         if reliable:
             seq = next(self._seq)
             datagram = restamp_seq(datagram, seq)
-            self._pending[seq] = (
-                datagram, addr, self.reliability.max_retries,
+            self._pending[seq] = _PendingFrame(
+                datagram, None, addr, self.reliability.max_retries,
                 self.reliability.ack_timeout_s,
             )
             self._budget.note_send(self._now())
@@ -294,10 +373,76 @@ class LiveEndpoint:
         self._impaired_send(datagram, addr)
         return seq
 
+    def send_view(self, view: PacketView, addr: Address,
+                  reliable: bool = False) -> int:
+        """Transmit a slot-backed frame without materialising it.
+
+        **Ownership transfers to the endpoint**: an unreliable view's
+        slot is released right after the send syscall; a reliable
+        view's slot stays pinned in the retry table (the retransmit
+        bytes *are* the slot) until the ack or the final abandonment
+        releases it.  The sequence restamp happens in place in the
+        slot.  Chaos/impairment seams materialise one copy for the
+        faulted transmission — they hold frames past this call — while
+        the pinned slot keeps the pristine original.
+        """
+        if self.closed or self._sock is None:
+            view.release()
+            return SEQ_NONE
+        seq = SEQ_NONE
+        if reliable:
+            seq = next(self._seq)
+            restamp_seq_into(view.buffer, view.start, seq)
+            self._pending[seq] = _PendingFrame(
+                view.mem, view.slot, addr, self.reliability.max_retries,
+                self.reliability.ack_timeout_s,
+            )
+            self._budget.note_send(self._now())
+            self._arm_retry(seq, self.reliability.ack_timeout_s)
+        self.metrics.record_out(len(view))
+        if self.fault_hook is not None or self.impairments.any():
+            self._impaired_send(view.tobytes(), addr)
+        else:
+            self._raw_send(view.mem, addr)
+        if not reliable:
+            view.release()
+        return seq
+
+    def send_parts(self, parts, addr: Address, reliable: bool = False) -> int:
+        """One datagram gathered from several buffers.
+
+        The kernel coalesces ``parts`` into a single datagram via
+        ``sendmsg`` — no join copy on the fast path; platforms (or
+        sockets) without gather IO fall back to a plain ``sendto`` of
+        the joined bytes.  Reliable or impaired sends join up front:
+        the retry table and the fault seams need one stable buffer.
+        """
+        if self.closed or self._sock is None:
+            return SEQ_NONE
+        if reliable or self.fault_hook is not None or self.impairments.any():
+            return self.send(b"".join(parts), addr, reliable=reliable)
+        total = 0
+        for part in parts:
+            total += len(part)
+        self.metrics.record_out(total)
+        try:
+            self._sock.sendmsg(parts, (), 0, addr)
+        except (BlockingIOError, InterruptedError):
+            self._queue_tx(b"".join(parts), addr)
+        except (AttributeError, NotImplementedError):  # pragma: no cover
+            self._raw_send(b"".join(parts), addr)
+        except OSError:
+            self.metrics.drop("socket_error")
+        return SEQ_NONE
+
     def _now(self) -> float:
         return self._loop.time() if self._loop is not None else 0.0
 
-    def _impaired_send(self, datagram: bytes, addr: Address) -> None:
+    def _impaired_send(self, datagram, addr: Address) -> None:
+        if not isinstance(datagram, bytes):
+            # Faulted/delayed transmissions outlive this call; they hold
+            # a materialised copy, never a ring slot.
+            datagram = bytes(datagram)
         fate = self.fault_hook(addr) if self.fault_hook is not None else None
         if fate is not None and fate.drop:
             self.metrics.drop("chaos_dropped")
@@ -326,13 +471,43 @@ class LiveEndpoint:
         else:
             self._raw_send(datagram, addr)
 
-    def _raw_send(self, datagram: bytes, addr: Address) -> None:
-        if self.closed or self._transport is None:
+    def _raw_send(self, datagram, addr: Address) -> None:
+        if self.closed or self._sock is None:
             return
         try:
-            self._transport.sendto(datagram, addr)
+            self._sock.sendto(datagram, addr)
+        except (BlockingIOError, InterruptedError):
+            self._queue_tx(bytes(datagram), addr)
         except OSError:
             self.metrics.drop("socket_error")
+
+    def _queue_tx(self, datagram: bytes, addr: Address) -> None:
+        """Defer a frame a full socket buffer refused; flush on writable."""
+        self._tx_backlog.append((datagram, addr))
+        if (
+            not self._writer_armed
+            and self._loop is not None
+            and self._sock is not None
+        ):
+            self._loop.add_writer(self._sock.fileno(), self._on_writable)
+            self._writer_armed = True
+
+    def _on_writable(self) -> None:
+        sock = self._sock
+        if sock is None:
+            return
+        while self._tx_backlog:
+            datagram, addr = self._tx_backlog[0]
+            try:
+                sock.sendto(datagram, addr)
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError:
+                self.metrics.drop("socket_error")
+            self._tx_backlog.popleft()
+        if self._writer_armed and self._loop is not None:
+            self._loop.remove_writer(sock.fileno())
+            self._writer_armed = False
 
     # -- per-hop reliability -----------------------------------------------
 
@@ -354,44 +529,50 @@ class LiveEndpoint:
         )
         return min(self.reliability.backoff_max_s, gap_s * growth)
 
+    def _abandon_pending(self, seq: int, reason: str) -> None:
+        """Give up on a reliable frame: unpin its slot, report the peer."""
+        entry = self._pending.pop(seq, None)
+        if entry is None:
+            return
+        if entry.slot is not None:
+            self.ring.release(entry.slot)
+        self.metrics.drop(reason)
+        if self.on_peer_dead is not None:
+            self.on_peer_dead(entry.addr)
+
     def _on_ack_timeout(self, seq: int) -> None:
         self._retry_timers.pop(seq, None)
         entry = self._pending.get(seq)
         if entry is None:
             return
-        datagram, addr, retries_left, gap_s = entry
-        if retries_left <= 0:
+        if entry.retries_left <= 0:
             # Peer is unresponsive: give up on this frame.
-            self._pending.pop(seq, None)
-            self.metrics.drop("peer_dead")
-            if self.on_peer_dead is not None:
-                self.on_peer_dead(addr)
+            self._abandon_pending(seq, "peer_dead")
             return
         now = self._now()
         if not self._budget.allow(now):
             # Retrying now would join a storm: abandon the frame instead
             # (the §6.3 cap — retry pressure may track offered load but
             # never run away from it).
-            self._pending.pop(seq, None)
-            self.metrics.drop("retry_budget_exhausted")
-            if self.on_peer_dead is not None:
-                self.on_peer_dead(addr)
+            self._abandon_pending(seq, "retry_budget_exhausted")
             return
-        gap_s = self._next_gap(gap_s)
-        self._pending[seq] = (datagram, addr, retries_left - 1, gap_s)
+        entry.gap_s = self._next_gap(entry.gap_s)
+        entry.retries_left -= 1
         self.metrics.retries += 1
         self._budget.note_retry(now)
         if self.on_retry is not None:
-            self.on_retry(addr, seq, gap_s)
-        self._impaired_send(datagram, addr)
-        self._arm_retry(seq, gap_s)
+            self.on_retry(entry.addr, seq, entry.gap_s)
+        self._impaired_send(entry.data, entry.addr)
+        self._arm_retry(seq, entry.gap_s)
 
     def _on_ack(self, seq: int) -> None:
         self.metrics.acks_in += 1
         timer = self._retry_timers.pop(seq, None)
         if timer is not None:
             timer.cancel()
-        self._pending.pop(seq, None)
+        entry = self._pending.pop(seq, None)
+        if entry is not None and entry.slot is not None:
+            self.ring.release(entry.slot)
 
     def _is_duplicate(self, addr: Address, seq: int) -> bool:
         seen = self._seen.get(addr)
@@ -410,28 +591,87 @@ class LiveEndpoint:
 
     # -- receive -----------------------------------------------------------
 
-    def _on_datagram(self, data: bytes, addr: Address) -> None:
-        try:
-            preamble = decode_preamble(data)
-        except ViperDecodeError:
-            self.metrics.drop("undecodable")
+    def _send_ack(self, seq: int, addr: Address) -> None:
+        """Ack from the preallocated scratch frame (restamped in place)."""
+        buf = self._ack_scratch
+        buf[SEQ_OFFSET] = (seq >> 24) & 0xFF
+        buf[SEQ_OFFSET + 1] = (seq >> 16) & 0xFF
+        buf[SEQ_OFFSET + 2] = (seq >> 8) & 0xFF
+        buf[SEQ_OFFSET + 3] = seq & 0xFF
+        self._raw_send(buf, addr)
+
+    def _on_readable(self) -> None:
+        """Drain loop: one wakeup, up to ``rx_batch`` datagrams.
+
+        Each datagram lands in a ring slot via ``recvmsg_into`` (no
+        receive-side allocation); acks and invalid frames are handled
+        inline; surviving data frames are delivered as one batch of
+        views whose slots the consumer now owns.
+        """
+        sock = self._sock
+        if sock is None or self.closed:
             return
-        if preamble.kind == FRAME_ACK:
-            self._on_ack(preamble.seq)
+        ring = self.ring
+        buffers = self._recv_buffers
+        batch: List[Tuple[PacketView, Address]] = []
+        for _ in range(self.rx_batch):
+            slot = ring.acquire()
+            buffers[0] = slot.view
+            try:
+                nbytes, _anc, flags, addr = sock.recvmsg_into(buffers)
+            except (BlockingIOError, InterruptedError):
+                ring.release(slot)
+                break
+            except OSError:
+                ring.release(slot)
+                self.metrics.drop("socket_error")
+                break
+            finally:
+                buffers[0] = None
+            if flags & _MSG_TRUNC:
+                # Bigger than a slot: not a valid overlay frame (slots
+                # exceed the VIPER MTU plus all framing headroom).
+                ring.release(slot)
+                self.metrics.drop("oversize")
+                continue
+            try:
+                preamble = decode_preamble(slot.view[:nbytes])
+            except ViperDecodeError:
+                ring.release(slot)
+                self.metrics.drop("undecodable")
+                continue
+            if preamble.kind == FRAME_ACK:
+                ring.release(slot)
+                self._on_ack(preamble.seq)
+                continue
+            if preamble.kind != FRAME_DATA:  # pragma: no cover - decoder guards
+                ring.release(slot)
+                self.metrics.drop("undecodable")
+                continue
+            if preamble.seq != SEQ_NONE:
+                # Ack first (even duplicates — their ack may have been lost).
+                self.metrics.acks_out += 1
+                self._send_ack(preamble.seq, addr)
+                if self._is_duplicate(addr, preamble.seq):
+                    ring.release(slot)
+                    self.metrics.drop("duplicate")
+                    continue
+            self.metrics.record_in(nbytes)
+            batch.append((PacketView.of_slot(slot, nbytes), addr))
+        if not batch:
             return
-        if preamble.kind != FRAME_DATA:  # pragma: no cover - decoder guards
-            self.metrics.drop("undecodable")
-            return
-        if preamble.seq != SEQ_NONE:
-            # Ack first (even duplicates — their ack may have been lost).
-            self.metrics.acks_out += 1
-            self._raw_send(encode_ack(preamble.seq), addr)
-            if self._is_duplicate(addr, preamble.seq):
-                self.metrics.drop("duplicate")
-                return
-        self.metrics.record_in(len(data))
-        if self.on_frame is not None:
-            self.on_frame(data, addr)
+        self.rx_batches += 1
+        self.rx_datagrams += len(batch)
+        if self.on_batch is not None:
+            self.on_batch(batch)
+        elif self.on_frame is not None:
+            for view, source in batch:
+                datagram = view.tobytes()
+                view.release()
+                self.on_frame(datagram, source)
+        else:
+            for view, _source in batch:
+                view.release()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<LiveEndpoint {self.name!r} at {self.address}>"

@@ -41,7 +41,15 @@ from repro.dataplane import (
     UNKNOWN_IN_PORT,
     apply_drop,
 )
-from repro.live.frames import Preamble, peek_leading_segment, strip_and_append
+from repro.live.frames import (
+    FRAME_DATA,
+    Preamble,
+    decode_preamble,
+    hop_move_into,
+    peek_leading_segment,
+    return_tail_of,
+    strip_and_append,
+)
 from repro.live.link import Address, Impairments, LiveEndpoint, ReliabilityConfig
 from repro.live.metrics import EndpointMetrics
 from repro.obs.recorder import NULL_RECORDER
@@ -50,7 +58,7 @@ from repro.tokens.cache import CachePolicy, TokenCache
 from repro.tokens.capability import TokenMint
 from repro.viper.errors import ViperDecodeError
 from repro.viper.portinfo import ETHERNET_INFO_BYTES, EthernetInfo
-from repro.viper.wire import HeaderSegment
+from repro.viper.wire import HeaderSegment, PacketView, parse_segment_view
 
 __all__ = [
     "Action",
@@ -168,7 +176,17 @@ class LiveRouter:
             name, metrics=self.metrics,
             impairments=impairments, reliability=reliability,
         )
+        # Fast path: whole batches of ring-slot views per loop wakeup.
+        # ``_on_frame`` stays wired as the materialising fallback (and as
+        # the differential oracle the fuzz suite forwards through).
+        self.endpoint.on_batch = self._on_batch
         self.endpoint.on_frame = self._on_frame
+        #: Reusable hop-decision input — one mutable record the batch
+        #: path restamps per frame instead of allocating per packet.
+        self._hop = HopInput(
+            segment=None, seg_count=0, wire_size=0,
+            reverse_portinfo=self._reverse_hop_portinfo,
+        )
         #: VIPER port id -> peer UDP address.
         self.ports: Dict[int, Address] = {}
         #: Peer UDP address -> the VIPER port frames from it arrive on.
@@ -296,6 +314,129 @@ class LiveRouter:
             except ViperDecodeError:  # pragma: no cover - length-checked
                 return b""
         return b""
+
+    def _reverse_hop_portinfo(self) -> bytes:
+        """`reverse_portinfo` thunk for the reusable batch-path HopInput."""
+        return self._reverse_portinfo(self._hop.segment)
+
+    # -- the zero-allocation batch path ------------------------------------
+
+    def _on_batch(self, batch) -> None:
+        """Forward one endpoint wakeup's worth of frames, in place.
+
+        Each frame arrives as a :class:`~repro.viper.wire.PacketView`
+        over a ring slot this router now owns; every path below either
+        releases the slot or hands it to
+        :meth:`~repro.live.link.LiveEndpoint.send_view` (which then owns
+        it) — exactly once.
+        """
+        for view, source in batch:
+            self._forward_view(view, source)
+
+    def _forward_view(self, view: PacketView, source: Address) -> None:
+        """One frame through decide-then-apply without leaving its slot.
+
+        The strip/reverse/append move happens *inside* the ring slot
+        (:func:`~repro.live.frames.hop_move_into`): the preamble is
+        rewritten just before the surviving segments and the memoized
+        return tail (``Decision.return_tail``, encoded once at
+        flow-cache install) lands in the slot's tail-room.  Only a slot
+        with no tail-room left falls back to the materialising
+        :func:`~repro.live.frames.strip_and_append` — byte-exact by the
+        differential fuzz suite, so the fallback is a performance
+        seam, not a behavioural one.
+        """
+        mem = view.mem
+        try:
+            preamble = decode_preamble(mem)
+            if preamble.kind != FRAME_DATA or preamble.seg_count == 0:
+                raise ViperDecodeError("no leading segment")
+            segment = parse_segment_view(mem, preamble.header_len)
+        except ViperDecodeError:
+            # Line noise / malformed frame: drop and count, never crash.
+            view.release()
+            apply_drop(
+                _LiveEffectSink(self, 0),
+                Decision(Action.DROP, reason="undecodable"),
+            )
+            return
+        sink = _LiveEffectSink(self, preamble.trace_id)
+        in_port = self.addr_port.get(source, UNKNOWN_IN_PORT)
+        hop = self._hop
+        hop.segment = segment
+        hop.seg_count = preamble.seg_count
+        hop.wire_size = preamble.payload_len
+        hop.in_port = in_port
+        hop.now_ms = self._now_ms()
+        decision = self.pipeline.decide(hop)
+        if decision.action is Action.DROP:
+            view.release()
+            apply_drop(sink, decision)
+            return
+        if decision.action is Action.DELIVER_LOCAL:
+            self.metrics.delivered_local += 1
+            sink.trace_event("deliver_local")
+            if self.recorder.enabled:
+                self.recorder.record("frame_delivered", node=self.name)
+            if self.local_handler is not None:
+                # Local delivery leaves the overlay: materialise here.
+                datagram = view.tobytes()
+                view.release()
+                self.local_handler(datagram, source)
+            else:
+                view.release()
+            return
+        # FORWARD (FANOUT cannot happen: multicast=False drops earlier).
+        if in_port == UNKNOWN_IN_PORT:
+            view.release()
+            apply_drop(sink, Decision(Action.DROP, reason="unknown_peer"))
+            return
+        sink.trace_event(
+            "switch_decision", in_port=in_port, out_port=decision.out_port,
+        )
+        tail = decision.return_tail
+        if tail is None:
+            # Cold decision (or rebuilt return hop): encode the tail once.
+            try:
+                tail = return_tail_of(decision.return_segment)
+            except ValueError:
+                view.release()
+                apply_drop(sink, Decision(Action.DROP, reason="undecodable"))
+                return
+        dest = self.ports[decision.out_port]
+        if hop_move_into(view, tail, preamble, next_rel=segment.end):
+            self._count_forward(sink, in_port, decision)
+            self.endpoint.send_view(
+                view, dest, reliable=self.config.reliable_hops,
+            )
+            return
+        # No tail-room left in the slot: materialise this one frame.
+        datagram = view.tobytes()
+        view.release()
+        try:
+            forwarded = strip_and_append(datagram, decision.return_segment)
+        except (ViperDecodeError, ValueError):
+            apply_drop(sink, Decision(Action.DROP, reason="undecodable"))
+            return
+        self._count_forward(sink, in_port, decision)
+        self.endpoint.send(forwarded, dest, reliable=self.config.reliable_hops)
+
+    def _count_forward(
+        self, sink: _LiveEffectSink, in_port: int, decision: Decision,
+    ) -> None:
+        self.metrics.forwarded += 1
+        sink.trace_event(
+            "strip_reverse_append",
+            out_port=decision.out_port,
+            segments_left=decision.segments_left,
+        )
+        if self.recorder.enabled:
+            self.recorder.record(
+                "frame_forwarded", node=self.name,
+                in_port=in_port, out_port=decision.out_port,
+            )
+
+    # -- the materialising fallback path -----------------------------------
 
     def _on_frame(self, datagram: bytes, source: Address) -> None:
         try:

@@ -51,7 +51,10 @@ class _RouteHealth:
     ) -> float:
         """Record one failure; return the cooldown imposed."""
         self.failures += 1
-        cooldown = min(max_s, base_s * factor ** (self.failures - 1))
+        # The cooldown saturates at max_s anyway; cap the exponent so a
+        # long failure streak cannot overflow the float power.
+        exponent = min(self.failures - 1, 64)
+        cooldown = min(max_s, base_s * factor ** exponent)
         self.quarantined_until = now + cooldown
         return cooldown
 

@@ -26,7 +26,7 @@ bytes have arrived.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 from repro.viper.errors import DecodeError, SegmentLimitError
 from repro.viper.flags import (
@@ -259,6 +259,243 @@ def segment_span(buffer: bytes, offset: int = 0) -> int:
     offset += FIXED_SEGMENT_BYTES
     offset = _field_span(buffer, offset, token_len, "portToken")
     return _field_span(buffer, offset, portinfo_len, "portInfo")
+
+
+def _field_data_span(
+    buffer, offset: int, length_octet: int, what: str
+) -> Tuple[int, int]:
+    """``(data_start, data_end)`` of a variable field, materialising
+    nothing — the lazy twin of :func:`_decode_field`, with identical
+    escape-handling, canonicality and truncation checks."""
+    if length_octet == LENGTH_ESCAPE:
+        if offset + EXTENDED_LENGTH_BYTES > len(buffer):
+            raise DecodeError(f"truncated extended length for {what}")
+        true_length = int.from_bytes(
+            buffer[offset:offset + EXTENDED_LENGTH_BYTES], "big"
+        )
+        if true_length < LENGTH_ESCAPE:
+            raise DecodeError(
+                f"non-canonical extended length {true_length} for {what}"
+            )
+        offset += EXTENDED_LENGTH_BYTES
+    else:
+        true_length = length_octet
+    if offset + true_length > len(buffer):
+        raise DecodeError(
+            f"truncated {what}: need {true_length} bytes at offset {offset}, "
+            f"buffer has {len(buffer)}"
+        )
+    return offset, offset + true_length
+
+
+class SegmentView:
+    """A parsed header segment that still lives in its buffer.
+
+    The fixed fields (port, flags, priority) are decoded eagerly — they
+    are four integer reads — but ``token`` and ``portinfo`` stay as
+    offsets until someone asks, at which point the bytes are
+    materialised once and cached (the flow-cache key needs hashable
+    bytes; everything else on the warm path does not touch them).
+
+    Duck-types with :class:`HeaderSegment` for everything the
+    forwarding pipeline reads: ``port``, ``priority``, ``vnt``,
+    ``dib``, ``rpf``, ``token``, ``portinfo``, ``wire_size()`` and
+    ``copy()`` (which materialises into a real ``HeaderSegment``).
+    """
+
+    __slots__ = (
+        "buffer", "start", "end", "port", "priority", "vnt", "dib", "rpf",
+        "_token_start", "_token_end", "_info_start", "_info_end",
+        "_token", "_portinfo",
+    )
+
+    def __init__(
+        self, buffer, start: int, end: int,
+        port: int, priority: int, vnt: bool, dib: bool, rpf: bool,
+        token_start: int, token_end: int, info_start: int, info_end: int,
+    ) -> None:
+        self.buffer = buffer
+        self.start = start
+        self.end = end
+        self.port = port
+        self.priority = priority
+        self.vnt = vnt
+        self.dib = dib
+        self.rpf = rpf
+        self._token_start = token_start
+        self._token_end = token_end
+        self._info_start = info_start
+        self._info_end = info_end
+        self._token = None
+        self._portinfo = None
+
+    @property
+    def token(self) -> bytes:
+        """The portToken bytes, materialised on first touch."""
+        token = self._token
+        if token is None:
+            token = bytes(self.buffer[self._token_start:self._token_end])
+            self._token = token
+        return token
+
+    @property
+    def portinfo(self) -> bytes:
+        """The portInfo bytes, materialised on first touch."""
+        info = self._portinfo
+        if info is None:
+            info = bytes(self.buffer[self._info_start:self._info_end])
+            self._portinfo = info
+        return info
+
+    def wire_size(self) -> int:  # sirlint: hot
+        return self.end - self.start
+
+    def to_segment(self) -> HeaderSegment:
+        """Materialise into the structural :class:`HeaderSegment`."""
+        return HeaderSegment(
+            port=self.port, priority=self.priority, vnt=self.vnt,
+            dib=self.dib, rpf=self.rpf, token=self.token,
+            portinfo=self.portinfo,
+        )
+
+    def copy(self, **overrides) -> HeaderSegment:
+        """A mutated structural copy (slow path: multicast expansion)."""
+        return self.to_segment().copy(**overrides)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<SegmentView port={self.port} prio={self.priority} "
+            f"[{self.start}:{self.end}]>"
+        )
+
+
+def parse_segment_view(buffer, offset: int = 0) -> SegmentView:  # sirlint: hot
+    """Parse one segment into a :class:`SegmentView` — no field copies.
+
+    Performs exactly the validation :func:`decode_segment` performs
+    (truncation, reserved flag bits, length-escape canonicality), so
+    ``parse_segment_view(b, o).end == decode_segment(b, o)[1]`` on every
+    accepted buffer and both raise :class:`DecodeError` on every
+    rejected one.  ``buffer`` may be ``bytes``, ``bytearray`` or a
+    ``memoryview`` bounding a ring slot.
+    """
+    if offset < 0:
+        raise DecodeError(f"negative segment offset {offset}")
+    if offset + FIXED_SEGMENT_BYTES > len(buffer):
+        raise DecodeError("buffer too short for fixed segment fields")
+    portinfo_len = buffer[offset]
+    token_len = buffer[offset + 1]
+    port = buffer[offset + 2]
+    flag_byte = buffer[offset + 3]
+    if (flag_byte >> 4) & ~_DEFINED_FLAGS_MASK:
+        raise DecodeError(
+            f"reserved flag bit set in flags byte {flag_byte:#04x}"
+        )
+    vnt, dib, rpf, priority = unpack_flags_priority(flag_byte)
+    token_start, token_end = _field_data_span(
+        buffer, offset + FIXED_SEGMENT_BYTES, token_len, "portToken"
+    )
+    info_start, info_end = _field_data_span(
+        buffer, token_end, portinfo_len, "portInfo"
+    )
+    return SegmentView(
+        buffer, offset, info_end,
+        port, priority, vnt, dib, rpf,
+        token_start, token_end, info_start, info_end,
+    )
+
+
+class PacketView:
+    """A zero-copy window onto one packet inside a (ring) buffer.
+
+    ``start``/``end`` delimit the packet inside ``buffer``; the bytes
+    before ``start`` are head-room (consumed by in-place strips that
+    rewrite a shorter header further in) and the bytes after ``end``
+    are tail-room (consumed by in-place trailer appends).  All offsets
+    are absolute into ``buffer``.
+
+    When backed by a :class:`~repro.viper.ring.RingSlot` the view
+    snapshots the slot's generation: :meth:`alive` turns False the
+    moment the slot is released, so an escaped view is detectable
+    instead of silently reading recycled bytes.  Ownership rule: the
+    holder of the view owns the slot and must :meth:`release` it (or
+    hand it off) exactly once.
+    """
+
+    __slots__ = ("buffer", "start", "end", "slot", "generation", "_base")
+
+    def __init__(self, buffer, start: int = 0, end: Optional[int] = None,
+                 slot=None) -> None:
+        self.buffer = buffer
+        self.start = start
+        self.end = len(buffer) if end is None else end
+        self.slot = slot
+        self.generation = slot.generation if slot is not None else 0
+        self._base = slot.view if slot is not None else memoryview(buffer)
+
+    @classmethod
+    def of_slot(cls, slot, length: int) -> "PacketView":  # sirlint: hot
+        """A view over the first ``length`` bytes of a ring slot."""
+        return cls(slot.buffer, 0, length, slot=slot)
+
+    def alive(self) -> bool:
+        """True while the backing slot has not been recycled."""
+        slot = self.slot
+        return slot is None or (
+            not slot.free and slot.generation == self.generation
+        )
+
+    def release(self) -> None:
+        """Return the backing slot to its ring (no-op when unbacked)."""
+        slot = self.slot
+        if slot is not None:
+            slot.ring.release(slot)
+
+    def __len__(self) -> int:
+        return self.end - self.start
+
+    @property
+    def mem(self) -> memoryview:  # sirlint: hot
+        """A memoryview of exactly the packet bytes."""
+        return self._base[self.start:self.end]
+
+    def tobytes(self) -> bytes:
+        """Materialise the packet (the slow-path escape hatch)."""
+        return bytes(self._base[self.start:self.end])
+
+    def headroom(self) -> int:
+        return self.start
+
+    def tailroom(self) -> int:
+        return len(self.buffer) - self.end
+
+    def append(self, data) -> bool:  # sirlint: hot
+        """Append ``data`` into the tail-room; False when it cannot fit.
+
+        On False the view is untouched — the caller falls back to the
+        materialising slow path.
+        """
+        n = len(data)
+        end = self.end
+        if end + n > len(self.buffer):
+            return False
+        self.buffer[end:end + n] = data
+        self.end = end + n
+        return True
+
+    def write_at(self, offset: int, data) -> None:
+        """Overwrite bytes at ``offset`` (relative to ``start``) in place."""
+        at = self.start + offset
+        if at < self.start or at + len(data) > self.end:
+            raise ValueError(
+                f"write of {len(data)} bytes at relative offset {offset} "
+                f"escapes the packet [{self.start}:{self.end}]"
+            )
+        self.buffer[at:at + len(data)] = data
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        backing = "unbacked" if self.slot is None else repr(self.slot)
+        return f"<PacketView [{self.start}:{self.end}] over {backing}>"
 
 
 def encode_route(segments) -> bytes:

@@ -10,18 +10,27 @@ every decodable frame shape, over multiple hops, including the traced
 debug option and the 255 length-escape.
 """
 
+import random
+
 import pytest
 
 from repro.live.frames import (
     decode_live_frame,
     encode_live_frame,
+    hop_move_into,
+    restamp_seq,
+    restamp_seq_into,
+    return_tail_of,
     strip_and_append,
     strip_and_append_slow,
 )
+from repro.live.router import LiveRouter
 from repro.viper.errors import ViperDecodeError
 from repro.viper.packet import SirpentPacket, TrailerElement
+from repro.viper.ring import BufferRing
 from repro.viper.wire import (
     HeaderSegment,
+    PacketView,
     decode_segment,
     encode_segment,
     segment_span,
@@ -168,3 +177,214 @@ class TestSegmentSpan:
     def test_negative_offset_rejected(self):
         with pytest.raises(ViperDecodeError):
             segment_span(b"\x00" * 8, -1)
+
+
+def _slot_view(ring, datagram):
+    slot = ring.acquire()
+    slot.buffer[: len(datagram)] = datagram
+    return PacketView.of_slot(slot, len(datagram))
+
+
+class TestHopMoveInPlace:
+    """hop_move_into is byte-exact against both materialising paths."""
+
+    @pytest.mark.parametrize("shape", sorted(FRAME_SHAPES))
+    @pytest.mark.parametrize("ret", sorted(RETURN_SEGMENTS))
+    def test_in_place_move_equals_both_slow_paths(self, shape, ret):
+        datagram = FRAME_SHAPES[shape]
+        return_segment = RETURN_SEGMENTS[ret]
+        ring = BufferRing(slots=2)
+        view = _slot_view(ring, datagram)
+        assert hop_move_into(view, return_tail_of(return_segment))
+        moved = view.tobytes()
+        view.release()
+        assert moved == strip_and_append(datagram, return_segment)
+        assert moved == strip_and_append_slow(datagram, return_segment)
+
+    def test_fuzz_multi_hop_in_one_slot(self):
+        """Random frames advance hop after hop inside one slot."""
+        rng = random.Random(0xF457)
+
+        def blob(choices):
+            n = rng.choice(choices)
+            return bytes(rng.randrange(256) for _ in range(n))
+
+        for trial in range(120):
+            hops = rng.randrange(1, 5)
+            segments = [
+                HeaderSegment(
+                    port=rng.randrange(1, 256),
+                    priority=rng.randrange(16),
+                    vnt=rng.random() < 0.2,
+                    dib=rng.random() < 0.2,
+                    rpf=rng.random() < 0.2,
+                    token=blob((0, 0, 8, 32, 300)),
+                    portinfo=blob((0, 0, 14, 260)),
+                )
+                for _ in range(hops)
+            ] + [HeaderSegment(port=0)]
+            datagram = frame(
+                segments,
+                payload=blob((0, 1, 64, 500)),
+                trace_id=rng.getrandbits(64) if rng.random() < 0.3 else 0,
+            )
+            ring = BufferRing(slots=1)
+            view = _slot_view(ring, datagram)
+            shadow = datagram
+            for hop in range(hops):
+                ret = HeaderSegment(
+                    port=rng.randrange(1, 256), token=blob((0, 16)),
+                    portinfo=blob((0, 14)),
+                )
+                tail = return_tail_of(ret)
+                assert hop_move_into(view, tail)
+                shadow = strip_and_append(shadow, ret)
+                assert view.tobytes() == shadow
+            view.release()
+
+    def test_restamp_into_matches_restamp(self):
+        datagram = FRAME_SHAPES["traced"]
+        ring = BufferRing(slots=1)
+        view = _slot_view(ring, datagram)
+        restamp_seq_into(view.buffer, view.start, 0xDEAD)
+        assert view.tobytes() == restamp_seq(datagram, 0xDEAD)
+        view.release()
+
+    def test_no_tailroom_returns_false_and_leaves_view_untouched(self):
+        datagram = FRAME_SHAPES["plain"]
+        ring = BufferRing(slots=1, slot_bytes=len(datagram) + 2)
+        view = _slot_view(ring, datagram)
+        tail = return_tail_of(HeaderSegment(port=7, token=b"R" * 32))
+        assert not hop_move_into(view, tail)
+        assert view.tobytes() == datagram
+        view.release()
+
+    def test_refuses_frames_with_no_leading_segment(self):
+        ring = BufferRing(slots=1)
+        view = _slot_view(ring, frame([]))
+        with pytest.raises(ViperDecodeError):
+            hop_move_into(view, return_tail_of(HeaderSegment(port=7)))
+        view.release()
+
+
+def _capture_router(name):
+    """A LiveRouter whose endpoint transmits into a list, not a socket."""
+    router = LiveRouter(name)
+    sent = []
+
+    def send_view(view, addr, reliable=False):
+        sent.append((view.tobytes(), addr))
+        view.release()
+        return 0
+
+    def send(datagram, addr, reliable=False):
+        sent.append((bytes(datagram), addr))
+        return 0
+
+    router.endpoint.send_view = send_view
+    router.endpoint.send = send
+    router.connect_port(1, ("127.0.0.1", 9001))
+    router.connect_port(2, ("127.0.0.1", 9002))
+    return router, sent
+
+
+class TestBatchedForwardingDifferential:
+    """The batched view path forwards the same bytes as the bytes path.
+
+    ``LiveRouter._on_batch`` (ring slots, in-place hop move, memoized
+    return tails) against ``LiveRouter._on_frame`` (the materialising
+    oracle) on two identically configured routers: every forwarded
+    datagram, destination, and drop counter must agree — including
+    warm flow-cache passes where the fast path appends a memoized
+    ``Decision.return_tail`` it never re-encoded.
+    """
+
+    SOURCE = ("127.0.0.1", 9001)
+
+    def _feed(self, datagrams):
+        fast, fast_sent = _capture_router("fast")
+        oracle, oracle_sent = _capture_router("oracle")
+        ring = BufferRing(slots=8)
+        views = []
+        for datagram in datagrams:
+            view = _slot_view(ring, datagram)
+            views.append(view)
+            fast._on_batch([(view, self.SOURCE)])
+            oracle._on_frame(datagram, self.SOURCE)
+        return fast, oracle, fast_sent, oracle_sent, ring, views
+
+    def test_fuzz_forwarded_bytes_identical(self):
+        rng = random.Random(0xBA7C4)
+        datagrams = []
+        for trial in range(150):
+            route = [HeaderSegment(
+                port=2,
+                priority=rng.randrange(16),
+                dib=rng.random() < 0.2,
+                portinfo=(
+                    bytes(rng.randrange(256) for _ in range(14))
+                    if rng.random() < 0.4 else b""
+                ),
+            )]
+            route += [
+                HeaderSegment(port=rng.randrange(1, 256))
+                for _ in range(rng.randrange(3))
+            ]
+            route.append(HeaderSegment(port=0))
+            datagrams.append(frame(
+                route,
+                payload=bytes(
+                    rng.randrange(256) for _ in range(rng.randrange(400))
+                ),
+                trace_id=rng.getrandbits(64) if rng.random() < 0.2 else 0,
+            ))
+        fast, oracle, fast_sent, oracle_sent, _, _ = self._feed(datagrams)
+        assert fast_sent == oracle_sent
+        assert len(fast_sent) == len(datagrams)
+        assert all(addr == ("127.0.0.1", 9002) for _, addr in fast_sent)
+        assert fast.metrics.forwarded == oracle.metrics.forwarded
+
+    def test_warm_flow_reuses_memoized_tail_byte_exactly(self):
+        # The same flow three times: pass 1 is the cold install, passes
+        # 2-3 append FlowEntry.return_tail without re-encoding.
+        datagram = frame(
+            [HeaderSegment(port=2, portinfo=bytes(range(14))),
+             HeaderSegment(port=0)],
+        )
+        fast, oracle, fast_sent, oracle_sent, _, _ = self._feed([datagram] * 3)
+        assert fast.flow_cache.stats.hits == 2
+        assert fast_sent == oracle_sent
+
+    def test_drops_agree_and_release_slots(self):
+        undecodable = b"\x00\x01garbage"
+        unknown_peer = frame([HeaderSegment(port=2), HeaderSegment(port=0)])
+        no_route = frame([HeaderSegment(port=99), HeaderSegment(port=0)])
+        fast, fast_sent = _capture_router("fast")
+        oracle, oracle_sent = _capture_router("oracle")
+        ring = BufferRing(slots=4)
+        cases = [
+            (undecodable, self.SOURCE),
+            (unknown_peer, ("10.9.9.9", 1)),  # unwired peer
+            (no_route, self.SOURCE),
+        ]
+        views = []
+        for datagram, source in cases:
+            view = _slot_view(ring, datagram)
+            views.append(view)
+            fast._on_batch([(view, source)])
+            oracle._on_frame(datagram, source)
+        assert fast_sent == oracle_sent == []
+        for reason in ("undecodable", "unknown_peer", "no_route"):
+            assert fast.metrics.drops.get(reason) == oracle.metrics.drops.get(
+                reason
+            ), reason
+        # Every slot came back to the ring; no escaped view is alive.
+        assert ring.available() == 4
+        assert all(not view.alive() for view in views)
+
+    def test_every_batch_slot_is_recycled(self):
+        """No view escapes its ring slot alive through the batch path."""
+        datagram = frame([HeaderSegment(port=2), HeaderSegment(port=0)])
+        fast, _, _, _, ring, views = self._feed([datagram] * 6)
+        assert ring.available() == 8
+        assert all(not view.alive() for view in views)

@@ -1,0 +1,10 @@
+"""Make the tools/ directory importable for the perfgate tests."""
+
+import os
+import sys
+
+TOOLS_ROOT = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", "..", "tools")
+)
+if TOOLS_ROOT not in sys.path:
+    sys.path.insert(0, TOOLS_ROOT)

@@ -1,0 +1,173 @@
+"""The perf-regression gate: direction-aware compare, CLI, baselines.
+
+perfgate guards the PR 8 fastpath numbers: it must fail on a real
+regression (in either direction convention), stay quiet inside the
+tolerance band, treat a *vanished* metric as a failure, and never gate
+on informational metrics.  The committed baselines for the two guarded
+benchmarks must exist and be internally consistent.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+import perfgate
+
+
+def _spec(metrics, higher=(), lower=()):
+    return {
+        "metrics": dict(metrics),
+        "higher_is_better": list(higher),
+        "lower_is_better": list(lower),
+    }
+
+
+class TestCompare:
+    def test_within_tolerance_passes_both_directions(self):
+        baseline = _spec(
+            {"tx_s": 1000.0, "us_op": 10.0}, higher=["tx_s"], lower=["us_op"]
+        )
+        fresh = _spec({"tx_s": 850.0, "us_op": 11.5})
+        rows = perfgate.compare("b", baseline, fresh, tolerance=0.20)
+        assert [r.verdict for r in rows] == ["ok", "ok"]
+        assert not any(r.failed for r in rows)
+
+    def test_higher_is_better_regression_fails(self):
+        baseline = _spec({"tx_s": 1000.0}, higher=["tx_s"])
+        fresh = _spec({"tx_s": 799.0})
+        (row,) = perfgate.compare("b", baseline, fresh, tolerance=0.20)
+        assert row.failed and row.verdict == "regressed"
+        assert row.change == pytest.approx(-0.201)
+
+    def test_lower_is_better_regression_fails(self):
+        baseline = _spec({"alloc": 300.0}, lower=["alloc"])
+        fresh = _spec({"alloc": 400.0})
+        (row,) = perfgate.compare("b", baseline, fresh, tolerance=0.20)
+        assert row.failed and row.direction == "lower"
+
+    def test_improvements_never_fail(self):
+        baseline = _spec(
+            {"tx_s": 1000.0, "us_op": 10.0}, higher=["tx_s"], lower=["us_op"]
+        )
+        fresh = _spec({"tx_s": 5000.0, "us_op": 1.0})
+        rows = perfgate.compare("b", baseline, fresh)
+        assert not any(r.failed for r in rows)
+
+    def test_missing_directional_metric_is_a_failure(self):
+        # Deleting a gated metric must not silently delete the gate.
+        baseline = _spec({"tx_s": 1000.0}, higher=["tx_s"])
+        (row,) = perfgate.compare("b", baseline, _spec({}))
+        assert row.failed and row.verdict == "missing"
+
+    def test_informational_metric_never_gates(self):
+        baseline = _spec({"note_count": 5.0})  # in neither direction list
+        (row,) = perfgate.compare("b", baseline, _spec({"note_count": 50.0}))
+        assert not row.failed
+        (row,) = perfgate.compare("b", baseline, _spec({}))
+        assert not row.failed and row.direction == "info"
+
+    def test_absent_fresh_file_marks_all_missing(self):
+        baseline = _spec(
+            {"a": 1.0, "b": 2.0}, higher=["a"], lower=["b"]
+        )
+        rows = perfgate.compare("b", baseline, None)
+        assert [r.verdict for r in rows] == ["missing", "missing"]
+
+
+class TestGateAndCli:
+    @pytest.fixture()
+    def dirs(self, tmp_path):
+        baselines = tmp_path / "baselines"
+        results = tmp_path / "results"
+        baselines.mkdir()
+        results.mkdir()
+        spec = _spec({"tx_s": 1000.0}, higher=["tx_s"])
+        (baselines / "BENCH_demo.json").write_text(json.dumps(spec))
+        return str(baselines), str(results)
+
+    def _publish(self, results_dir, value):
+        spec = _spec({"tx_s": value}, higher=["tx_s"])
+        path = os.path.join(results_dir, "BENCH_demo.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(spec, handle)
+
+    def test_gate_passes_then_fails(self, dirs):
+        baselines, results = dirs
+        self._publish(results, 990.0)
+        rows, failed = perfgate.gate(baselines, results)
+        assert not failed and len(rows) == 1
+        self._publish(results, 500.0)
+        _, failed = perfgate.gate(baselines, results)
+        assert failed
+
+    def test_cli_exit_codes(self, dirs, capsys):
+        baselines, results = dirs
+        self._publish(results, 990.0)
+        argv = ["--baselines", baselines, "--results", results]
+        assert perfgate.main(argv) == 0
+        self._publish(results, 500.0)
+        assert perfgate.main(argv) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out and "regression" in out
+
+    def test_cli_tolerance_flag_widens_the_band(self, dirs):
+        baselines, results = dirs
+        self._publish(results, 500.0)
+        argv = ["--baselines", baselines, "--results", results]
+        assert perfgate.main(argv + ["--tolerance", "0.6"]) == 0
+
+    def test_only_filter_rejects_unknown_names(self, dirs):
+        baselines, results = dirs
+        with pytest.raises(SystemExit):
+            perfgate.gate(baselines, results, only=["nope"])
+
+    def test_update_bootstraps_and_refreshes_baselines(self, dirs):
+        baselines, results = dirs
+        self._publish(results, 2000.0)
+        # Bootstrap a brand-new name straight from fresh results.
+        spec = _spec({"fill": 16.0}, higher=["fill"])
+        with open(
+            os.path.join(results, "BENCH_new.json"), "w", encoding="utf-8"
+        ) as handle:
+            json.dump(spec, handle)
+        written = perfgate.update_baselines(baselines, results, ["new"])
+        assert len(written) == 1
+        with open(written[0], encoding="utf-8") as handle:
+            assert json.load(handle)["metrics"] == {"fill": 16.0}
+        # Refresh-all rewrites every existing baseline from results.
+        perfgate.update_baselines(baselines, results, [])
+        rows, failed = perfgate.gate(baselines, results)
+        assert not failed and len(rows) == 2
+
+
+class TestCommittedBaselines:
+    """The floors this PR committed must stay present and coherent."""
+
+    def test_guarded_benchmarks_have_baselines(self):
+        for name in ("f02_dataplane", "l01_live_loopback"):
+            path = os.path.join(
+                perfgate.BASELINE_DIR, f"BENCH_{name}.json"
+            )
+            assert os.path.exists(path), f"missing committed floor: {name}"
+            with open(path, encoding="utf-8") as handle:
+                spec = json.load(handle)
+            directional = set(spec["higher_is_better"]) | set(
+                spec["lower_is_better"]
+            )
+            assert directional, f"{name}: no gated metrics"
+            assert directional <= set(spec["metrics"]), (
+                f"{name}: direction lists name unknown metrics"
+            )
+            assert all(
+                isinstance(v, (int, float)) and v > 0
+                for v in spec["metrics"].values()
+            )
+
+    def test_committed_baselines_gate_cleanly_against_themselves(self):
+        rows, failed = perfgate.gate(
+            perfgate.BASELINE_DIR, perfgate.BASELINE_DIR
+        )
+        assert rows and not failed

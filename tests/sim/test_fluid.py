@@ -1,0 +1,148 @@
+"""Fluid (vectorized) flow advancement: exact, just fewer events.
+
+``FluidFlow`` with ``batch=1`` IS per-packet discrete-event execution;
+any larger batch must advance the same packets at the same simulated
+times and finish at the same instant — only the heap-event count may
+drop.  These tests pin that equivalence and the decide-once-per-event
+contract that ties fluid mode to the flow cache's memoized decisions.
+"""
+
+import pytest
+
+from repro.sim.engine import FluidFlow, SimulationError, Simulator
+
+
+def _run_flow(packets, interval, batch, start_at=0.0):
+    sim = Simulator()
+    decisions = []
+    advances = []
+
+    def decide():
+        decisions.append(sim.now)
+        return ("decision", len(decisions))
+
+    def advance(decision, n, first_time):
+        advances.append((decision, n, first_time))
+
+    flow = FluidFlow(
+        sim, decide, advance, packets=packets, interval=interval, batch=batch
+    ).start(at=start_at)
+    sim.run()
+    return sim, flow, decisions, advances
+
+
+def _departure_times(advances, interval):
+    times = []
+    for _decision, n, first_time in advances:
+        times.extend(first_time + i * interval for i in range(n))
+    return times
+
+
+def test_batched_flow_matches_per_packet_execution_exactly():
+    packets, interval = 1000, 0.25
+    sim1, flow1, _, adv1 = _run_flow(packets, interval, batch=1)
+    simN, flowN, _, advN = _run_flow(packets, interval, batch=64)
+
+    assert flow1.advanced == flowN.advanced == packets
+    # Identical per-packet departure instants, not just identical totals.
+    assert _departure_times(adv1, interval) == _departure_times(advN, interval)
+    assert flow1.finished_at == flowN.finished_at
+    # The whole point: 1000 heap events collapse to ceil(1000/64).
+    assert flow1.events == packets
+    assert flowN.events == (packets + 63) // 64
+
+
+def test_decide_runs_once_per_event_not_once_per_packet():
+    _, flow, decisions, advances = _run_flow(300, 0.1, batch=50)
+    assert flow.events == 6
+    assert len(decisions) == 6
+    # Every advance hands the driver the decision made for *that* event.
+    assert [d for d, _n, _t in advances] == [
+        ("decision", i) for i in range(1, 7)
+    ]
+
+
+def test_final_partial_batch_and_finish_time():
+    # 10 packets in batches of 4 -> events advance 4, 4, 2.
+    sim, flow, _, advances = _run_flow(10, 1.0, batch=4, start_at=5.0)
+    assert [(n, t) for _d, n, t in advances] == [
+        (4, 5.0), (4, 9.0), (2, 13.0),
+    ]
+    # Last packet departs at start + (packets-1)*interval, batch or not.
+    assert flow.finished_at == 5.0 + 9 * 1.0
+    assert flow.remaining == 0
+
+
+def test_stop_cancels_remaining_packets():
+    sim = Simulator()
+    flow = FluidFlow(
+        sim, lambda: None, lambda d, n, t: None,
+        packets=100, interval=1.0, batch=10,
+    ).start()
+    sim.run(max_events=3)
+    flow.stop()
+    sim.run()
+    assert flow.advanced == 30
+    assert flow.remaining == 70
+    assert flow.finished_at is None
+
+
+def test_constructor_rejects_misuse():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        FluidFlow(sim, lambda: None, lambda d, n, t: None,
+                  packets=0, interval=1.0)
+    with pytest.raises(SimulationError):
+        FluidFlow(sim, lambda: None, lambda d, n, t: None,
+                  packets=1, interval=-1.0)
+    with pytest.raises(SimulationError):
+        FluidFlow(sim, lambda: None, lambda d, n, t: None,
+                  packets=1, interval=1.0, batch=0)
+
+
+def test_fluid_flow_over_a_warm_flow_cache():
+    """End to end with the real pipeline: one cache hit per *event*."""
+    from repro.dataplane import (
+        Capabilities, FlowCache, ForwardingPipeline, HopInput, PortMap,
+        PortProfile,
+    )
+    from repro.tokens.cache import TokenCache
+    from repro.tokens.capability import TokenMint
+    from repro.viper.wire import HeaderSegment
+
+    class _Ports(PortMap):
+        def profile(self, port_id):
+            return PortProfile(kind="p2p", mtu=0) if port_id == 7 else None
+
+        def ids(self):
+            return [7]
+
+    mint = TokenMint(b"secret", issuer="r")
+    flow_cache = FlowCache()
+    pipeline = ForwardingPipeline(
+        "r", token_cache=TokenCache(mint), ports=_Ports(),
+        flow_cache=flow_cache, capabilities=Capabilities(),
+    )
+    sim = Simulator()
+    segment = HeaderSegment(port=7)
+    forwarded = []
+
+    def decide():
+        return pipeline.decide(HopInput(
+            segment=segment, seg_count=2, wire_size=64, in_port=3,
+            now_ms=int(sim.now * 1000),
+        ))
+
+    def advance(decision, n, _t):
+        forwarded.append((decision.out_port, n))
+
+    flow = FluidFlow(
+        sim, decide, advance, packets=256, interval=1e-3, batch=32
+    ).start()
+    sim.run()
+    assert flow.advanced == 256
+    assert all(port == 7 for port, _n in forwarded)
+    # 8 events -> 1 cold miss + 7 memoized hits; 256 per-packet lookups
+    # would have cost 255 hits.  Vectorization shows up in the stats.
+    assert flow_cache.stats.misses == 1
+    assert flow_cache.stats.hits == 7

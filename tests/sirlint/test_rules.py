@@ -601,3 +601,103 @@ def test_sir007_inline_suppression():
         path="src/repro/live/router.py",
     )
     assert findings == []
+
+
+# -- SIR008: hot-path allocation discipline ----------------------------------
+
+
+def test_sir008_fires_on_bytes_construction_in_hot_function():
+    findings = analyze(
+        """
+        def parse(buffer, offset):  # sirlint: hot
+            return bytes(buffer[offset:offset + 4])
+        """,
+        "repro.viper.fixture",
+    )
+    assert "SIR008" in rules_fired(findings)
+    assert any("bytes()" in f.message for f in findings)
+
+
+def test_sir008_fires_on_bytes_concat_and_container_literals():
+    findings = analyze(
+        """
+        def advance(self, span):  # sirlint: hot
+            header = span + b"tail"
+            slots = []
+            meta = {"a": 1}
+            return header, slots, meta
+        """,
+        "repro.dataplane.fixture",
+    )
+    symbols = {f.symbol for f in findings if f.rule == "SIR008"}
+    assert "advance:bytes-concat" in symbols
+    assert "advance:list-literal" in symbols
+    assert "advance:dict-literal" in symbols
+
+
+def test_sir008_fires_on_per_packet_closure():
+    findings = analyze(
+        """
+        def decide(self, hop):  # sirlint: hot
+            return self.lookup(lambda: hop.segment.portinfo)
+        """,
+        "repro.dataplane.fixture",
+    )
+    assert any(
+        f.rule == "SIR008" and "closure" in f.message for f in findings
+    )
+
+
+def test_sir008_silent_on_unmarked_slow_path_and_view_idioms():
+    findings = analyze(
+        """
+        def materialise(view):
+            return bytes(view.mem)
+
+        def parse(buffer, offset):  # sirlint: hot
+            end = offset + 4
+            return buffer[offset:end], end
+        """,
+        "repro.viper.fixture",
+    )
+    assert "SIR008" not in rules_fired(findings)
+
+
+def test_sir008_out_of_scope_packages_ignored():
+    findings = analyze(
+        """
+        def drain(self):  # sirlint: hot
+            return [bytes(b"x")]
+        """,
+        "repro.live.fixture",
+        path="src/repro/live/fixture.py",
+    )
+    assert "SIR008" not in rules_fired(findings)
+
+
+def test_sir008_required_marker_cannot_be_dropped():
+    findings = analyze(
+        """
+        def flow_key(token, in_port, port, priority, rpf, portinfo):
+            return (token, in_port, port, priority, rpf, portinfo)
+
+        def lookup(self, key, now_ms):  # sirlint: hot
+            return self._entries.get(key)
+        """,
+        "repro.dataplane.flowcache",
+        path="src/repro/dataplane/flowcache.py",
+    )
+    assert [f.symbol for f in findings if f.rule == "SIR008"] == [
+        "hot-marker:flow_key"
+    ]
+
+
+def test_sir008_inline_suppression():
+    findings = analyze(
+        """
+        def parse(buffer):  # sirlint: hot
+            return bytes(buffer)  # sirlint: disable=SIR008
+        """,
+        "repro.viper.fixture",
+    )
+    assert "SIR008" not in rules_fired(findings)

@@ -1,0 +1,239 @@
+#!/usr/bin/env python3
+"""perfgate — fail CI when a fastpath benchmark regresses.
+
+The PR 8 zero-allocation fastpath is a *measured* property: warm-path
+microseconds, allocation bytes per hop move, pipelined transactions per
+second.  Each guarded benchmark publishes a structured JSON next to its
+table (``benchmarks/results/BENCH_<name>.json``) with a ``metrics``
+dict plus ``higher_is_better``/``lower_is_better`` direction lists; the
+committed floor lives in ``benchmarks/baselines/BENCH_<name>.json``.
+
+The gate compares fresh metrics against the committed baseline and
+fails (exit 1) when any directional metric regresses by more than the
+tolerance (default 20%).  Metrics in neither direction list are
+informational and never gate.  A metric present in the baseline but
+missing from the fresh results is itself a failure — a gate cannot be
+deleted by silently dropping its metric.
+
+Baselines are committed artifacts, not auto-updated: refresh one
+deliberately with ``--update`` after confirming the new numbers are a
+genuine improvement (or an accepted trade), and commit the diff.
+
+Usage::
+
+    python tools/perfgate.py                    # gate every baseline
+    python tools/perfgate.py --only f02_dataplane
+    python tools/perfgate.py --tolerance 0.3
+    python tools/perfgate.py --update --only l01_live_loopback
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: Committed floors (one JSON per guarded benchmark).
+BASELINE_DIR = os.path.join(_ROOT, "benchmarks", "baselines")
+
+#: Where a fresh benchmark run publishes its JSON.
+RESULTS_DIR = os.path.join(_ROOT, "benchmarks", "results")
+
+#: Maximum tolerated relative regression before the gate fails.
+DEFAULT_TOLERANCE = 0.20
+
+_PREFIX = "BENCH_"
+
+
+@dataclass
+class Row:
+    """One metric's verdict."""
+
+    bench: str
+    metric: str
+    direction: str  # "higher", "lower" or "info"
+    baseline: float
+    fresh: Optional[float]
+    change: Optional[float]  # signed relative change vs baseline
+    verdict: str  # "ok", "regressed" or "missing"
+
+    @property
+    def failed(self) -> bool:
+        return self.verdict in ("regressed", "missing")
+
+
+def _direction_of(metric: str, spec: dict) -> str:
+    if metric in spec.get("higher_is_better", ()):
+        return "higher"
+    if metric in spec.get("lower_is_better", ()):
+        return "lower"
+    return "info"
+
+
+def compare(
+    bench: str, baseline: dict, fresh: Optional[dict],
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> List[Row]:
+    """Verdict per baseline metric; ``fresh=None`` marks all missing."""
+    rows: List[Row] = []
+    fresh_metrics: Dict[str, float] = (fresh or {}).get("metrics", {})
+    for metric, floor in baseline.get("metrics", {}).items():
+        direction = _direction_of(metric, baseline)
+        value = fresh_metrics.get(metric)
+        if value is None:
+            rows.append(Row(
+                bench, metric, direction, floor, None, None,
+                "missing" if direction != "info" else "ok",
+            ))
+            continue
+        change = (value - floor) / floor if floor else 0.0
+        if direction == "higher":
+            regressed = value < floor * (1.0 - tolerance)
+        elif direction == "lower":
+            regressed = value > floor * (1.0 + tolerance)
+        else:
+            regressed = False
+        rows.append(Row(
+            bench, metric, direction, floor, value, change,
+            "regressed" if regressed else "ok",
+        ))
+    return rows
+
+
+def _load(path: str) -> Optional[dict]:
+    try:
+        with open(path, encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        return None
+
+
+def _bench_names(baseline_dir: str, only: Iterable[str]) -> List[str]:
+    names = sorted(
+        entry[len(_PREFIX):-len(".json")]
+        for entry in os.listdir(baseline_dir)
+        if entry.startswith(_PREFIX) and entry.endswith(".json")
+    )
+    wanted = set(only)
+    if wanted:
+        unknown = wanted - set(names)
+        if unknown:
+            raise SystemExit(
+                f"perfgate: no baseline for {sorted(unknown)} — "
+                f"known: {names}"
+            )
+        names = [n for n in names if n in wanted]
+    return names
+
+
+def gate(
+    baseline_dir: str = BASELINE_DIR,
+    results_dir: str = RESULTS_DIR,
+    only: Iterable[str] = (),
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> Tuple[List[Row], bool]:
+    """Compare every selected baseline; returns (rows, any_failure)."""
+    rows: List[Row] = []
+    for name in _bench_names(baseline_dir, only):
+        baseline = _load(os.path.join(baseline_dir, f"{_PREFIX}{name}.json"))
+        if baseline is None:
+            raise SystemExit(f"perfgate: unreadable baseline for {name!r}")
+        fresh = _load(os.path.join(results_dir, f"{_PREFIX}{name}.json"))
+        rows.extend(compare(name, baseline, fresh, tolerance))
+    return rows, any(row.failed for row in rows)
+
+
+def render(rows: List[Row], tolerance: float) -> str:
+    header = (
+        f"{'benchmark':<22} {'metric':<26} {'dir':<6} "
+        f"{'baseline':>12} {'fresh':>12} {'change':>8}  verdict"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        fresh = "—" if row.fresh is None else f"{row.fresh:g}"
+        change = "—" if row.change is None else f"{row.change:+.1%}"
+        mark = "FAIL" if row.failed else "ok"
+        lines.append(
+            f"{row.bench:<22} {row.metric:<26} {row.direction:<6} "
+            f"{row.baseline:>12g} {fresh:>12} {change:>8}  {mark}"
+        )
+    failed = [r for r in rows if r.failed]
+    lines.append(
+        f"\n{len(rows)} metrics checked, {len(failed)} regression(s) "
+        f"at {tolerance:.0%} tolerance."
+    )
+    return "\n".join(lines)
+
+
+def update_baselines(
+    baseline_dir: str, results_dir: str, only: Iterable[str]
+) -> List[str]:
+    """Copy fresh result JSONs over the committed baselines.
+
+    ``--only`` names may be brand new (first baseline bootstrap);
+    without ``--only``, every existing baseline is refreshed.
+    """
+    os.makedirs(baseline_dir, exist_ok=True)
+    names = sorted(only) if only else _bench_names(baseline_dir, ())
+    written = []
+    for name in names:
+        source = os.path.join(results_dir, f"{_PREFIX}{name}.json")
+        fresh = _load(source)
+        if fresh is None:
+            raise SystemExit(
+                f"perfgate: no fresh results for {name!r} — run the "
+                "benchmark first"
+            )
+        target = os.path.join(baseline_dir, f"{_PREFIX}{name}.json")
+        with open(target, "w", encoding="utf-8") as handle:
+            json.dump(fresh, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        written.append(target)
+    return written
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="perfgate", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument(
+        "--only", action="append", default=[], metavar="NAME",
+        help="gate only this benchmark (repeatable), e.g. f02_dataplane",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=DEFAULT_TOLERANCE,
+        help=f"max relative regression (default {DEFAULT_TOLERANCE})",
+    )
+    parser.add_argument(
+        "--baselines", default=BASELINE_DIR, help=argparse.SUPPRESS
+    )
+    parser.add_argument(
+        "--results", default=RESULTS_DIR, help=argparse.SUPPRESS
+    )
+    parser.add_argument(
+        "--update", action="store_true",
+        help="rewrite the committed baselines from fresh results",
+    )
+    options = parser.parse_args(argv)
+
+    if options.update:
+        for path in update_baselines(
+            options.baselines, options.results, options.only
+        ):
+            print(f"baseline updated: {os.path.relpath(path, _ROOT)}")
+        return 0
+
+    rows, failed = gate(
+        options.baselines, options.results, options.only, options.tolerance
+    )
+    print(render(rows, options.tolerance))
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,7 @@ from typing import Optional, Tuple, Type
 from sirlint.rules.asynchygiene import AsyncHygieneRule
 from sirlint.rules.base import Rule, run_rules
 from sirlint.rules.drops import DropDisciplineRule
+from sirlint.rules.hotpath import HotPathAllocationRule
 from sirlint.rules.metrics import MetricsRule
 from sirlint.rules.purity import PurityRule
 from sirlint.rules.recorder import RecorderDisciplineRule
@@ -27,6 +28,7 @@ ALL_RULES: Tuple[Type[Rule], ...] = (
     WireLayoutRule,    # SIR005
     DropDisciplineRule,  # SIR006
     RecorderDisciplineRule,  # SIR007
+    HotPathAllocationRule,  # SIR008
 )
 
 
