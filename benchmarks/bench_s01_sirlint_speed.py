@@ -1,11 +1,17 @@
 """S01 — the sirlint gate must never become CI's critical path.
 
-The domain linter (SIR001–SIR006, ``tools/sirlint``) runs as its own CI
+The domain linter (SIR001–SIR011, ``tools/sirlint``) runs as its own CI
 job on every push.  This bench times a full ``python -m sirlint src``
 invocation — subprocess, cold interpreter, exactly as CI runs it — and
 asserts it finishes well inside a 10-second budget, so adding rules or
 files can never quietly turn the lint job into the slowest leg of the
-pipeline.
+pipeline.  The dataflow rules (SIR009–SIR011) build a CFG and run a
+fixpoint per function, so this guard is what keeps that machinery
+honest as the tree grows.
+
+It also times the ``--changed`` fast path — the pre-push loop — which
+must stay under one second: a developer who waits ten seconds per
+commit stops running the linter.
 """
 
 from __future__ import annotations
@@ -23,13 +29,16 @@ REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
 #: Wall-clock budget (seconds) for one cold `python -m sirlint src`.
 BUDGET_SECONDS = 10.0
 
+#: Wall-clock budget (seconds) for the `--changed` pre-push fast path.
+CHANGED_BUDGET_SECONDS = 1.0
 
-def run_sirlint() -> "tuple[float, dict]":
+
+def run_sirlint(*extra: str) -> "tuple[float, dict]":
     """One cold CLI run; returns (wall seconds, parsed JSON report)."""
     env = dict(os.environ, PYTHONPATH=os.path.join(REPO_ROOT, "tools"))
     started = time.monotonic()
     proc = subprocess.run(
-        [sys.executable, "-m", "sirlint", "src", "--format", "json"],
+        [sys.executable, "-m", "sirlint", "src", "--format", "json", *extra],
         cwd=REPO_ROOT, env=env, capture_output=True, text=True,
     )
     elapsed = time.monotonic() - started
@@ -38,14 +47,21 @@ def run_sirlint() -> "tuple[float, dict]":
 
 
 def bench_s01_sirlint_speed() -> None:
-    """`python -m sirlint src` stays < 10 s, cold, including startup."""
+    """Full run < 10 s and `--changed` < 1 s, cold, including startup."""
     wall, payload = run_sirlint()
     analysis = payload["elapsed_seconds"]
+    changed_wall, changed_payload = run_sirlint("--changed", "HEAD")
     rows = [
         ("wall clock (cold subprocess)", f"{wall:.2f}", BUDGET_SECONDS),
         ("analysis only (CLI-reported)", f"{analysis:.2f}", BUDGET_SECONDS),
         ("files checked", payload["checked_files"], "-"),
         ("findings", len(payload["findings"]), 0),
+        (
+            "--changed HEAD (cold subprocess)",
+            f"{changed_wall:.2f}",
+            CHANGED_BUDGET_SECONDS,
+        ),
+        ("--changed files checked", changed_payload["checked_files"], "-"),
     ]
     publish("bench_s01_sirlint_speed", format_table(
         "S01 sirlint speed guard (budget: never the CI critical path)",
@@ -58,6 +74,10 @@ def bench_s01_sirlint_speed() -> None:
     )
     assert analysis < BUDGET_SECONDS / 2, (
         f"analysis alone took {analysis:.1f}s — the AST pass is drifting"
+    )
+    assert changed_wall < CHANGED_BUDGET_SECONDS, (
+        f"sirlint --changed took {changed_wall:.2f}s — the pre-push path "
+        f"must stay under {CHANGED_BUDGET_SECONDS:.0f}s or nobody runs it"
     )
 
 

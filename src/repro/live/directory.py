@@ -181,6 +181,10 @@ class LiveDirectoryServer:
         self.v1_frames = 0
         self.v2_frames = 0
         self.dedup_hits = 0
+        #: Connections torn down mid-conversation (reset / half-read
+        #: EOF / write to a gone peer) — the failure-path fate SIR011
+        #: requires every swallowed ConnectionError to account for.
+        self.connections_dropped = 0
         #: Observability hooks (NULL until installed; see repro.obs).
         self.tracer = NULL_TRACER
         self.recorder = NULL_RECORDER
@@ -239,7 +243,9 @@ class LiveDirectoryServer:
                 self._tasks.add(task)
                 task.add_done_callback(self._tasks.discard)
         except (ConnectionError, asyncio.IncompleteReadError):
-            pass
+            # A client vanished mid-request; normal at scale, but it
+            # must still be a counted fate, not a silent one.
+            self.connections_dropped += 1
         except asyncio.CancelledError:
             # Event-loop teardown cancels in-flight connection handlers;
             # finishing cleanly here keeps the stream protocol's
@@ -261,7 +267,9 @@ class LiveDirectoryServer:
                 writer.write(payload)
                 await writer.drain()
         except (ConnectionError, OSError):
-            pass  # peer went away; the reader loop notices EOF
+            # Peer went away before its response; the reader loop sees
+            # the EOF, this side accounts the dropped conversation.
+            self.connections_dropped += 1
 
     # -- dispatch ----------------------------------------------------------
 
@@ -553,12 +561,17 @@ class LiveDirectoryClient:
         self._closed = False
         self._reconnect_attempts = 0
         self._reconnect_blocked_until = 0.0
+        # Created lazily inside the running loop (3.9-safe); serializes
+        # concurrent reconnect attempts in _ensure_connected.
+        self._reconnect_lock: Optional[asyncio.Lock] = None
         #: Times the connection was observed lost (EOF/reset).
         self.disconnects = 0
         #: Successful automatic reconnects after a loss.
         self.reconnects = 0
         #: Write commands retried with their original request id.
         self.write_retries = 0
+        #: Response lines that were not valid protocol frames.
+        self.protocol_errors = 0
 
     @property
     def connected(self) -> bool:
@@ -618,37 +631,48 @@ class LiveDirectoryClient:
             self._writer = None
         self._fail_pending(DirectoryError("directory connection lost"))
 
-    async def _ensure_connected(self) -> None:
-        """Reconnect if the connection died, behind a growing backoff."""
+    async def _ensure_connected(self) -> None:  # sirlint: interleave-safe -- serialized by _reconnect_lock; guard re-checked under it
+        """Reconnect if the connection died, behind a growing backoff.
+
+        Concurrent callers serialize on ``_reconnect_lock``: without
+        it two requests racing past the connected check would both
+        cancel the reader task and dial, leaking one reader task and
+        double-bumping the backoff window (found by SIR010).
+        """
         if self._connected and self._writer is not None:
             return
-        if self._closed or self._address is None:
-            raise DirectoryError("directory client is not connected")
-        loop = asyncio.get_running_loop()
-        now = loop.time()
-        if now < self._reconnect_blocked_until:
-            raise DirectoryError(
-                "directory reconnect backing off "
-                f"({self._reconnect_blocked_until - now:.3f}s remaining)",
-                retryable=True,
-            )
-        if self._reader_task is not None:
-            self._reader_task.cancel()
-            self._reader_task = None
-        try:
-            await self._open()
-        except OSError as exc:
-            self._reconnect_attempts += 1
-            delay = min(
-                self.reconnect_max_s,
-                self.reconnect_base_s
-                * 2.0 ** (self._reconnect_attempts - 1),
-            )
-            self._reconnect_blocked_until = loop.time() + delay
-            raise DirectoryError(
-                f"directory reconnect failed: {exc}", retryable=True,
-            ) from exc
-        self.reconnects += 1
+        if self._reconnect_lock is None:
+            self._reconnect_lock = asyncio.Lock()
+        async with self._reconnect_lock:
+            if self._connected and self._writer is not None:
+                return  # a concurrent caller already reconnected
+            if self._closed or self._address is None:
+                raise DirectoryError("directory client is not connected")
+            loop = asyncio.get_running_loop()
+            now = loop.time()
+            if now < self._reconnect_blocked_until:
+                raise DirectoryError(
+                    "directory reconnect backing off "
+                    f"({self._reconnect_blocked_until - now:.3f}s remaining)",
+                    retryable=True,
+                )
+            if self._reader_task is not None:
+                self._reader_task.cancel()
+                self._reader_task = None
+            try:
+                await self._open()
+            except OSError as exc:
+                self._reconnect_attempts += 1
+                delay = min(
+                    self.reconnect_max_s,
+                    self.reconnect_base_s
+                    * 2.0 ** (self._reconnect_attempts - 1),
+                )
+                self._reconnect_blocked_until = loop.time() + delay
+                raise DirectoryError(
+                    f"directory reconnect failed: {exc}", retryable=True,
+                ) from exc
+            self.reconnects += 1
 
     def _next_id(self) -> str:
         return f"q-{next(self._counter)}-{os.urandom(4).hex()}"
@@ -732,8 +756,12 @@ class LiveDirectoryClient:
         try:
             response = json.loads(line.decode(ENCODING))
         except ValueError:
-            return  # an unparseable response correlates with nothing
+            # An unparseable response correlates with nothing; count
+            # it so a babbling server is visible, not silent.
+            self.protocol_errors += 1
+            return
         if not isinstance(response, dict):
+            self.protocol_errors += 1
             return
         future = self._pending.get(str(response.get("id")))
         if future is None or future.done():

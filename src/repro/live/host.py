@@ -38,7 +38,7 @@ from repro.transport.flowcontrol import DeliveryMask, split_into_group
 from repro.transport.rebind import RouteManager
 from repro.viper.errors import ViperDecodeError
 from repro.viper.packet import SirpentPacket, build_return_route
-from repro.viper.wire import HeaderSegment, LOCAL_PORT
+from repro.viper.wire import HeaderSegment, LOCAL_PORT, PacketView
 
 
 class WallClock:
@@ -246,7 +246,7 @@ class LiveHost:
 
     # -- receiving ---------------------------------------------------------
 
-    def _on_batch(self, batch) -> None:
+    def _on_batch(self, batch: List[Tuple[PacketView, Address]]) -> None:
         """Consume one endpoint wakeup's worth of ring-slot views."""
         for view, source in batch:
             datagram = view.tobytes()

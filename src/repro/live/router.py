@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, Optional
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.dataplane import (
     Action,
@@ -321,7 +321,7 @@ class LiveRouter:
 
     # -- the zero-allocation batch path ------------------------------------
 
-    def _on_batch(self, batch) -> None:
+    def _on_batch(self, batch: List[Tuple[PacketView, Address]]) -> None:
         """Forward one endpoint wakeup's worth of frames, in place.
 
         Each frame arrives as a :class:`~repro.viper.wire.PacketView`

@@ -104,7 +104,7 @@ class LiveOverlay:
 
     # -- lifecycle ---------------------------------------------------------
 
-    async def start(self) -> None:
+    async def start(self) -> None:  # sirlint: interleave-safe -- single-owner boot path; _started guard raises on re-entry
         """Instantiate, bind and wire every node, then the directory."""
         if self._started:
             raise RuntimeError("overlay already started")
@@ -210,7 +210,7 @@ class LiveOverlay:
         self.addresses[name] = address
         return address
 
-    async def restart_directory(self) -> Address:
+    async def restart_directory(self) -> Address:  # sirlint: interleave-safe -- chaos-driver path; one injector task owns restarts
         """Bring a stopped directory server back on its original port."""
         port = self.directory_address[1] if self.directory_address else 0
         self.directory_address = await self.directory_server.start(

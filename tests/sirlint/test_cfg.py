@@ -1,0 +1,318 @@
+"""CFG builder contract on adversarial shapes.
+
+These tests assert :meth:`CFG.line_edges` sets *directly* — not rule
+outcomes — so a regression in edge construction is caught even when
+every rule happens to stay green.  Labels: plain line numbers for
+statement/branch nodes, ``"entry"``/``"exit"``/``"raise"`` for the
+synthetic nodes, and ``"<line>:bind"`` / ``"<line>:handler"`` /
+``"<line>:aexit"`` for the pseudo-nodes.
+"""
+
+import ast
+import sys
+import textwrap
+
+import pytest
+
+from sirlint.dataflow import build_cfg
+
+
+def cfg_of(source):
+    tree = ast.parse(textwrap.dedent(source))
+    return build_cfg(tree.body[0])
+
+
+def node_by_label(cfg, label):
+    for nid in cfg.nodes:
+        if cfg.label(nid) == label:
+            return cfg.nodes[nid]
+    raise AssertionError(f"no node labelled {label!r}")
+
+
+# -- try/finally -------------------------------------------------------------
+
+
+def test_try_finally_return_in_both_arms_overrides():
+    """The ``finally`` return is the only path to the exit.
+
+    Classic precision test for finally-duplication: ``return a`` must
+    flow *into* the finally copy (on both its normal and its
+    exception continuation), never straight to the exit.
+    """
+    cfg = cfg_of(
+        """
+        def f(a):
+            try:
+                return a
+            finally:
+                return 2
+        """
+    )
+    assert cfg.line_edges() == {
+        ("entry", 4, "normal"),
+        (4, 6, "normal"),   # return a -> finally copy (return path)
+        (4, 6, "exc"),      # evaluating `a` raised -> finally copy
+        (6, "exit", "normal"),
+    }
+
+
+def test_try_finally_runs_on_normal_exception_and_return_paths():
+    cfg = cfg_of(
+        """
+        def f(a):
+            try:
+                if a:
+                    return a
+                touch(a)
+            finally:
+                cleanup()
+        """
+    )
+    edges = cfg.line_edges()
+    # Independent copies of the finally body, one per continuation:
+    # return (5->8), implicit-raise (exc edges into 8), and normal
+    # fall-through (6->8).
+    assert (5, 8, "normal") in edges          # return a -> finally
+    assert (5, 8, "exc") in edges             # `a` raised -> finally
+    assert (6, 8, "exc") in edges             # touch() raised -> finally
+    assert (6, 8, "normal") in edges          # fall-through -> finally
+    assert (8, "exit", "normal") in edges     # return-path copy
+    assert (8, "raise", "exc") in edges       # exception-path copy
+    # No statement inside the try reaches exit/raise without the finally.
+    assert not any(
+        src in (5, 6) and dst in ("exit", "raise")
+        for src, dst, _kind in edges
+    )
+
+
+def test_try_except_wires_exception_edges_to_handler():
+    cfg = cfg_of(
+        """
+        def f(x):
+            if x:
+                raise ValueError(x)
+            try:
+                g(x)
+            except KeyError:
+                h()
+            return x
+        """
+    )
+    assert cfg.line_edges() == {
+        ("entry", 3, "normal"),
+        (3, 4, "normal"),                 # if-true -> raise stmt
+        (4, "raise", "exc"),              # explicit raise, no handler
+        (3, 6, "normal"),                 # if-false -> try body
+        (6, "7:handler", "exc"),          # g(x) raised -> except entry
+        ("7:handler", 8, "normal"),
+        (6, 9, "normal"),
+        (8, 9, "normal"),
+        (9, "exit", "normal"),
+    }
+
+
+# -- async with --------------------------------------------------------------
+
+
+def test_nested_async_with_emits_awaiting_aexit_nodes():
+    cfg = cfg_of(
+        """
+        async def f(a, b):
+            async with a:
+                async with b:
+                    await g()
+        """
+    )
+    assert cfg.line_edges() == {
+        ("entry", 3, "normal"),
+        (3, 4, "normal"),
+        (4, 5, "normal"),
+        (5, "4:aexit", "normal"),         # inner __aexit__ first
+        ("4:aexit", "3:aexit", "normal"),  # then the outer one
+        ("3:aexit", "exit", "normal"),
+    }
+    # Every point of this function can suspend the coroutine.
+    for label in (3, 4, 5, "4:aexit", "3:aexit"):
+        assert node_by_label(cfg, label).is_await, label
+
+
+# -- nested scopes stay opaque ----------------------------------------------
+
+
+def test_comprehension_and_nested_def_are_single_nodes():
+    cfg = cfg_of(
+        """
+        def f(items):
+            out = [x * 2 for x in items]
+            def helper():
+                return [y for y in out]
+            return helper
+        """
+    )
+    assert cfg.line_edges() == {
+        ("entry", 3, "normal"),
+        (3, 4, "normal"),
+        (4, 6, "normal"),
+        (6, "exit", "normal"),
+    }
+    # entry/exit/raise + the three statements: the comprehension and
+    # the nested function body contribute no nodes of their own.
+    assert len(cfg.nodes) == 6
+    assert not node_by_label(cfg, 3).is_await
+
+
+def test_await_inside_nested_def_does_not_mark_this_frame():
+    cfg = cfg_of(
+        """
+        async def f(q):
+            async def inner():
+                await q.get()
+            x = await q.get()
+            return inner, x
+        """
+    )
+    assert not node_by_label(cfg, 3).is_await   # the nested def stmt
+    assert node_by_label(cfg, 5).is_await       # the real await
+
+
+# -- match statements --------------------------------------------------------
+
+
+@pytest.mark.skipif(
+    sys.version_info < (3, 10), reason="match statements need 3.10+"
+)
+def test_match_with_wildcard_has_no_fallthrough_edge():
+    cfg = cfg_of(
+        """
+        def f(x):
+            match x:
+                case 1:
+                    y = 1
+                case _:
+                    y = 2
+            return y
+        """
+    )
+    assert cfg.line_edges() == {
+        ("entry", 3, "normal"),
+        (3, 5, "normal"),
+        (3, 7, "normal"),
+        (5, 8, "normal"),
+        (7, 8, "normal"),
+        (8, "exit", "normal"),
+    }
+
+
+@pytest.mark.skipif(
+    sys.version_info < (3, 10), reason="match statements need 3.10+"
+)
+def test_match_without_wildcard_keeps_fallthrough_edge():
+    cfg = cfg_of(
+        """
+        def f(x):
+            match x:
+                case 1:
+                    y = 1
+            return 0
+        """
+    )
+    assert cfg.line_edges() == {
+        ("entry", 3, "normal"),
+        (3, 5, "normal"),
+        (3, 6, "normal"),                 # no case matched
+        (5, 6, "normal"),
+        (6, "exit", "normal"),
+    }
+
+
+# -- loops -------------------------------------------------------------------
+
+
+def test_while_true_has_no_exhausted_edge():
+    cfg = cfg_of(
+        """
+        def f(q):
+            while True:
+                v = q.get()
+                if v:
+                    break
+            return v
+        """
+    )
+    assert cfg.line_edges() == {
+        ("entry", 3, "normal"),
+        (3, 4, "normal"),
+        (4, 5, "normal"),
+        (5, 6, "normal"),                 # if-true -> break
+        (5, 3, "normal"),                 # if-false -> loop back
+        (6, 7, "normal"),                 # break -> after the loop
+        (7, "exit", "normal"),
+    }
+    # Crucially absent: (3, 7) — only `break` leaves a `while True`.
+
+
+def test_for_loop_bind_continue_and_else():
+    cfg = cfg_of(
+        """
+        def f(items):
+            total = 0
+            for x in items:
+                if x < 0:
+                    continue
+                total += x
+            else:
+                total += 1
+            return total
+        """
+    )
+    assert cfg.line_edges() == {
+        ("entry", 3, "normal"),
+        (3, 4, "normal"),
+        (4, "4:bind", "normal"),          # binding only on the body edge
+        ("4:bind", 5, "normal"),
+        (5, 6, "normal"),
+        (6, 4, "normal"),                 # continue -> header
+        (5, 7, "normal"),
+        (7, 4, "normal"),                 # body end -> header
+        (4, 9, "normal"),                 # exhausted -> else
+        (9, 10, "normal"),
+        (10, "exit", "normal"),
+    }
+
+
+def test_break_inside_try_finally_runs_finally_before_leaving_loop():
+    cfg = cfg_of(
+        """
+        def f(items):
+            for x in items:
+                try:
+                    break
+                finally:
+                    cleanup(x)
+            return x
+        """
+    )
+    edges = cfg.line_edges()
+    assert (5, 7, "normal") in edges      # break -> finally copy
+    assert (7, 8, "normal") in edges      # finally copy -> after loop
+    # break must NOT jump straight past the finally.
+    assert (5, 8, "normal") not in edges
+
+
+# -- generators --------------------------------------------------------------
+
+
+def test_generator_yield_is_an_ordinary_statement_node():
+    cfg = cfg_of(
+        """
+        def gen(items):
+            for x in items:
+                yield x
+            return None
+        """
+    )
+    edges = cfg.line_edges()
+    assert (3, "3:bind", "normal") in edges
+    assert ("3:bind", 4, "normal") in edges
+    assert (4, 3, "normal") in edges      # after the yield, loop again
+    assert not node_by_label(cfg, 4).is_await

@@ -48,12 +48,12 @@ def test_syntax_error_exits_two(tmp_path):
     assert "parse error" in proc.stdout
 
 
-def test_list_rules_names_all_seven():
+def test_list_rules_names_all_eleven():
     proc = run_cli("--list-rules")
     assert proc.returncode == 0
     for rule_id in (
         "SIR001", "SIR002", "SIR003", "SIR004", "SIR005", "SIR006",
-        "SIR007",
+        "SIR007", "SIR008", "SIR009", "SIR010", "SIR011",
     ):
         assert rule_id in proc.stdout
 
@@ -67,6 +67,108 @@ def test_text_format_reports_location_and_symbol(tmp_path):
     assert "SIR001" in proc.stdout
     assert "import:random" in proc.stdout
     assert f"{bad}:2:" in proc.stdout
+
+
+def test_sarif_output_is_valid_2_1_0(tmp_path):
+    bad = tmp_path / "src" / "repro" / "dataplane" / "impure.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text('"""Fixture."""\nimport socket\n')
+    proc = run_cli(str(bad), "--format", "sarif")
+    assert proc.returncode == 1
+    sarif = json.loads(proc.stdout)
+    assert sarif["version"] == "2.1.0"
+    run = sarif["runs"][0]
+    assert run["tool"]["driver"]["name"] == "sirlint"
+    rule_ids = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+    assert {"SIR001", "SIR009", "SIR010", "SIR011", "SIR000"} <= rule_ids
+    results = run["results"]
+    assert results and results[0]["ruleId"] == "SIR001"
+    assert results[0]["level"] == "error"
+    location = results[0]["locations"][0]["physicalLocation"]
+    assert location["region"]["startLine"] == 2
+    # ruleIndex must point back into the driver's rule array.
+    index = results[0]["ruleIndex"]
+    assert run["tool"]["driver"]["rules"][index]["id"] == "SIR001"
+    assert "sirlintKey/v1" in results[0]["partialFingerprints"]
+
+
+def test_sarif_clean_run_has_empty_results():
+    proc = run_cli("src", "--format", "sarif")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    sarif = json.loads(proc.stdout)
+    assert sarif["runs"][0]["results"] == []
+
+
+def _git(repo, *args):
+    subprocess.run(
+        [
+            "git", "-c", "user.name=fixture", "-c",
+            "user.email=fixture@example.invalid", *args,
+        ],
+        cwd=repo, check=True, capture_output=True,
+    )
+
+
+def _seed_repo(tmp_path):
+    repo = tmp_path / "repo"
+    clean = repo / "src" / "repro" / "dataplane" / "mod.py"
+    clean.parent.mkdir(parents=True)
+    clean.write_text('"""Fixture."""\nVALUE = 1\n')
+    _git(repo, "init", "-q")
+    _git(repo, "add", "-A")
+    _git(repo, "commit", "-qm", "seed")
+    return repo, clean
+
+
+def test_changed_mode_lints_only_the_diff(tmp_path):
+    repo, clean = _seed_repo(tmp_path)
+    untouched = clean.with_name("other.py")
+    untouched.write_text('"""Fixture."""\nOTHER = 2\n')
+    _git(repo, "add", "-A")
+    _git(repo, "commit", "-qm", "more")
+    clean.write_text('"""Fixture."""\nimport socket\n')
+    proc = run_cli("src", "--changed", "--format", "json", cwd=repo)
+    assert proc.returncode == 1, proc.stdout + proc.stderr
+    payload = json.loads(proc.stdout)
+    assert payload["checked_files"] == 1  # other.py was not analyzed
+    assert payload["findings"][0]["rule"] == "SIR001"
+
+
+def test_changed_mode_with_no_diff_is_clean(tmp_path):
+    repo, _clean = _seed_repo(tmp_path)
+    proc = run_cli("src", "--changed", "--format", "json", cwd=repo)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert json.loads(proc.stdout)["checked_files"] == 0
+
+
+def test_changed_mode_picks_up_untracked_files(tmp_path):
+    repo, clean = _seed_repo(tmp_path)
+    fresh = clean.with_name("fresh.py")
+    fresh.write_text('"""Fixture."""\nimport random\n')
+    proc = run_cli("src", "--changed", "--format", "json", cwd=repo)
+    assert proc.returncode == 1
+    payload = json.loads(proc.stdout)
+    assert payload["findings"][0]["path"].endswith("fresh.py")
+
+
+def test_changed_mode_outside_git_exits_two(tmp_path):
+    lone = tmp_path / "src" / "repro" / "dataplane"
+    lone.mkdir(parents=True)
+    (lone / "mod.py").write_text('"""Fixture."""\n')
+    proc = run_cli("src", "--changed", cwd=tmp_path)
+    assert proc.returncode == 2
+    assert "--changed" in proc.stderr
+
+
+def test_changed_mode_one_file_diff_is_subsecond(tmp_path):
+    """The pre-push path must feel instant: < 1 s on a one-file diff."""
+    repo, clean = _seed_repo(tmp_path)
+    clean.write_text('"""Fixture."""\nVALUE = 3\n')
+    started = time.monotonic()
+    proc = run_cli("src", "--changed", "--format", "json", cwd=repo)
+    elapsed = time.monotonic() - started
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert elapsed < 1.0, f"--changed took {elapsed:.2f}s (budget 1s)"
 
 
 def test_full_src_run_is_fast():

@@ -1,15 +1,21 @@
 """sirlint — the Sirpent repo's domain static-analysis pass.
 
-Six rules (SIR001–SIR006) encode the architectural invariants the
-papers and the earlier PRs rely on: sans-IO purity of the dataplane,
-no module-global mutable state, async hygiene in the live overlay,
-metric naming discipline, wire-layout consistency, and the
-single-applicator drop discipline.  See ``docs/ARCHITECTURE.md`` §10
-for the invariant table and provenance.
+Eleven rules encode the architectural invariants the papers and the
+earlier PRs rely on.  SIR001–SIR008 are syntactic/structural: sans-IO
+purity of the dataplane, no module-global mutable state, async hygiene
+in the live overlay, metric naming discipline, wire-layout consistency,
+the single-applicator drop discipline, recorder event hygiene, and
+fastpath copy discipline.  SIR009–SIR011 are *dataflow* rules built on
+the statement-level CFG + worklist solver in :mod:`sirlint.dataflow`:
+ring-slot lifetime (acquire/release balance, use-after-release, view
+escape), await-interleaving races (check-then-act on shared attributes
+across a suspension point), and exception-safe effects (every failure
+path records its fate).  See ``docs/ARCHITECTURE.md`` §10 for the
+invariant table and §15 for the dataflow engine design.
 """
 
 from __future__ import annotations
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
 __all__ = ["__version__"]

@@ -1,0 +1,66 @@
+"""``--changed`` support: resolve the files touched vs a git ref.
+
+The fast pre-push path: instead of walking all of ``src``, ask git
+which ``.py`` files differ from a ref (default ``HEAD``), plus any
+untracked ones, and analyze only those that fall under the requested
+paths.  Cross-file rules see a partial universe in this mode, so the
+engine relaxes the unused-suppression audit; the full run in CI stays
+the source of truth.
+"""
+
+from __future__ import annotations
+
+import subprocess
+from pathlib import Path
+from typing import List, Sequence
+
+
+class ChangedError(RuntimeError):
+    """git could not answer (not a repo, bad ref, missing binary)."""
+
+
+def _git_lines(args: Sequence[str]) -> List[str]:
+    try:
+        proc = subprocess.run(
+            ["git", *args],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            timeout=30,
+        )
+    except (OSError, subprocess.TimeoutExpired) as exc:
+        raise ChangedError(f"git {' '.join(args)}: {exc}") from exc
+    if proc.returncode != 0:
+        detail = proc.stderr.strip().splitlines()
+        raise ChangedError(
+            f"git {' '.join(args)} failed: "
+            f"{detail[0] if detail else proc.returncode}"
+        )
+    return [line for line in proc.stdout.splitlines() if line.strip()]
+
+
+def changed_files(ref: str, paths: Sequence[str]) -> List[str]:
+    """Changed-or-untracked ``.py`` files under ``paths``, sorted.
+
+    Deleted files are skipped (nothing left to lint); paths come back
+    repo-root-relative, matching how git reports them, so run sirlint
+    from the repo root (the committed workflows and bench already do).
+    """
+    candidates = set(_git_lines(["diff", "--name-only", ref]))
+    candidates.update(
+        _git_lines(["ls-files", "--others", "--exclude-standard"])
+    )
+    prefixes = [Path(p) for p in paths]
+    out: List[str] = []
+    for raw in sorted(candidates):
+        path = Path(raw)
+        if path.suffix != ".py" or not path.exists():
+            continue
+        for prefix in prefixes:
+            if path == prefix or prefix in path.parents:
+                out.append(raw)
+                break
+    return out
+
+
+__all__ = ["ChangedError", "changed_files"]

@@ -2,12 +2,19 @@
 
 ::
 
-    PYTHONPATH=tools python -m sirlint src [--format text|json]
+    PYTHONPATH=tools python -m sirlint src [--format text|json|sarif]
                                            [--baseline tools/sirlint/baseline.txt]
+                                           [--changed [REF]]
                                            [--list-rules]
 
+``--changed`` is the fast pre-push path: only files that differ from
+the git ref (default ``HEAD``) are analyzed, and the
+unused-suppression audit is relaxed (cross-file rules see a partial
+universe).  ``--format sarif`` emits SARIF 2.1.0 for GitHub code
+scanning.
+
 Exit codes: ``0`` clean (possibly via baseline), ``1`` findings or
-stale baseline entries, ``2`` usage / parse errors.
+stale baseline entries, ``2`` usage / parse / git errors.
 """
 
 from __future__ import annotations
@@ -20,8 +27,10 @@ from typing import List, Optional
 
 from sirlint import __version__
 from sirlint.baseline import BaselineError
+from sirlint.changed import ChangedError, changed_files
 from sirlint.engine import RunResult, run
 from sirlint.rules import ALL_RULES
+from sirlint.sarifout import render_sarif
 
 DEFAULT_BASELINE = Path(__file__).resolve().parent / "baseline.txt"
 
@@ -36,8 +45,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="files or directories to check (default: src)",
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
+        "--format", choices=("text", "json", "sarif"), default="text",
         help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--changed", nargs="?", const="HEAD", default=None, metavar="REF",
+        help="only analyze .py files changed vs REF (default HEAD) "
+        "plus untracked ones — the fast pre-push path",
     )
     parser.add_argument(
         "--baseline", default=str(DEFAULT_BASELINE),
@@ -105,6 +119,12 @@ def _render_json(result: RunResult, out) -> None:
     out.write("\n")
 
 
+def _render_sarif(result: RunResult, out) -> None:
+    payload = render_sarif(result, ALL_RULES, __version__)
+    json.dump(payload, out, indent=2, sort_keys=True)
+    out.write("\n")
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
@@ -121,14 +141,35 @@ def main(argv: Optional[List[str]] = None) -> int:
         if baseline_path.exists():
             baseline_text = baseline_path.read_text(encoding="utf-8")
 
+    paths = list(args.paths)
+    enforce_unused = True
+    if args.changed is not None:
+        try:
+            paths = changed_files(args.changed, paths)
+        except ChangedError as exc:
+            print(f"sirlint: --changed: {exc}", file=sys.stderr)
+            return 2
+        enforce_unused = False
+
     try:
-        result = run(args.paths, baseline_text=baseline_text)
+        result = run(
+            paths,
+            baseline_text=baseline_text,
+            enforce_unused=enforce_unused,
+        )
     except BaselineError as exc:
         print(f"sirlint: baseline error: {exc}", file=sys.stderr)
         return 2
 
+    if args.changed is not None:
+        # A partial run cannot tell a stale entry from one whose file
+        # simply was not analyzed; the full run owns that check.
+        result.stale_baseline = []
+
     if args.format == "json":
         _render_json(result, sys.stdout)
+    elif args.format == "sarif":
+        _render_sarif(result, sys.stdout)
     else:
         _render_text(result, sys.stdout)
 

@@ -1,0 +1,19 @@
+"""sirlint's dataflow layer: CFG construction + fixpoint solving.
+
+The dataflow rules (SIR009/SIR010/SIR011) are built on two pieces:
+
+* :mod:`sirlint.dataflow.cfg` — a statement-granularity control-flow
+  graph over one function's AST, with explicit exception edges,
+  ``finally`` duplication per continuation kind, and await-point
+  marking (where the event loop may interleave other tasks);
+* :mod:`sirlint.dataflow.solver` — a generic forward worklist solver
+  parameterised by a join and a transfer function; any finite lattice
+  terminates.
+"""
+
+from __future__ import annotations
+
+from sirlint.dataflow.cfg import CFG, Node, build_cfg
+from sirlint.dataflow.solver import solve
+
+__all__ = ["CFG", "Node", "build_cfg", "solve"]

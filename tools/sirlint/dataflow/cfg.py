@@ -1,0 +1,538 @@
+"""Statement-granularity control-flow graphs over Python function ASTs.
+
+One :class:`CFG` models one ``def``/``async def`` body.  Nodes are
+statements (plus a handful of pseudo-nodes), edges carry a kind:
+
+* ``"normal"`` — ordinary fall-through / branch flow;
+* ``"exc"`` — flow taken only when an exception is raised.  Exception
+  edges leave a statement with its *pre*-state (the statement's own
+  effects may not have happened yet), which is exactly what the
+  ring-slot lifetime rule needs on ``try``/``finally`` paths.
+
+Pseudo-node kinds:
+
+* ``"entry"`` / ``"exit"`` / ``"raise"`` — synthetic entry, normal
+  exit, and uncaught-exception exit;
+* ``"branch"`` — an ``if``/``while``/``for`` header; its ``exprs``
+  cover only the header expression, never the body;
+* ``"loop-bind"`` — the ``for`` target binding.  It sits on the body
+  edge only, so the binding does not apply on the loop-exhausted edge;
+* ``"handler"`` — an ``except`` clause entry (binds the exception);
+* ``"aexit"`` — the awaiting ``__aexit__`` of an ``async with``.
+
+``finally`` blocks are *duplicated per continuation kind* (normal /
+exception / return / break / continue), the classic construction that
+keeps ``try: return a`` / ``finally: return b`` precise: the override
+return is the only path that reaches the exit.
+
+Approximations, chosen for signal over soundness:
+
+* implicit "anything can raise" edges are added only *inside* a
+  ``try`` (there is a target to flow to); explicit ``raise`` always
+  routes, to the nearest handlers or the raise-exit;
+* a matching ``except`` is assumed to catch (no unmatched-type edge
+  past a handler list);
+* ``while True`` (constant-true test) has no loop-exhausted edge —
+  only ``break`` leaves it;
+* comprehensions and nested ``def``/``lambda`` stay inside a single
+  node: their bodies run in another scope (or atomically, for
+  comprehensions) and never interleave this frame's locals.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: Edge kinds.
+NORMAL = "normal"
+EXC = "exc"
+
+
+@dataclass
+class Node:
+    """One CFG node: a statement, header, or synthetic point."""
+
+    nid: int
+    kind: str
+    stmt: Optional[ast.AST]
+    line: int
+    #: The expressions this node actually evaluates (header-only for
+    #: compound statements) — what the rules scan for reads/writes.
+    exprs: Tuple[ast.AST, ...] = ()
+    #: True when evaluating this node can suspend the coroutine
+    #: (contains ``await``, or is an ``async for``/``async with`` point).
+    is_await: bool = False
+
+
+class CFG:
+    """A built control-flow graph for one function."""
+
+    def __init__(self, func: FunctionNode) -> None:
+        self.func = func
+        self.nodes: Dict[int, Node] = {}
+        self._succ: Dict[int, List[Tuple[int, str]]] = {}
+        self.entry_id = -1
+        self.exit_id = -1
+        self.raise_id = -1
+
+    def add_node(self, node: Node) -> None:
+        self.nodes[node.nid] = node
+        self._succ.setdefault(node.nid, [])
+
+    def add_edge(self, src: int, dst: int, kind: str) -> None:
+        edge = (dst, kind)
+        if edge not in self._succ[src]:
+            self._succ[src].append(edge)
+
+    def succ(self, nid: int) -> Sequence[Tuple[int, str]]:
+        """Successors of ``nid`` as ``(node_id, edge_kind)`` pairs."""
+        return self._succ[nid]
+
+    def edges(self) -> Set[Tuple[int, int, str]]:
+        """Every edge as ``(src_id, dst_id, kind)``."""
+        out: Set[Tuple[int, int, str]] = set()
+        for src, targets in self._succ.items():
+            for dst, kind in targets:
+                out.add((src, dst, kind))
+        return out
+
+    def label(self, nid: int):
+        """A stable test-friendly label: line number or pseudo name."""
+        node = self.nodes[nid]
+        if node.kind in ("entry", "exit", "raise"):
+            return node.kind
+        if node.kind == "loop-bind":
+            return f"{node.line}:bind"
+        if node.kind == "handler":
+            return f"{node.line}:handler"
+        if node.kind == "aexit":
+            return f"{node.line}:aexit"
+        return node.line
+
+    def line_edges(self) -> Set[Tuple[object, object, str]]:
+        """The edge set with node ids replaced by :meth:`label`s."""
+        return {
+            (self.label(src), self.label(dst), kind)
+            for src, dst, kind in self.edges()
+        }
+
+
+class _Loop:
+    """Context-stack entry for an enclosing loop."""
+
+    def __init__(self, header_id: int) -> None:
+        self.header_id = header_id
+        self.breaks: List[Tuple[int, str]] = []
+
+
+class _Handlers:
+    """Context-stack entry: the handler entries of an enclosing try."""
+
+    def __init__(self, entries: List[int]) -> None:
+        self.entries = entries
+
+
+class _Finally:
+    """Context-stack entry: the finalbody of an enclosing try."""
+
+    def __init__(self, stmts: List[ast.stmt]) -> None:
+        self.stmts = stmts
+
+
+#: Dangling edges waiting for their destination: ``(src_id, kind)``.
+Frontier = List[Tuple[int, str]]
+
+
+def _contains_await(tree: ast.AST) -> bool:
+    """True when ``tree`` awaits in *this* frame (nested defs excluded)."""
+    stack: List[ast.AST] = [tree]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.Await,)):
+            return True
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+    return False
+
+
+def _can_raise(exprs: Iterable[ast.AST]) -> bool:
+    """Heuristic: anything beyond bare literals may raise."""
+    for expr in exprs:
+        for node in ast.walk(expr):
+            if isinstance(
+                node,
+                (
+                    ast.Call,
+                    ast.Attribute,
+                    ast.Subscript,
+                    ast.Name,
+                    ast.BinOp,
+                    ast.UnaryOp,
+                    ast.Compare,
+                    ast.Await,
+                    ast.BoolOp,
+                    ast.IfExp,
+                ),
+            ):
+                return True
+    return False
+
+
+def _is_constant_true(test: ast.AST) -> bool:
+    return isinstance(test, ast.Constant) and bool(test.value)
+
+
+def _is_wildcard_case(case: ast.AST) -> bool:
+    """``case _:`` with no guard — the match always falls into a case."""
+    pattern = case.pattern
+    return (
+        isinstance(pattern, ast.MatchAs)
+        and pattern.pattern is None
+        and case.guard is None
+    )
+
+
+class _Builder:
+    """Single-use recursive CFG builder for one function."""
+
+    def __init__(self, func: FunctionNode) -> None:
+        self.cfg = CFG(func)
+        self._next_id = 0
+        self._stack: List[object] = []
+
+    # -- node plumbing -------------------------------------------------
+
+    def _new(
+        self,
+        kind: str,
+        stmt: Optional[ast.AST],
+        exprs: Sequence[ast.AST] = (),
+        is_await: bool = False,
+        line: Optional[int] = None,
+    ) -> int:
+        nid = self._next_id
+        self._next_id += 1
+        if line is None:
+            line = getattr(stmt, "lineno", 0) if stmt is not None else 0
+        awaited = is_await or any(_contains_await(e) for e in exprs)
+        node = Node(
+            nid=nid,
+            kind=kind,
+            stmt=stmt,
+            line=line,
+            exprs=tuple(exprs),
+            is_await=awaited,
+        )
+        self.cfg.add_node(node)
+        return nid
+
+    def _connect(self, frontier: Frontier, nid: int) -> None:
+        for src, kind in frontier:
+            self.cfg.add_edge(src, nid, kind)
+
+    # -- abrupt-flow routing -------------------------------------------
+
+    def _inline_finally(
+        self, item: _Finally, depth: int, frontier: Frontier
+    ) -> Frontier:
+        """Build a fresh copy of ``item``'s finalbody below ``depth``.
+
+        The copy runs with the context stack *outside* its try — a
+        ``return``/``break`` written in the ``finally`` overrides the
+        original continuation, which falls out naturally because the
+        copy's own abrupt statements route through the truncated stack.
+        """
+        saved = self._stack
+        self._stack = saved[:depth]
+        try:
+            out = self._build_block(item.stmts, frontier)
+        finally:
+            self._stack = saved
+        return out
+
+    def _route_return(self, frontier: Frontier) -> None:
+        for depth in range(len(self._stack) - 1, -1, -1):
+            item = self._stack[depth]
+            if isinstance(item, _Finally):
+                frontier = self._inline_finally(item, depth, frontier)
+                if not frontier:
+                    return  # the finally itself ended abruptly
+        self._connect(frontier, self.cfg.exit_id)
+
+    def _route_break(self, frontier: Frontier) -> None:
+        for depth in range(len(self._stack) - 1, -1, -1):
+            item = self._stack[depth]
+            if isinstance(item, _Finally):
+                frontier = self._inline_finally(item, depth, frontier)
+                if not frontier:
+                    return
+            elif isinstance(item, _Loop):
+                item.breaks.extend(frontier)
+                return
+        # break outside a loop is a syntax error; tolerate silently.
+
+    def _route_continue(self, frontier: Frontier) -> None:
+        for depth in range(len(self._stack) - 1, -1, -1):
+            item = self._stack[depth]
+            if isinstance(item, _Finally):
+                frontier = self._inline_finally(item, depth, frontier)
+                if not frontier:
+                    return
+            elif isinstance(item, _Loop):
+                self._connect(frontier, item.header_id)
+                return
+
+    def _route_exception(self, nid: int, explicit: bool = False) -> None:
+        """Wire the "this node raised" path from ``nid`` outward."""
+        if not explicit and not any(
+            isinstance(item, (_Finally, _Handlers)) for item in self._stack
+        ):
+            return
+        frontier: Frontier = [(nid, EXC)]
+        for depth in range(len(self._stack) - 1, -1, -1):
+            item = self._stack[depth]
+            if isinstance(item, _Handlers):
+                for entry in item.entries:
+                    self._connect(frontier, entry)
+                return  # assume one of the handlers catches
+            if isinstance(item, _Finally):
+                frontier = self._inline_finally(item, depth, frontier)
+                if not frontier:
+                    return
+                frontier = [(src, EXC) for src, _ in frontier]
+        self._connect(frontier, self.cfg.raise_id)
+
+    # -- statement dispatch --------------------------------------------
+
+    def _build_block(
+        self, stmts: Sequence[ast.stmt], frontier: Frontier
+    ) -> Frontier:
+        for stmt in stmts:
+            frontier = self._build_stmt(stmt, frontier)
+        return frontier
+
+    def _simple(
+        self,
+        stmt: ast.stmt,
+        frontier: Frontier,
+        exprs: Sequence[ast.AST],
+        raises: bool = True,
+    ) -> Frontier:
+        nid = self._new("stmt", stmt, exprs)
+        self._connect(frontier, nid)
+        if raises and _can_raise(exprs):
+            self._route_exception(nid)
+        return [(nid, NORMAL)]
+
+    def _build_stmt(self, stmt: ast.stmt, frontier: Frontier) -> Frontier:
+        if isinstance(stmt, ast.If):
+            return self._build_if(stmt, frontier)
+        if isinstance(stmt, ast.While):
+            return self._build_while(stmt, frontier)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return self._build_for(stmt, frontier)
+        if isinstance(stmt, ast.Try):
+            return self._build_try(stmt, frontier)
+        trystar = getattr(ast, "TryStar", None)
+        if trystar is not None and isinstance(stmt, trystar):
+            return self._build_try(stmt, frontier)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._build_with(stmt, frontier)
+        match_cls = getattr(ast, "Match", None)
+        if match_cls is not None and isinstance(stmt, match_cls):
+            return self._build_match(stmt, frontier)
+        if isinstance(stmt, ast.Return):
+            exprs = (stmt.value,) if stmt.value is not None else ()
+            nid = self._new("stmt", stmt, exprs)
+            self._connect(frontier, nid)
+            if _can_raise(exprs):
+                self._route_exception(nid)
+            self._route_return([(nid, NORMAL)])
+            return []
+        if isinstance(stmt, ast.Raise):
+            exprs = tuple(
+                e for e in (stmt.exc, stmt.cause) if e is not None
+            )
+            nid = self._new("stmt", stmt, exprs)
+            self._connect(frontier, nid)
+            self._route_exception(nid, explicit=True)
+            return []
+        if isinstance(stmt, ast.Break):
+            nid = self._new("stmt", stmt, ())
+            self._connect(frontier, nid)
+            self._route_break([(nid, NORMAL)])
+            return []
+        if isinstance(stmt, ast.Continue):
+            nid = self._new("stmt", stmt, ())
+            self._connect(frontier, nid)
+            self._route_continue([(nid, NORMAL)])
+            return []
+        if isinstance(
+            stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            # Nested scopes are opaque single nodes.
+            return self._simple(stmt, frontier, (), raises=False)
+        if isinstance(stmt, (ast.Pass, ast.Global, ast.Nonlocal)):
+            return self._simple(stmt, frontier, (), raises=False)
+        if isinstance(stmt, ast.Expr):
+            return self._simple(stmt, frontier, (stmt.value,))
+        if isinstance(stmt, ast.Assign):
+            return self._simple(
+                stmt, frontier, tuple(stmt.targets) + (stmt.value,)
+            )
+        if isinstance(stmt, ast.AugAssign):
+            return self._simple(stmt, frontier, (stmt.target, stmt.value))
+        if isinstance(stmt, ast.AnnAssign):
+            exprs: Tuple[ast.AST, ...] = (stmt.target,)
+            if stmt.value is not None:
+                exprs += (stmt.value,)
+            return self._simple(stmt, frontier, exprs)
+        if isinstance(stmt, ast.Assert):
+            exprs = (stmt.test,)
+            if stmt.msg is not None:
+                exprs += (stmt.msg,)
+            return self._simple(stmt, frontier, exprs)
+        if isinstance(stmt, ast.Delete):
+            return self._simple(stmt, frontier, tuple(stmt.targets))
+        # Import / anything new in future grammars: plain opaque node.
+        return self._simple(stmt, frontier, (), raises=False)
+
+    def _build_if(self, stmt: ast.If, frontier: Frontier) -> Frontier:
+        nid = self._new("branch", stmt, (stmt.test,))
+        self._connect(frontier, nid)
+        if _can_raise((stmt.test,)):
+            self._route_exception(nid)
+        out = self._build_block(stmt.body, [(nid, NORMAL)])
+        if stmt.orelse:
+            out = out + self._build_block(stmt.orelse, [(nid, NORMAL)])
+        else:
+            out = out + [(nid, NORMAL)]
+        return out
+
+    def _build_while(self, stmt: ast.While, frontier: Frontier) -> Frontier:
+        header = self._new("branch", stmt, (stmt.test,))
+        self._connect(frontier, header)
+        if _can_raise((stmt.test,)):
+            self._route_exception(header)
+        loop = _Loop(header)
+        self._stack.append(loop)
+        body_out = self._build_block(stmt.body, [(header, NORMAL)])
+        self._connect(body_out, header)
+        self._stack.pop()
+        out: Frontier = []
+        if not _is_constant_true(stmt.test):
+            exhausted: Frontier = [(header, NORMAL)]
+            if stmt.orelse:
+                exhausted = self._build_block(stmt.orelse, exhausted)
+            out.extend(exhausted)
+        out.extend(loop.breaks)
+        return out
+
+    def _build_for(self, stmt, frontier: Frontier) -> Frontier:
+        is_async = isinstance(stmt, ast.AsyncFor)
+        header = self._new(
+            "branch", stmt, (stmt.iter,), is_await=is_async
+        )
+        self._connect(frontier, header)
+        if _can_raise((stmt.iter,)):
+            self._route_exception(header)
+        bind = self._new(
+            "loop-bind", stmt, (stmt.target,), is_await=is_async
+        )
+        self.cfg.add_edge(header, bind, NORMAL)
+        loop = _Loop(header)
+        self._stack.append(loop)
+        body_out = self._build_block(stmt.body, [(bind, NORMAL)])
+        self._connect(body_out, header)
+        self._stack.pop()
+        exhausted: Frontier = [(header, NORMAL)]
+        if stmt.orelse:
+            exhausted = self._build_block(stmt.orelse, exhausted)
+        return exhausted + loop.breaks
+
+    def _build_try(self, stmt, frontier: Frontier) -> Frontier:
+        has_finally = bool(stmt.finalbody)
+        if has_finally:
+            self._stack.append(_Finally(list(stmt.finalbody)))
+        handler_entries: List[int] = []
+        for handler in stmt.handlers:
+            exprs = (handler.type,) if handler.type is not None else ()
+            handler_entries.append(
+                self._new("handler", handler, exprs)
+            )
+        if handler_entries:
+            self._stack.append(_Handlers(handler_entries))
+        body_out = self._build_block(stmt.body, frontier)
+        if handler_entries:
+            self._stack.pop()
+        if stmt.orelse:
+            body_out = self._build_block(stmt.orelse, body_out)
+        out: Frontier = list(body_out)
+        for entry, handler in zip(handler_entries, stmt.handlers):
+            out.extend(self._build_block(handler.body, [(entry, NORMAL)]))
+        if has_finally:
+            item = self._stack.pop()
+            if out:
+                out = self._inline_finally(item, len(self._stack), out)
+        return out
+
+    def _build_with(self, stmt, frontier: Frontier) -> Frontier:
+        is_async = isinstance(stmt, ast.AsyncWith)
+        exprs: List[ast.AST] = []
+        for item in stmt.items:
+            exprs.append(item.context_expr)
+            if item.optional_vars is not None:
+                exprs.append(item.optional_vars)
+        header = self._new("stmt", stmt, exprs, is_await=is_async)
+        self._connect(frontier, header)
+        if _can_raise(exprs):
+            self._route_exception(header)
+        body_out = self._build_block(stmt.body, [(header, NORMAL)])
+        if is_async:
+            aexit = self._new("aexit", stmt, (), is_await=True)
+            self._connect(body_out, aexit)
+            return [(aexit, NORMAL)]
+        return body_out
+
+    def _build_match(self, stmt, frontier: Frontier) -> Frontier:
+        subject = self._new("branch", stmt, (stmt.subject,))
+        self._connect(frontier, subject)
+        if _can_raise((stmt.subject,)):
+            self._route_exception(subject)
+        out: Frontier = []
+        saw_wildcard = False
+        for case in stmt.cases:
+            out.extend(self._build_block(case.body, [(subject, NORMAL)]))
+            if _is_wildcard_case(case):
+                saw_wildcard = True
+        if not saw_wildcard:
+            out.append((subject, NORMAL))
+        return out
+
+    # -- entry point ---------------------------------------------------
+
+    def build(self) -> CFG:
+        func = self.cfg.func
+        self.cfg.entry_id = self._new(
+            "entry", func, (), line=func.lineno
+        )
+        self.cfg.exit_id = self._new("exit", None, ())
+        self.cfg.raise_id = self._new("raise", None, ())
+        out = self._build_block(func.body, [(self.cfg.entry_id, NORMAL)])
+        self._connect(out, self.cfg.exit_id)
+        return self.cfg
+
+
+def build_cfg(func: FunctionNode) -> CFG:
+    """Build the control-flow graph for one function definition."""
+    return _Builder(func).build()
+
+
+__all__ = ["CFG", "Node", "build_cfg", "NORMAL", "EXC"]

@@ -1,0 +1,69 @@
+"""A generic forward worklist fixpoint solver over a :class:`CFG`.
+
+The solver is deliberately small: rules supply an initial state for
+the entry node, a ``transfer(node, state)`` function producing the
+post-state, and a ``join(a, b)`` merging predecessor states.  Along
+``"exc"`` edges the solver propagates ``exc_transfer(node, state)``
+(default: the *pre*-state — an exception may fire before the
+statement's own effects), which is what makes ``try``/``finally``
+lifetime analysis honest.
+
+Termination: states must form a finite-height lattice under ``join``
+(all sirlint lattices are small powersets / flat orders), and
+``transfer`` must be monotone.  The solver iterates until no node's
+input state changes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, Optional, TypeVar
+
+from sirlint.dataflow.cfg import CFG, EXC, Node
+
+State = TypeVar("State")
+
+
+def solve(
+    cfg: CFG,
+    init: State,
+    transfer: Callable[[Node, State], State],
+    join: Callable[[State, State], State],
+    exc_transfer: Optional[Callable[[Node, State], State]] = None,
+) -> Dict[int, State]:
+    """Run the forward analysis to fixpoint.
+
+    Returns the map ``node_id -> input state`` for every *reachable*
+    node; unreachable nodes (dead code) are simply absent.  Rules do a
+    second reporting pass over this map, re-running ``transfer`` with
+    a findings sink attached.
+    """
+    if exc_transfer is None:
+        exc_transfer = lambda node, state: state  # noqa: E731
+
+    in_states: Dict[int, State] = {cfg.entry_id: init}
+    worklist = deque([cfg.entry_id])
+    queued = {cfg.entry_id}
+    while worklist:
+        nid = worklist.popleft()
+        queued.discard(nid)
+        node = cfg.nodes[nid]
+        state = in_states[nid]
+        post_normal = transfer(node, state)
+        post_exc = exc_transfer(node, state)
+        for dst, kind in cfg.succ(nid):
+            carried = post_exc if kind == EXC else post_normal
+            if dst in in_states:
+                merged = join(in_states[dst], carried)
+                if merged == in_states[dst]:
+                    continue
+                in_states[dst] = merged
+            else:
+                in_states[dst] = carried
+            if dst not in queued:
+                queued.add(dst)
+                worklist.append(dst)
+    return in_states
+
+
+__all__ = ["solve"]

@@ -13,14 +13,21 @@ import re
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from sirlint.baseline import BaselineEntry, apply_baseline, parse_baseline
 from sirlint.model import Finding, ModuleInfo, module_name_for, parse_module
 from sirlint.rules import ALL_RULES, Rule, run_rules
 
-#: Inline suppression comment: ``# sirlint: disable=SIR001,SIR004``.
-SUPPRESS_RE = re.compile(r"#\s*sirlint:\s*disable=([A-Z0-9,\s]+)")
+#: Inline suppression comment, reason mandatory:
+#: ``# sirlint: disable=SIR001,SIR004 -- vendored shim``.
+SUPPRESS_RE = re.compile(
+    r"#\s*sirlint:\s*disable=([A-Z0-9][A-Z0-9,\s]*?)\s*(?:--\s*(.*))?$"
+)
+
+#: Synthetic rule id for suppression-audit findings (missing reason,
+#: unused or unknown suppression).  Not suppressible itself.
+AUDIT_RULE_ID = "SIR000"
 
 
 @dataclass
@@ -85,19 +92,75 @@ def load_modules(
     return modules, errors
 
 
-def _suppressed_rules(line: str) -> List[str]:
-    """Rule ids disabled by an inline comment on ``line``."""
+def _parse_suppression(line: str) -> Optional[Tuple[List[str], str]]:
+    """``(rule_ids, reason)`` for a disable comment, else None."""
     match = SUPPRESS_RE.search(line)
     if not match:
-        return []
-    return [part.strip() for part in match.group(1).split(",") if part.strip()]
+        return None
+    ids = [p.strip() for p in match.group(1).split(",") if p.strip()]
+    reason = (match.group(2) or "").strip()
+    return ids, reason
+
+
+def _suppressed_rules(line: str) -> List[str]:
+    """Rule ids disabled (with a reason) by an inline comment."""
+    parsed = _parse_suppression(line)
+    if parsed is None or not parsed[1]:
+        return []  # reasonless suppressions are not honoured
+    return parsed[0]
 
 
 def apply_suppressions(
-    findings: Iterable[Finding], modules: Iterable[ModuleInfo]
-) -> Tuple[List[Finding], int]:
-    """Drop findings whose source line carries a matching disable comment."""
+    findings: Iterable[Finding],
+    modules: Iterable[ModuleInfo],
+    enforce_unused: bool = True,
+) -> Tuple[List[Finding], int, List[Finding]]:
+    """Apply inline disables and audit them.
+
+    Returns ``(remaining, suppressed_count, audit_findings)``.  The
+    audit enforces the same discipline as the baseline: a suppression
+    must carry a ``-- reason`` suffix, must name a registered rule,
+    and must actually suppress something (dead suppressions rot into
+    lies) — each violation is a synthetic ``SIR000`` finding.
+    ``enforce_unused=False`` skips the unused check, for ``--changed``
+    runs where cross-file rules see only a partial universe.
+    """
+    from sirlint.rules import rule_by_id
+
     lines_by_path = {m.path: m.source_lines for m in modules}
+    audit: List[Finding] = []
+    # (path, lineno, rule) -> was it used to suppress a finding?
+    live: Dict[Tuple[str, int, str], bool] = {}
+    for module in modules:
+        for lineno, line in enumerate(module.source_lines, start=1):
+            parsed = _parse_suppression(line)
+            if parsed is None:
+                continue
+            ids, reason = parsed
+            if not reason:
+                audit.append(Finding(
+                    rule=AUDIT_RULE_ID, path=module.path, line=lineno,
+                    col=0,
+                    message=(
+                        "suppression needs a reason: '# sirlint: "
+                        "disable=SIRxxx -- <why>'"
+                    ),
+                    symbol=f"suppression-reason:{lineno}",
+                ))
+                continue
+            for rule_id in ids:
+                if rule_id == AUDIT_RULE_ID or rule_by_id(rule_id) is None:
+                    audit.append(Finding(
+                        rule=AUDIT_RULE_ID, path=module.path, line=lineno,
+                        col=0,
+                        message=(
+                            f"suppression names unknown rule {rule_id!r}"
+                        ),
+                        symbol=f"unknown-suppression:{lineno}:{rule_id}",
+                    ))
+                else:
+                    live[(module.path, lineno, rule_id)] = False
+
     remaining: List[Finding] = []
     suppressed = 0
     for finding in findings:
@@ -105,9 +168,22 @@ def apply_suppressions(
         line = lines[finding.line - 1] if 0 < finding.line <= len(lines) else ""
         if finding.rule in _suppressed_rules(line):
             suppressed += 1
+            live[(finding.path, finding.line, finding.rule)] = True
         else:
             remaining.append(finding)
-    return remaining, suppressed
+
+    if enforce_unused:
+        for (path, lineno, rule_id), used in sorted(live.items()):
+            if not used:
+                audit.append(Finding(
+                    rule=AUDIT_RULE_ID, path=path, line=lineno, col=0,
+                    message=(
+                        f"unused suppression of {rule_id} — the finding "
+                        "no longer fires; delete the comment"
+                    ),
+                    symbol=f"unused-suppression:{lineno}:{rule_id}",
+                ))
+    return remaining, suppressed, audit
 
 
 def analyze_modules(
@@ -137,7 +213,9 @@ def analyze_source(
     for extra_source, extra_name, extra_path in extra_modules:
         modules.append(parse_module(extra_path, extra_source, extra_name))
     findings = analyze_modules(modules, rules=rules)
-    remaining, _ = apply_suppressions(findings, modules)
+    remaining, _, audit = apply_suppressions(findings, modules)
+    remaining.extend(audit)
+    remaining.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return remaining
 
 
@@ -145,8 +223,14 @@ def run(
     paths: Sequence[str],
     baseline_text: str = "",
     rules: Optional[Sequence[Rule]] = None,
+    enforce_unused: bool = True,
 ) -> RunResult:
-    """The full pipeline: collect, parse, check, suppress, baseline."""
+    """The full pipeline: collect, parse, check, suppress, baseline.
+
+    ``enforce_unused=False`` relaxes the unused-suppression audit —
+    the ``--changed`` fast path analyzes a partial file set, so the
+    cross-file rules a suppression answers may simply not have fired.
+    """
     started = time.monotonic()
     result = RunResult()
 
@@ -156,7 +240,11 @@ def run(
     result.checked_files = len(modules)
 
     findings = analyze_modules(modules, rules=rules)
-    findings, result.suppressed = apply_suppressions(findings, modules)
+    findings, result.suppressed, audit = apply_suppressions(
+        findings, modules, enforce_unused=enforce_unused
+    )
+    findings.extend(audit)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
 
     entries = parse_baseline(baseline_text) if baseline_text else []
     before = len(findings)

@@ -10,12 +10,15 @@ from __future__ import annotations
 from typing import Optional, Tuple, Type
 
 from sirlint.rules.asynchygiene import AsyncHygieneRule
+from sirlint.rules.awaitrace import AwaitInterleaveRule
 from sirlint.rules.base import Rule, run_rules
 from sirlint.rules.drops import DropDisciplineRule
+from sirlint.rules.effects import ExceptionEffectRule
 from sirlint.rules.hotpath import HotPathAllocationRule
 from sirlint.rules.metrics import MetricsRule
 from sirlint.rules.purity import PurityRule
 from sirlint.rules.recorder import RecorderDisciplineRule
+from sirlint.rules.ringlife import RingSlotLifetimeRule
 from sirlint.rules.state import MutableStateRule
 from sirlint.rules.wire import WireLayoutRule
 
@@ -29,6 +32,9 @@ ALL_RULES: Tuple[Type[Rule], ...] = (
     DropDisciplineRule,  # SIR006
     RecorderDisciplineRule,  # SIR007
     HotPathAllocationRule,  # SIR008
+    RingSlotLifetimeRule,   # SIR009 (dataflow)
+    AwaitInterleaveRule,    # SIR010 (dataflow)
+    ExceptionEffectRule,    # SIR011 (dataflow)
 )
 
 

@@ -1,0 +1,311 @@
+"""SIR010 — await-interleaving races on shared soft state.
+
+The live overlay is cooperative: between two statements of one
+coroutine nothing moves, but across an ``await`` *any* other task may
+run.  Check-then-act and read-modify-write sequences on shared
+mutable attributes (``self.…`` on LiveRouter / LiveEndpoint /
+directory clients / shards) that span an await are therefore races:
+the guard the code checked is stale by the time it acts on it —
+exactly how two concurrent reconnects both pass ``if not
+self._connected`` and leak a reader task each.
+
+The analysis runs per async method on the CFG's await-point model
+with a tiny per-attribute lattice::
+
+    ⊥  →  READ(line)  →  STALE(read line, await line)
+
+* a load of ``self.attr`` moves ⊥ → READ;
+* every await point (``await`` expressions, ``async for`` headers,
+  ``async with`` enter/exit) promotes READ → STALE;
+* a plain write to ``self.attr`` while STALE is a finding; writes
+  reset the attribute to ⊥ (the value is fresh again).
+
+Deliberate quiet zones, so counters stay cheap and idiomatic:
+
+* ``self.x += 1`` (attribute augassign with no await in the
+  statement) is treated as an atomic fresh RMW — the canonical
+  counter bump after an RPC must not flag;
+* ``self.d[k] = v`` counts as a *write* to ``d`` but the implicit
+  load of ``self.d`` in the store target is not a read — populating
+  a cache after an await is fine unless the code first *checked* it.
+
+Escape hatch: annotate the ``def`` line with
+``# sirlint: interleave-safe -- <why>`` for genuinely single-owner
+methods (boot paths, chaos drivers).  The reason is mandatory; a
+bare marker is itself a finding.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from sirlint.dataflow import build_cfg, solve
+from sirlint.dataflow.cfg import Node
+from sirlint.model import Finding, ModuleInfo
+from sirlint.rules.base import Rule
+
+#: Packages whose classes hold shared, task-visible soft state.
+SCOPE_PREFIXES = ("repro.live", "repro.directory", "repro.obs")
+
+SAFE_MARKER_RE = re.compile(
+    r"#\s*sirlint:\s*interleave-safe(?:\s*--\s*(\S.*))?"
+)
+
+#: attr -> ("READ", read_line) | ("STALE", read_line, await_line)
+State = Dict[str, Tuple]
+
+
+def _in_scope(module_name: str) -> bool:
+    return any(
+        module_name == p or module_name.startswith(p + ".")
+        for p in SCOPE_PREFIXES
+    )
+
+
+def _async_methods(tree: ast.Module) -> List[Tuple[str, ast.AsyncFunctionDef]]:
+    out: List[Tuple[str, ast.AsyncFunctionDef]] = []
+
+    def visit(node: ast.AST, prefix: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.AsyncFunctionDef):
+                out.append((f"{prefix}{child.name}", child))
+                visit(child, f"{prefix}{child.name}.")
+            elif isinstance(child, (ast.ClassDef, ast.FunctionDef)):
+                visit(child, f"{prefix}{child.name}.")
+            else:
+                visit(child, prefix)
+
+    visit(tree, "")
+    return out
+
+
+def _self_attr_reads(exprs: Iterable[ast.AST]) -> List[str]:
+    """``self.attr`` loads, excluding subscript-store bases."""
+    reads: List[str] = []
+
+    def visit(node: ast.AST) -> None:
+        if isinstance(node, ast.Subscript) and isinstance(
+            node.ctx, ast.Store
+        ):
+            visit(node.slice)
+            return
+        if isinstance(node, ast.Attribute):
+            if isinstance(node.ctx, ast.Store):
+                return
+            if (
+                isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+            ):
+                reads.append(node.attr)
+                return
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            return
+        for child in ast.iter_child_nodes(node):
+            visit(child)
+
+    for expr in exprs:
+        visit(expr)
+    return reads
+
+
+def _write_targets(stmt: Optional[ast.AST]) -> List[Tuple[str, str]]:
+    """``(attr, kind)`` writes in a statement; kind in plain/sub/aug."""
+    out: List[Tuple[str, str]] = []
+
+    def target(node: ast.AST, kind: str) -> None:
+        if isinstance(node, ast.Attribute) and isinstance(
+            node.value, ast.Name
+        ) and node.value.id == "self":
+            out.append((node.attr, kind))
+        elif isinstance(node, ast.Subscript):
+            inner = node.value
+            if isinstance(inner, ast.Attribute) and isinstance(
+                inner.value, ast.Name
+            ) and inner.value.id == "self":
+                out.append((inner.attr, "sub"))
+        elif isinstance(node, (ast.Tuple, ast.List)):
+            for elem in node.elts:
+                target(elem, kind)
+
+    if isinstance(stmt, ast.Assign):
+        for t in stmt.targets:
+            target(t, "plain")
+    elif isinstance(stmt, ast.AnnAssign):
+        target(stmt.target, "plain")
+    elif isinstance(stmt, ast.AugAssign):
+        target(stmt.target, "aug")
+    elif isinstance(stmt, ast.Delete):
+        for t in stmt.targets:
+            target(t, "plain")
+    return out
+
+
+class _Interleave:
+    """SIR010 transfer function for one async method."""
+
+    def __init__(self, module: ModuleInfo, qualname: str, func) -> None:
+        self.module = module
+        self.qualname = qualname
+        self.func = func
+        self.sink: Optional[List[Finding]] = None
+        self.seen: Set[Tuple[int, str]] = set()
+
+    def _report(self, node: Node, attr: str, message: str) -> None:
+        if self.sink is None or (node.line, attr) in self.seen:
+            return
+        self.seen.add((node.line, attr))
+        self.sink.append(
+            Finding(
+                rule=AwaitInterleaveRule.id,
+                path=self.module.path,
+                line=node.line,
+                col=0,
+                message=message,
+                symbol=f"{self.qualname}.{attr}",
+            )
+        )
+
+    def transfer(self, node: Node, in_state: State) -> State:
+        state: State = dict(in_state)
+        if node.kind in ("entry", "exit", "raise", "handler"):
+            return state
+        stmt = node.stmt
+        writes = _write_targets(stmt)
+        written = {attr for attr, _ in writes}
+        for attr in _self_attr_reads(node.exprs):
+            if attr not in state:
+                state[attr] = ("READ", node.line)
+        if node.is_await:
+            if (
+                isinstance(stmt, ast.AugAssign)
+                and writes
+                and writes[0][1] == "aug"
+            ):
+                attr = writes[0][0]
+                self._report(
+                    node,
+                    attr,
+                    f"read-modify-write of self.{attr} spans the await in "
+                    "this statement — the value read can be stale when "
+                    "written back",
+                )
+            for attr, value in list(state.items()):
+                if value[0] == "READ":
+                    state[attr] = ("STALE", value[1], node.line)
+        for attr, kind in writes:
+            value = state.get(attr)
+            if value is not None and value[0] == "STALE" and kind != "aug":
+                self._report(
+                    node,
+                    attr,
+                    f"self.{attr} was read at line {value[1]} and went "
+                    f"stale across the await at line {value[2]} — this "
+                    "write races with interleaved tasks (check-then-act); "
+                    "re-check after the await or annotate the method "
+                    "'# sirlint: interleave-safe -- <why>'",
+                )
+            state.pop(attr, None)
+        # A written attr read again later starts a fresh window.
+        for attr in written:
+            state.pop(attr, None)
+        return state
+
+
+def _join(a: State, b: State) -> State:
+    if a == b:
+        return a
+    out: State = dict(a)
+    for attr, value in b.items():
+        prior = out.get(attr)
+        if prior is None:
+            out[attr] = value
+        elif prior != value:
+            # STALE dominates READ; merge lines via min for determinism.
+            if prior[0] == "STALE" or value[0] == "STALE":
+                stale = [v for v in (prior, value) if v[0] == "STALE"]
+                read_line = min(v[1] for v in (prior, value))
+                await_line = min(v[2] for v in stale)
+                out[attr] = ("STALE", read_line, await_line)
+            else:
+                out[attr] = ("READ", min(prior[1], value[1]))
+    return out
+
+
+class AwaitInterleaveRule(Rule):
+    """SIR010: no check-then-act on shared attrs across an await."""
+
+    id = "SIR010"
+    title = (
+        "await-interleaving races: shared self-attributes must not be "
+        "checked before and written after an await"
+    )
+    rationale = (
+        "asyncio interleaves tasks at await points; stale guards on "
+        "router/endpoint/directory soft state corrupt silently under "
+        "load (ISSUE 9 tentpole)."
+    )
+
+    def check(self, module: ModuleInfo) -> Iterable[Finding]:
+        if not _in_scope(module.name):
+            return []
+        findings: List[Finding] = []
+        for qualname, func in _async_methods(module.tree):
+            marker = self._marker(module, func)
+            if marker == "bare":
+                findings.append(
+                    Finding(
+                        rule=self.id,
+                        path=module.path,
+                        line=func.lineno,
+                        col=0,
+                        message=(
+                            "interleave-safe marker needs a reason: "
+                            "'# sirlint: interleave-safe -- <why>'"
+                        ),
+                        symbol=f"{qualname}:marker",
+                    )
+                )
+                continue
+            if marker == "safe":
+                continue
+            analysis = _Interleave(module, qualname, func)
+            cfg = build_cfg(func)
+            # Post-state on exception edges: an exception raised *by*
+            # an awaited call arrives after the suspension, so the
+            # handler must see reads as already stale.
+            in_states = solve(
+                cfg,
+                init={},
+                transfer=analysis.transfer,
+                join=_join,
+                exc_transfer=analysis.transfer,
+            )
+            sink: List[Finding] = []
+            analysis.sink = sink
+            for nid in sorted(
+                in_states, key=lambda n: (cfg.nodes[n].line, n)
+            ):
+                analysis.transfer(cfg.nodes[nid], in_states[nid])
+            analysis.sink = None
+            findings.extend(sink)
+        return findings
+
+    @staticmethod
+    def _marker(module: ModuleInfo, func: ast.AsyncFunctionDef) -> str:
+        lines = module.source_lines
+        line = (
+            lines[func.lineno - 1]
+            if 0 < func.lineno <= len(lines)
+            else ""
+        )
+        match = SAFE_MARKER_RE.search(line)
+        if not match:
+            return "none"
+        return "safe" if match.group(1) else "bare"
+
+
+__all__ = ["AwaitInterleaveRule"]

@@ -1,0 +1,133 @@
+"""SARIF 2.1.0 rendering so findings annotate PR diffs.
+
+GitHub code scanning ingests SARIF; one ``run`` object carries the
+rule metadata (id, title, rationale) and one ``result`` per finding.
+Stale-baseline entries and parse errors become tool-level
+``notifications`` equivalents — reported as results against the
+baseline/offending file so they are never silently dropped.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+INFO_URI = "https://github.com/sirpent-repro"
+
+
+def render_sarif(result, rules, version: str) -> Dict[str, object]:
+    """Build the SARIF payload for one :class:`~sirlint.engine.RunResult`."""
+    rule_meta = [
+        {
+            "id": cls.id,
+            "name": cls.__name__,
+            "shortDescription": {"text": cls.title},
+            "fullDescription": {"text": cls.rationale},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for cls in rules
+    ]
+    rule_meta.append(
+        {
+            "id": "SIR000",
+            "name": "SuppressionAudit",
+            "shortDescription": {
+                "text": "suppression audit: reasons mandatory, no dead "
+                "or unknown disables"
+            },
+            "fullDescription": {
+                "text": "inline disables follow the baseline discipline: "
+                "justified, real, and alive"
+            },
+            "defaultConfiguration": {"level": "error"},
+        }
+    )
+    rule_meta.append(
+        {
+            "id": "baseline",
+            "name": "StaleBaseline",
+            "shortDescription": {"text": "stale baseline entry"},
+            "fullDescription": {
+                "text": "the baselined finding no longer exists; the "
+                "entry must be deleted"
+            },
+            "defaultConfiguration": {"level": "error"},
+        }
+    )
+    known_ids = [meta["id"] for meta in rule_meta]
+
+    results: List[Dict[str, object]] = []
+    for finding in result.findings:
+        entry: Dict[str, object] = {
+            "ruleId": finding.rule,
+            "level": "error",
+            "message": {"text": f"{finding.message}  [{finding.symbol}]"},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path.replace("\\", "/"),
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": {
+                            "startLine": max(finding.line, 1),
+                            "startColumn": max(finding.col, 0) + 1,
+                        },
+                    }
+                }
+            ],
+            "partialFingerprints": {"sirlintKey/v1": finding.key},
+        }
+        if finding.rule in known_ids:
+            entry["ruleIndex"] = known_ids.index(finding.rule)
+        results.append(entry)
+    for stale in result.stale_baseline:
+        results.append(
+            {
+                "ruleId": "baseline",
+                "ruleIndex": known_ids.index("baseline"),
+                "level": "error",
+                "message": {
+                    "text": (
+                        f"stale baseline entry {stale.key!r} — the finding "
+                        "no longer exists; delete the line"
+                    )
+                },
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": "tools/sirlint/baseline.txt",
+                                "uriBaseId": "%SRCROOT%",
+                            },
+                            "region": {"startLine": max(stale.lineno, 1)},
+                        }
+                    }
+                ],
+            }
+        )
+
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "sirlint",
+                        "version": version,
+                        "informationUri": INFO_URI,
+                        "rules": rule_meta,
+                    }
+                },
+                "results": results,
+                "columnKind": "utf16CodeUnits",
+            }
+        ],
+    }
+
+
+__all__ = ["render_sarif"]
