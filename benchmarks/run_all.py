@@ -52,6 +52,7 @@ EXPERIMENTS = [
     ("o01", "bench_o01_obs_overhead"),
     ("s01", "bench_s01_sirlint_speed"),
     ("r01", "bench_r01_chaos_soak"),
+    ("r02", "bench_r02_slick_failover"),
 ]
 
 

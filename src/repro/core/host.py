@@ -138,6 +138,10 @@ class SirpentHost(Node):
         segments = [
             s.copy(priority=priority, dib=dib) for s in route.segments
         ]
+        alternates = [
+            [s.copy(priority=priority) for s in block]
+            for block in getattr(route, "alternates", [])
+        ]
         packet = SirpentPacket(
             segments=segments,
             payload_size=payload_size,
@@ -145,6 +149,7 @@ class SirpentHost(Node):
             packet_id=self.sim.new_packet_id(),
             created_at=self.sim.now,
             source=self.name,
+            alternates=alternates,
         )
         if self.tracer.enabled:
             if trace_id is None:

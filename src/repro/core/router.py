@@ -107,6 +107,10 @@ class RouterStats:
     multicast_copies: Counter = field(default_factory=lambda: Counter("mcast_copies"))
     cut_through_forwards: Counter = field(default_factory=lambda: Counter("cut_through"))
     store_forwards: Counter = field(default_factory=lambda: Counter("store_forward"))
+    slick_reroutes: Counter = field(default_factory=lambda: Counter("slick_reroutes"))
+    slick_fallback_exhausted: Counter = field(
+        default_factory=lambda: Counter("slick_fallback_exhausted")
+    )
     router_delay: Histogram = field(default_factory=lambda: Histogram("router_delay"))
 
 
@@ -345,6 +349,9 @@ class SirpentRouter(Node):
             now_ms=int(self.sim.now * 1000),
             reverse_portinfo=lambda: self._reverse_portinfo(inport, tx),
             trailer_len=len(packet.trailer),
+            alternate=lambda: (
+                list(packet.alternates[0]) if packet.alternates else None
+            ),
         )
 
     @staticmethod
@@ -400,6 +407,18 @@ class SirpentRouter(Node):
         # FORWARD: strip the segment, append the return hop (§2), splice
         # any transit tail, truncate to the egress MTU — then transmit
         # after the decision/verification/processing delay.
+        if decision.slick_reroute:
+            # Slick-Packets local reroute (ARCHITECTURE §16): the
+            # in-band alternate replaces the *entire* remaining route
+            # and every other alternate block is discarded with it;
+            # the normal strip below then takes its first hop.
+            packet.apply_slick_reroute([decision.effective])
+            self.stats.slick_reroutes.add()
+            if packet.trace_id and self.tracer.enabled:
+                self.tracer.event(
+                    packet.trace_id, self.sim.now, self.name,
+                    "slick_reroute", out_port=decision.out_port,
+                )
         packet.advance(decision.return_segment)
         if packet.trace_id and self.tracer.enabled:
             self.tracer.event(

@@ -86,6 +86,11 @@ class Decision:
     #: True when the per-port flow cache supplied the decision (§2.2
     #: soft state): token verification and logical resolution skipped.
     flow_cache_hit: bool = False
+    #: True when this FORWARD is a Slick-Packets local reroute
+    #: (ARCHITECTURE §16): the driver must replace the *entire*
+    #: remaining route with ``effective`` + ``splice_tail`` and discard
+    #: every alternate block, instead of performing the normal strip.
+    slick_reroute: bool = False
 
 
 class EffectSink:

@@ -88,6 +88,11 @@ class FlowEntry:
     #: (splice tail + trailer element − stripped segment), so the warm
     #: truncation check is one add + compare.
     post_size_delta: int = 0
+    #: True when this entry memoizes a Slick-Packets local reroute
+    #: (ARCHITECTURE §16): ``splice`` is the *entire* replacement route
+    #: and the driver discards every alternate block instead of doing
+    #: the normal strip.
+    slick_reroute: bool = False
 
 
 @dataclass

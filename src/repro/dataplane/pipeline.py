@@ -140,6 +140,14 @@ class HopInput:
     now_ms: int = 0
     reverse_portinfo: Callable[[], bytes] = staticmethod(lambda: b"")
     trailer_len: int = 0
+    #: Thunk producing the leading alternate block — the Slick-Packets
+    #: backup route carried in-band for this hop (ARCHITECTURE §16) —
+    #: or None when the packet carries none or the block fails to
+    #: decode.  A thunk, not a value: the live driver only pays the
+    #: block parse when the egress is actually dead.
+    alternate: Callable[[], Optional[List[HeaderSegment]]] = staticmethod(
+        lambda: None
+    )
 
 
 class ForwardingPipeline:
@@ -250,6 +258,20 @@ class ForwardingPipeline:
             resolved_port = port
 
         profile = self.ports.profile(resolved_port)
+        if segment.slick and (profile is None or not profile.up):
+            # Stage 3b: Slick-Packets local reroute (ARCHITECTURE §16)
+            # — the egress this slick segment names is dead, and the
+            # packet carries its own backup route.  Splice it in-band;
+            # only when no usable alternate remains does the packet
+            # fall back to the end-to-end path (drop here, quarantine/
+            # rebind recovers).
+            rerouted = self._slick_reroute(hop, key, resolved_port)
+            if rerouted is not None:
+                return rerouted
+            return Decision(
+                Action.DROP, reason="slick_fallback_exhausted",
+                drop_fields={"port": resolved_port},
+            )
         if profile is None:
             return Decision(
                 Action.DROP, reason="no_route",
@@ -360,6 +382,119 @@ class ForwardingPipeline:
         ]
         return Decision(Action.FANOUT, branches=branches)
 
+    def _slick_reroute(
+        self, hop: HopInput, key: Any, dead_port: int
+    ) -> Optional[Decision]:
+        """Splice the packet's in-band alternate over the dead egress.
+
+        Returns the reroute FORWARD decision, or None when the
+        alternate is unusable (absent, malformed, nested-slick, names
+        a local/logical/multicast port, its egress is also dead, or
+        its token is rejected) — the caller then drops with
+        ``slick_fallback_exhausted`` and end-to-end recovery takes
+        over.  Any memoized state steering this flow into the dead
+        egress — including the stale pre-failover return tail — is
+        invalidated first, so a warm reroute can never serve it.
+        """
+        segment = hop.segment
+        self.flow_cache.invalidate_port(dead_port)
+        alternate = hop.alternate()
+        if not alternate:
+            return None
+        alt0 = alternate[0]
+        # Alternates are depth-1 by construction (the decoder rejects
+        # nested slick) and must resolve without process-time work:
+        # local delivery, logical resolution and multicast expansion
+        # all change the shape of the decision mid-failover.
+        if alt0.port == LOCAL_PORT or self.logical.is_logical(alt0.port):
+            return None
+        if alt0.port in (TREE_PORT, BROADCAST_PORT) or self.groups.is_group(
+            alt0.port
+        ):
+            return None
+        profile = self.ports.profile(alt0.port)
+        if profile is None or not profile.up:
+            return None
+        verdict, token_delay = self.token_cache.admit(
+            alt0.token, alt0.port, segment.priority, hop.wire_size,
+            now_ms=hop.now_ms, rpf=segment.rpf,
+        )
+        if verdict is Verdict.REJECT:
+            return None
+        effective = alt0.copy(priority=segment.priority, dib=segment.dib)
+        dst_mac = resolve_dst_mac(effective, profile.kind)
+        if profile.kind == "ethernet" and dst_mac is None:
+            return None
+        return_token = self._reverse_token(alt0)
+        return_segment = None
+        if hop.in_port != UNKNOWN_IN_PORT:
+            return_segment = HeaderSegment(
+                port=hop.in_port,
+                priority=segment.priority,
+                token=return_token,
+                portinfo=hop.reverse_portinfo(),
+            )
+        splice_tail = [
+            s.copy(priority=segment.priority) for s in alternate[1:]
+        ]
+        # Truncation is deliberately skipped on the reroute hop: the
+        # post-hop wire size depends on the whole replaced route and
+        # the discarded alternate blocks, and cutting a packet that is
+        # actively dodging a failure trades delivery for a cap one hop
+        # later can still apply.
+        decision = Decision(
+            Action.FORWARD,
+            out_port=alt0.port,
+            effective=effective,
+            return_segment=return_segment,
+            splice_tail=splice_tail,
+            dst_mac=dst_mac,
+            token_delay=token_delay,
+            segments_left=len(alternate) - 1,
+            slick_reroute=True,
+        )
+        # Memoize under the ORIGINAL flow key: warm packets of the
+        # rerouted flow take the alternate straight from stage 2a
+        # without ever probing the dead egress again.
+        if hop.in_port != UNKNOWN_IN_PORT:
+            entry = self.token_cache.entry(alt0.token) if alt0.token else None
+            expiry = 0
+            if entry is not None:
+                if not entry.valid or entry.claims is None:
+                    entry = None  # optimistic first packet: never cache
+                else:
+                    expiry = entry.claims.expiry_ms
+                    if entry.claims.expired(hop.now_ms):
+                        entry = None
+            if entry is not None or not alt0.token:
+                splice_extra = sum(s.wire_size() for s in alternate[1:])
+                return_tail = None
+                post_delta = splice_extra - segment.wire_size()
+                if return_segment is not None:
+                    post_delta += (
+                        return_segment.wire_size() + TRAILER_LENGTH_BYTES
+                    )
+                    encoded_return = encode_segment(return_segment)
+                    if len(encoded_return) < TRUNCATION_SENTINEL:
+                        return_tail = encoded_return + len(
+                            encoded_return
+                        ).to_bytes(TRAILER_LENGTH_BYTES, "big")
+                decision.return_tail = return_tail
+                self.flow_cache.install(key, FlowEntry(
+                    out_port=alt0.port,
+                    dst_mac=dst_mac,
+                    splice=list(alternate),
+                    splice_extra_bytes=splice_extra,
+                    return_token=return_token,
+                    token_entry=entry,
+                    expires_at_ms=expiry,
+                    return_segment=return_segment,
+                    return_tail=return_tail,
+                    post_size_delta=post_delta,
+                    slick_reroute=True,
+                ), hop.now_ms)
+        return decision
+
     def _decide_cached(  # sirlint: hot
         self, hop: HopInput, key: Any, cached: FlowEntry
     ) -> Optional[Decision]:
@@ -371,9 +506,10 @@ class ForwardingPipeline:
         """
         segment = hop.segment
         profile = self.ports.profile(cached.out_port)
-        if profile is None:
-            # Egress vanished under the entry (topology change raced
-            # the invalidation): fall back to the slow path.
+        if profile is None or not profile.up:
+            # Egress vanished or died under the entry (topology change
+            # or link failure raced the invalidation): fall back to
+            # the slow path, where a slick packet gets its reroute.
             self.flow_cache.invalidate_port(cached.out_port)
             return None
         if cached.token_entry is not None:
@@ -447,9 +583,20 @@ class ForwardingPipeline:
             s.copy(priority=segment.priority)
             for s in cached.splice[1:]
         ]
+        # Slick reroutes replace the whole remaining route and skip
+        # truncation (see _slick_reroute); transit splices keep the
+        # normal post-hop size check.
         truncate_to = 0
-        if profile.mtu and hop.wire_size + post_size_delta > profile.mtu:
+        if (
+            not cached.slick_reroute
+            and profile.mtu
+            and hop.wire_size + post_size_delta > profile.mtu
+        ):
             truncate_to = profile.mtu
+        segments_left = (
+            len(cached.splice) - 1 if cached.slick_reroute
+            else hop.seg_count - 1
+        )
         return Decision(
             Action.FORWARD,
             out_port=cached.out_port,
@@ -459,8 +606,9 @@ class ForwardingPipeline:
             splice_tail=splice_tail,
             dst_mac=cached.dst_mac,
             truncate_to=truncate_to,
-            segments_left=hop.seg_count - 1,
+            segments_left=segments_left,
             flow_cache_hit=True,
+            slick_reroute=cached.slick_reroute,
         )
 
     def _forward_decision(

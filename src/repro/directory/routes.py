@@ -9,11 +9,36 @@ discovering these parameters over time."
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
 
 from repro.net.addresses import MacAddress
 from repro.viper.wire import HeaderSegment
+
+
+def slickify_route(
+    segments: List[HeaderSegment],
+    alternates: Dict[int, List[HeaderSegment]],
+) -> Tuple[List[HeaderSegment], List[List[HeaderSegment]]]:
+    """Attach Slick-Packets backup blocks to a source route.
+
+    ``alternates`` maps a hop index into ``segments`` to the complete
+    replacement route that substitutes for ``segments[i:]`` when hop
+    ``i``'s egress is dead (ARCHITECTURE §16).  Returns the segments
+    with the slick flag raised on every protected hop plus the blocks
+    in route order — the shapes :class:`Route.segments` /
+    ``Route.alternates`` and the packet codec expect.
+    """
+    out: List[HeaderSegment] = []
+    blocks: List[List[HeaderSegment]] = []
+    for i, seg in enumerate(segments):
+        block = alternates.get(i)
+        if block:
+            out.append(seg.copy(slick=True))
+            blocks.append([s.copy() for s in block])
+        else:
+            out.append(seg.copy())
+    return out, blocks
 
 
 @dataclass
@@ -36,6 +61,9 @@ class Route:
     secure: bool = True
     #: Directory's issue time; clients may refresh stale routes.
     issued_at: float = 0.0
+    #: Slick-Packets backup blocks, one per slick-flagged segment in
+    #: route order (ARCHITECTURE §16); empty on non-slick routes.
+    alternates: List[List[HeaderSegment]] = field(default_factory=list)
 
     def header_overhead(self) -> int:
         """Wire bytes of the stacked header segments."""

@@ -98,7 +98,7 @@ def route_to_json(route: Route) -> Dict[str, object]:
     """
     measured = route.expected_rtt(RTT_PROBE_BYTES)
     floored = measured <= 0.0
-    return {
+    obj: Dict[str, object] = {
         "destination": route.destination,
         "segments": [encode_segment(s).hex() for s in route.segments],
         "first_hop_port": route.first_hop_port,
@@ -108,12 +108,20 @@ def route_to_json(route: Route) -> Dict[str, object]:
         "hop_count": route.hop_count,
         "mtu": route.mtu,
     }
+    # Slick-Packets backup blocks ride only when present, so a
+    # non-slick route's JSON line stays byte-identical to pre-slick
+    # servers (old clients never see the key).
+    alternates = getattr(route, "alternates", [])
+    if alternates:
+        obj["alternates"] = [
+            [encode_segment(s).hex() for s in block] for block in alternates
+        ]
+    return obj
 
 
-def route_from_json(obj: Dict[str, object]) -> LiveRoute:
-    """Parse one JSON route into the live host's :class:`LiveRoute`."""
+def _segments_from_hex(hexed_list) -> List[HeaderSegment]:
     segments: List[HeaderSegment] = []
-    for hexed in obj["segments"]:  # type: ignore[union-attr]
+    for hexed in hexed_list:
         raw = bytes.fromhex(str(hexed))
         segment, consumed = decode_segment(raw, 0)
         if consumed != len(raw):
@@ -121,6 +129,16 @@ def route_from_json(obj: Dict[str, object]) -> LiveRoute:
                 f"route segment has {len(raw) - consumed} trailing bytes"
             )
         segments.append(segment)
+    return segments
+
+
+def route_from_json(obj: Dict[str, object]) -> LiveRoute:
+    """Parse one JSON route into the live host's :class:`LiveRoute`."""
+    segments = _segments_from_hex(obj["segments"])  # type: ignore[arg-type]
+    alternates = [
+        _segments_from_hex(block)
+        for block in obj.get("alternates", [])  # type: ignore[union-attr]
+    ]
     return LiveRoute(
         destination=str(obj["destination"]),
         segments=segments,
@@ -129,6 +147,7 @@ def route_from_json(obj: Dict[str, object]) -> LiveRoute:
         hop_count=int(obj.get("hop_count", 0)),  # type: ignore[arg-type]
         mtu=int(obj.get("mtu", 1500)),  # type: ignore[arg-type]
         rtt_floor_applied=bool(obj.get("rtt_floor_applied", False)),
+        alternates=alternates,
     )
 
 

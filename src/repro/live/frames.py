@@ -57,12 +57,20 @@ from repro.viper.packet import (
     TrailerElement,
     decode_trailer,
 )
+from repro.viper.flags import FLAG_SLICK
 from repro.viper.wire import (
+    ALT_COUNT_BYTES,
+    FIXED_SEGMENT_BYTES,
     HeaderSegment,
     MAX_SEGMENTS,
+    alt_block_span,
+    decode_alt_block,
+    decode_alt_blocks,
     decode_segment,
+    encode_alt_blocks,
     encode_segment,
     segment_span,
+    slick_count,
 )
 
 #: Leading magic of every live datagram.
@@ -236,6 +244,13 @@ def encode_live_frame(
             f"payload of {packet.payload_size} bytes exceeds the live "
             f"frame's {MAX_PAYLOAD_BYTES}-byte limit"
         )
+    slick_segments = slick_count(packet.segments)
+    if len(packet.alternates) != slick_segments:
+        raise ValueError(
+            f"{slick_segments} slick segment(s) but "
+            f"{len(packet.alternates)} alternate block(s); the wire form "
+            "needs exactly one block per slick segment"
+        )
     out = bytearray(
         encode_preamble(
             FRAME_DATA, seq, len(packet.segments), packet.payload_size,
@@ -244,6 +259,7 @@ def encode_live_frame(
     )
     for segment in packet.segments:
         out += encode_segment(segment)
+    out += encode_alt_blocks(packet.alternates)
     out += payload_bytes
     for element in packet.trailer:
         if element is TRUNCATION_MARK:
@@ -273,6 +289,9 @@ def decode_live_frame(datagram: bytes) -> Tuple[Preamble, SirpentPacket, bytes]:
     for _ in range(preamble.seg_count):
         segment, offset = decode_segment(datagram, offset)
         segments.append(segment)
+    alternates, offset = decode_alt_blocks(
+        datagram, slick_count(segments), offset
+    )
     payload_end = offset + preamble.payload_len
     if payload_end > len(datagram):
         raise ViperDecodeError(
@@ -294,6 +313,7 @@ def decode_live_frame(datagram: bytes) -> Tuple[Preamble, SirpentPacket, bytes]:
         payload=payload_bytes,
         trailer=trailer,
         trace_id=preamble.trace_id,
+        alternates=alternates,
     )
     return preamble, packet, payload_bytes
 
@@ -315,6 +335,39 @@ def peek_leading_segment(datagram: bytes) -> Tuple[Preamble, HeaderSegment]:
         raise ViperDecodeError("no header segments remain")
     segment, _ = decode_segment(datagram, preamble.header_len)
     return preamble, segment
+
+
+def _flag_slick_at(buffer, offset: int) -> bool:
+    """Whether the segment starting at ``offset`` carries the slick flag.
+
+    One byte read off the Figure-1 flags field; callers have already
+    validated the segment's span (or are about to, which raises first).
+    """
+    return bool(
+        (buffer[offset + FIXED_SEGMENT_BYTES - 1] >> 4) & FLAG_SLICK
+    )
+
+
+def leading_alt_block(
+    buffer, header_len: int, seg_count: int
+) -> Union[List[HeaderSegment], None]:
+    """Decode the leading segment's alternate block, *totally*.
+
+    Returns the block's segments, or None when the frame carries no
+    block or the bytes are malformed — the pipeline's reroute stage
+    treats every failure as "no usable alternate", because a router
+    forwarding attacker-controllable bytes must never throw mid-hop.
+    The block sits after the *last* primary segment, so the walk spans
+    the whole remaining route first.
+    """
+    try:
+        offset = header_len
+        for _ in range(seg_count):
+            offset = segment_span(buffer, offset)
+        block, _ = decode_alt_block(buffer, offset)
+        return block
+    except ViperDecodeError:
+        return None
 
 
 def strip_and_append(
@@ -345,14 +398,31 @@ def strip_and_append(
     encoded_return = encode_segment(return_segment)
     if len(encoded_return) >= TRUNCATION_SENTINEL:
         raise ValueError("return segment too large to frame in the trailer")
+    new_preamble = encode_preamble(
+        FRAME_DATA, seq, preamble.seg_count - 1, preamble.payload_len,
+        trace_id=preamble.trace_id,
+    )
+    back_length = len(encoded_return).to_bytes(TRAILER_LENGTH_BYTES, "big")
+    if _flag_slick_at(datagram, preamble.header_len):
+        # A slick leading segment takes its (leading) alternate block
+        # with it: copy the surviving segments, skip the block, copy the
+        # rest — still no decode of anything forwarded.
+        header_end = next_offset
+        for _ in range(preamble.seg_count - 1):
+            header_end = segment_span(datagram, header_end)
+        block_end = alt_block_span(datagram, header_end)
+        return b"".join((
+            new_preamble,
+            memoryview(datagram)[next_offset:header_end],
+            memoryview(datagram)[block_end:],
+            encoded_return,
+            back_length,
+        ))
     return b"".join((
-        encode_preamble(
-            FRAME_DATA, seq, preamble.seg_count - 1, preamble.payload_len,
-            trace_id=preamble.trace_id,
-        ),
+        new_preamble,
         memoryview(datagram)[next_offset:],
         encoded_return,
-        len(encoded_return).to_bytes(TRAILER_LENGTH_BYTES, "big"),
+        back_length,
     ))
 
 
@@ -450,6 +520,31 @@ def hop_move_into(
     if next_rel is None:
         next_rel = segment_span(mem, preamble.header_len)
     header_len = preamble.header_len
+    if _flag_slick_at(mem, header_len):
+        # The stripped segment takes its alternate block with it: the
+        # surviving segments slide right over the block (one overlapping
+        # move inside the slot) so the packet stays contiguous.
+        header_end = next_rel
+        for _ in range(preamble.seg_count - 1):
+            header_end = segment_span(mem, header_end)
+        block_end = alt_block_span(mem, header_end)
+        buffer = view.buffer
+        keep = header_end - next_rel
+        dest = view.start + block_end - keep
+        if keep:
+            buffer[dest:dest + keep] = bytes(
+                mem[next_rel:header_end]
+            )
+        new_start = dest - header_len
+        encode_preamble_into(
+            buffer, new_start, seq, preamble.seg_count - 1,
+            preamble.payload_len, trace_id=preamble.trace_id,
+        )
+        view.start = new_start
+        end = view.end
+        buffer[end:end + len(tail)] = tail
+        view.end = end + len(tail)
+        return True
     new_start = view.start + next_rel - header_len
     encode_preamble_into(
         view.buffer, new_start, seq, preamble.seg_count - 1,
@@ -458,6 +553,69 @@ def hop_move_into(
     view.start = new_start
     end = view.end
     view.buffer[end:end + len(tail)] = tail
+    view.end = end + len(tail)
+    return True
+
+
+def slick_reroute_into(
+    view, tail: bytes, preamble: Preamble = None, seq: int = SEQ_NONE,
+) -> bool:
+    """Slick local reroute **in place**: splice the alternate, take its
+    first hop, append the return tail.
+
+    The leading segment's alternate block replaces the *entire*
+    remaining route — every primary segment and every alternate block is
+    dropped, the block's first segment is stripped (it is the hop being
+    forwarded right now) and the rest of the block becomes the new
+    route.  The surviving alternate segments already sit contiguous in
+    the buffer, so the splice is one overlapping move plus a preamble
+    rewrite, exactly like the normal hop move.
+
+    Returns False — view untouched — when the tail-room cannot hold
+    ``tail``; raises :class:`~repro.viper.errors.ViperDecodeError` when
+    the frame carries no alternate block to splice.
+    """
+    if view.end + len(tail) > len(view.buffer):
+        return False
+    mem = view.mem
+    if preamble is None:
+        preamble = decode_preamble(mem)
+    if preamble.kind != FRAME_DATA or preamble.seg_count == 0:
+        raise ViperDecodeError("cannot forward: no leading segment")
+    header_len = preamble.header_len
+    if not _flag_slick_at(mem, header_len):
+        raise ViperDecodeError(
+            "cannot reroute: leading segment is not slick"
+        )
+    # Spans: all primary segments, then every alternate block (there is
+    # one per slick primary segment; the leading one supplies the splice).
+    header_end = header_len
+    blocks = 0
+    for _ in range(preamble.seg_count):
+        if _flag_slick_at(mem, header_end):
+            blocks += 1
+        header_end = segment_span(mem, header_end)
+    block_end = alt_block_span(mem, header_end)  # validates the block
+    alt_count = mem[header_end]
+    alt_first_end = segment_span(mem, header_end + ALT_COUNT_BYTES)
+    blocks_end = block_end
+    for _ in range(blocks - 1):
+        blocks_end = alt_block_span(mem, blocks_end)
+    # Keep the block's tail (everything after its first segment) and
+    # slide it right against the payload, over the remaining blocks.
+    keep = block_end - alt_first_end
+    buffer = view.buffer
+    dest = view.start + blocks_end - keep
+    if keep:
+        buffer[dest:dest + keep] = bytes(mem[alt_first_end:block_end])
+    new_start = dest - header_len
+    encode_preamble_into(
+        buffer, new_start, seq, alt_count - 1,
+        preamble.payload_len, trace_id=preamble.trace_id,
+    )
+    view.start = new_start
+    end = view.end
+    buffer[end:end + len(tail)] = tail
     view.end = end + len(tail)
     return True
 
@@ -477,6 +635,33 @@ def strip_and_append_slow(
     preamble, packet, payload_bytes = decode_live_frame(datagram)
     if preamble.seg_count == 0:
         raise ViperDecodeError("cannot forward: no leading segment")
+    packet.advance(return_segment)
+    encoded_return = encode_segment(return_segment)
+    if len(encoded_return) >= TRUNCATION_SENTINEL:
+        raise ValueError("return segment too large to frame in the trailer")
+    return encode_live_frame(
+        packet, payload_bytes, seq=seq, trace_id=preamble.trace_id
+    )
+
+
+def slick_reroute_slow(
+    datagram: bytes, return_segment: HeaderSegment, seq: int = SEQ_NONE
+) -> bytes:
+    """Reference slick reroute through the structural codec.
+
+    The materialising twin of :func:`slick_reroute_into`: decodes the
+    whole frame, replaces the route with the leading alternate block
+    (:meth:`~repro.viper.packet.SirpentPacket.apply_slick_reroute`),
+    takes the block's first hop and re-encodes.  The live router falls
+    back to it when a ring slot has no tail-room; the differential
+    tests assert the in-place move is byte-exact against it.
+    """
+    preamble, packet, payload_bytes = decode_live_frame(datagram)
+    if preamble.seg_count == 0:
+        raise ViperDecodeError("cannot forward: no leading segment")
+    if not packet.segments[0].slick or not packet.alternates:
+        raise ViperDecodeError("cannot reroute: leading segment is not slick")
+    packet.apply_slick_reroute(packet.alternates[0])
     packet.advance(return_segment)
     encoded_return = encode_segment(return_segment)
     if len(encoded_return) >= TRUNCATION_SENTINEL:

@@ -73,6 +73,9 @@ class LiveRoute:
     #: route model's prediction (which was zero, e.g. loopback) — lets
     #: rebinding logic tell a measured estimate from a floored one.
     rtt_floor_applied: bool = False
+    #: Slick-Packets backup blocks, one per slick-flagged segment in
+    #: route order (ARCHITECTURE §16); empty on non-slick routes.
+    alternates: List[List[HeaderSegment]] = field(default_factory=list)
 
     def expected_rtt(self, payload_size: int = 0, reply_size: int = 0) -> float:
         """Advertised base RTT (payload sizes are second-order on loopback)."""
@@ -193,6 +196,10 @@ class LiveHost:
         (the reply path); 0 forces "untraced".
         """
         segments = [s.copy(priority=priority, dib=dib) for s in route.segments]
+        alternates = [
+            [s.copy(priority=priority) for s in block]
+            for block in getattr(route, "alternates", [])
+        ]
         packet = SirpentPacket(
             segments=segments,
             payload_size=len(payload),
@@ -200,6 +207,7 @@ class LiveHost:
             packet_id=self.packet_ids.allocate(),
             created_at=time.monotonic(),
             source=self.name,
+            alternates=alternates,
         )
         if self.tracer.enabled:
             if trace_id is None:

@@ -32,6 +32,10 @@ class EndpointMetrics:
     retries: int = 0
     forwarded: int = 0
     delivered_local: int = 0
+    #: Slick-Packets local reroutes this node performed (ARCHITECTURE
+    #: §16); the exhausted-fallback case is a drop reason
+    #: ("slick_fallback_exhausted"), not a second counter here.
+    slick_reroutes: int = 0
     #: Drop reasons -> counts ("undecodable", "no_route", "token_reject",
     #: "route_exhausted", "peer_dead", "duplicate", "loss_injected", ...).
     drops: Dict[str, int] = field(default_factory=dict)
@@ -70,6 +74,7 @@ class EndpointMetrics:
             "retries": self.retries,
             "forwarded": self.forwarded,
             "delivered_local": self.delivered_local,
+            "slick_reroutes": self.slick_reroutes,
         }
         for reason, count in sorted(self.drops.items()):
             flat[f"drop_{reason}"] = count

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.dataplane import (
     Action,
@@ -46,8 +46,11 @@ from repro.live.frames import (
     Preamble,
     decode_preamble,
     hop_move_into,
+    leading_alt_block,
     peek_leading_segment,
     return_tail_of,
+    slick_reroute_into,
+    slick_reroute_slow,
     strip_and_append,
 )
 from repro.live.link import Address, Impairments, LiveEndpoint, ReliabilityConfig
@@ -93,8 +96,14 @@ class _LivePortMap(PortMap):
         if port_id in self._router.ports:
             # UDP hops carry no Ethernet portInfo and never truncate
             # (the datagram either fits the socket or was refused at
-            # encode time), hence mtu=0 (unlimited).
-            return PortProfile(kind="udp", mtu=0)
+            # encode time), hence mtu=0 (unlimited).  ``up`` is the
+            # router's link-health view: ack-timeout peer death marks
+            # it down, any inbound frame marks it back up — the signal
+            # the pipeline's slick reroute stage keys on.
+            return PortProfile(
+                kind="udp", mtu=0,
+                up=port_id not in self._router.dead_ports,
+            )
         return None
 
     def ids(self) -> Iterable[int]:
@@ -186,11 +195,24 @@ class LiveRouter:
         self._hop = HopInput(
             segment=None, seg_count=0, wire_size=0,
             reverse_portinfo=self._reverse_hop_portinfo,
+            alternate=self._leading_alternate,
         )
+        #: Frame the reusable HopInput's ``alternate`` thunk reads
+        #: (restamped per frame on the batch path, like ``_hop``).
+        self._frame_mem = None
+        self._frame_header_len = 0
         #: VIPER port id -> peer UDP address.
         self.ports: Dict[int, Address] = {}
         #: Peer UDP address -> the VIPER port frames from it arrive on.
         self.addr_port: Dict[Address, int] = {}
+        #: Link health (§2.2 soft state): ports whose peer stopped
+        #: acking (``on_peer_dead``) and has not been heard from since.
+        #: The pipeline sees these as ``up=False`` and a slick frame
+        #: gets its in-band reroute instead of a doomed transmit.
+        self.dead_ports: Set[int] = set()
+        #: Optional observer called after the router marks a port dead.
+        self.on_link_down: Optional[Callable[[int], None]] = None
+        self.endpoint.on_peer_dead = self._on_peer_dead
         #: Optional hook receiving ``(datagram, source)`` for port-0 frames.
         self.local_handler = None
         #: Hop tracer (repro.obs); NULL_TRACER = tracing disabled.
@@ -241,6 +263,7 @@ class LiveRouter:
             flow_cache=self.flow_cache,
             capabilities=Capabilities(multicast=False),
         )
+        self.dead_ports.clear()
         self._started_at = time.monotonic()
         address = await self.endpoint.open(host, port)
         if self.recorder.enabled:
@@ -264,8 +287,34 @@ class LiveRouter:
             raise ValueError(f"port {port_id} invalid: VIPER ports are 1..255")
         self.ports[port_id] = peer
         self.addr_port[peer] = port_id
+        self.dead_ports.discard(port_id)
         # Topology changed: cached flows naming this port are stale.
         self.pipeline.on_topology_change(port_id)
+
+    def _on_peer_dead(self, addr: Address) -> None:
+        """Ack-timeout link-health signal from the endpoint (§2.2).
+
+        Marks the peer's port down so the pipeline reroutes slick
+        frames around it; cached flows steering into it are flushed
+        (the reroute stage re-flushes defensively, but a non-slick
+        flow must stop hitting the warm path too).
+        """
+        port_id = self.addr_port.get(addr)
+        if port_id is None or port_id in self.dead_ports:
+            return
+        self.dead_ports.add(port_id)
+        self.pipeline.on_topology_change(port_id)
+        if self.recorder.enabled:
+            self.recorder.record("link_down", node=self.name, port=port_id)
+        if self.on_link_down is not None:
+            self.on_link_down(port_id)
+
+    def _revive_port(self, port_id: int) -> None:
+        """An inbound frame proves the peer is alive again."""
+        if port_id in self.dead_ports:
+            self.dead_ports.discard(port_id)
+            if self.recorder.enabled:
+                self.recorder.record("link_up", node=self.name, port=port_id)
 
     @property
     def address(self) -> Optional[Address]:
@@ -279,6 +328,7 @@ class LiveRouter:
         preamble: Preamble,
         segment: HeaderSegment,
         in_port: int = UNKNOWN_IN_PORT,
+        alternate: Optional[Callable[[], Optional[List[HeaderSegment]]]] = None,
     ) -> Decision:
         """One switching decision through the shared sans-IO pipeline.
 
@@ -286,6 +336,8 @@ class LiveRouter:
         :data:`~repro.dataplane.UNKNOWN_IN_PORT` (tests probing a bare
         decision, frames from unwired peers) still yields the full
         verdict but no return segment and no flow-cache install.
+        ``alternate`` supplies the frame's leading Slick-Packets block
+        to the reroute stage (None = the frame carries none).
         """
         return self.pipeline.decide(HopInput(
             segment=segment,
@@ -296,6 +348,7 @@ class LiveRouter:
             in_port=in_port,
             now_ms=self._now_ms(),
             reverse_portinfo=lambda: self._reverse_portinfo(segment),
+            alternate=alternate if alternate is not None else lambda: None,
         ))
 
     @staticmethod
@@ -318,6 +371,12 @@ class LiveRouter:
     def _reverse_hop_portinfo(self) -> bytes:
         """`reverse_portinfo` thunk for the reusable batch-path HopInput."""
         return self._reverse_portinfo(self._hop.segment)
+
+    def _leading_alternate(self) -> Optional[List[HeaderSegment]]:
+        """`alternate` thunk for the reusable batch-path HopInput."""
+        return leading_alt_block(
+            self._frame_mem, self._frame_header_len, self._hop.seg_count
+        )
 
     # -- the zero-allocation batch path ------------------------------------
 
@@ -362,12 +421,16 @@ class LiveRouter:
             return
         sink = _LiveEffectSink(self, preamble.trace_id)
         in_port = self.addr_port.get(source, UNKNOWN_IN_PORT)
+        if self.dead_ports:
+            self._revive_port(in_port)
         hop = self._hop
         hop.segment = segment
         hop.seg_count = preamble.seg_count
         hop.wire_size = preamble.payload_len
         hop.in_port = in_port
         hop.now_ms = self._now_ms()
+        self._frame_mem = mem
+        self._frame_header_len = preamble.header_len
         decision = self.pipeline.decide(hop)
         if decision.action is Action.DROP:
             view.release()
@@ -404,6 +467,37 @@ class LiveRouter:
                 apply_drop(sink, Decision(Action.DROP, reason="undecodable"))
                 return
         dest = self.ports[decision.out_port]
+        if decision.slick_reroute:
+            self._count_slick_reroute(sink, in_port, decision)
+            try:
+                moved = slick_reroute_into(view, tail, preamble)
+            except ViperDecodeError:
+                # The bytes contradict the decision (no slick block
+                # where the thunk just decoded one): corrupt frame.
+                view.release()
+                apply_drop(sink, Decision(Action.DROP, reason="undecodable"))
+                return
+            if moved:
+                self._count_forward(sink, in_port, decision)
+                self.endpoint.send_view(
+                    view, dest, reliable=self.config.reliable_hops,
+                )
+                return
+            # No tail-room (or a stale view): materialise this frame.
+            datagram = view.tobytes()
+            view.release()
+            try:
+                forwarded = slick_reroute_slow(
+                    datagram, decision.return_segment
+                )
+            except (ViperDecodeError, ValueError):
+                apply_drop(sink, Decision(Action.DROP, reason="undecodable"))
+                return
+            self._count_forward(sink, in_port, decision)
+            self.endpoint.send(
+                forwarded, dest, reliable=self.config.reliable_hops
+            )
+            return
         if hop_move_into(view, tail, preamble, next_rel=segment.end):
             self._count_forward(sink, in_port, decision)
             self.endpoint.send_view(
@@ -420,6 +514,19 @@ class LiveRouter:
             return
         self._count_forward(sink, in_port, decision)
         self.endpoint.send(forwarded, dest, reliable=self.config.reliable_hops)
+
+    def _count_slick_reroute(
+        self, sink: _LiveEffectSink, in_port: int, decision: Decision,
+    ) -> None:
+        self.metrics.slick_reroutes += 1
+        sink.trace_event(
+            "slick_reroute", in_port=in_port, out_port=decision.out_port,
+        )
+        if self.recorder.enabled:
+            self.recorder.record(
+                "slick_reroute", node=self.name,
+                in_port=in_port, out_port=decision.out_port,
+            )
 
     def _count_forward(
         self, sink: _LiveEffectSink, in_port: int, decision: Decision,
@@ -452,7 +559,14 @@ class LiveRouter:
             return
         sink = _LiveEffectSink(self, preamble.trace_id)
         in_port = self.addr_port.get(source, UNKNOWN_IN_PORT)
-        decision = self.decide(preamble, segment, in_port=in_port)
+        if self.dead_ports:
+            self._revive_port(in_port)
+        decision = self.decide(
+            preamble, segment, in_port=in_port,
+            alternate=lambda: leading_alt_block(
+                datagram, preamble.header_len, preamble.seg_count
+            ),
+        )
         if decision.action is Action.DROP:
             apply_drop(sink, decision)
             return
@@ -476,7 +590,13 @@ class LiveRouter:
             "switch_decision", in_port=in_port, out_port=decision.out_port,
         )
         try:
-            forwarded = strip_and_append(datagram, decision.return_segment)
+            if decision.slick_reroute:
+                self._count_slick_reroute(sink, in_port, decision)
+                forwarded = slick_reroute_slow(
+                    datagram, decision.return_segment
+                )
+            else:
+                forwarded = strip_and_append(datagram, decision.return_segment)
         except (ViperDecodeError, ValueError):
             apply_drop(sink, Decision(Action.DROP, reason="undecodable"))
             return

@@ -35,6 +35,8 @@ ROUTER_STAT_NAMES = (
     ("multicast_copies", "multicast_copies"),
     ("cut_through_forwards", "cut_through_forwards"),
     ("store_forwards", "store_forwards"),
+    ("slick_reroutes", "slick_reroutes"),
+    ("slick_fallback_exhausted", "drop_slick_fallback_exhausted"),
 )
 
 

@@ -29,6 +29,7 @@ from __future__ import annotations
 from typing import Callable, List, Optional
 
 from repro.directory.routes import Route
+from repro.obs.recorder import NULL_RECORDER
 from repro.sim.engine import Simulator
 from repro.sim.monitor import Counter, Histogram
 
@@ -100,8 +101,11 @@ class RouteManager:
         self.failures = Counter("route_failures")
         self.quarantines = Counter("route_quarantines")
         self.refresh_empty = Counter("rebind_refresh_empty")
+        self.pardons = Counter("rebind_pardons")
         self.rtt_samples = Histogram("route_rtt")
         self.last_switch_at: Optional[float] = None
+        #: Flight recorder (repro.obs); NULL_RECORDER = not recording.
+        self.recorder = NULL_RECORDER
 
     # -- selection ---------------------------------------------------------
 
@@ -136,7 +140,19 @@ class RouteManager:
         else:
             self._consecutive_slow = 0
             # A good round trip is proof of life: pardon the route.
-            self._health[self._current].clear()
+            health = self._health[self._current]
+            if health.failures or health.quarantined_until:
+                # Only an *actual* pardon — wiping recorded failures or
+                # an armed quarantine backoff — is observable; routine
+                # good RTTs on a healthy route stay silent.
+                self.pardons.add()
+                if self.recorder.enabled:
+                    self.recorder.record(
+                        "rebind_pardon",
+                        route=self._current,
+                        failures=health.failures,
+                    )
+            health.clear()
 
     def report_failure(self) -> Route:
         """Explicit loss (retransmissions exhausted): quarantine the

@@ -1,7 +1,9 @@
 """VIPER flags and the 4-bit priority lattice (§5).
 
 Figure 1 packs an 8-bit ``Flags | Priority`` byte: the high nibble holds
-the three defined flags, the low nibble the priority.
+the four defined flags, the low nibble the priority.  The paper defines
+VNT/DIB/RPF; the fourth bit (formerly reserved-must-be-zero) carries the
+Slick-Packets failover marker introduced by ARCHITECTURE §16.
 
 Priority semantics from the paper:
 
@@ -27,6 +29,11 @@ FLAG_DIB = 0x4
 #: Reverse Path Forwarding — this packet is returning along the route and
 #: tokens supplied in a received packet's trailer.
 FLAG_RPF = 0x2
+
+#: Slick-Packets failover (PAPERS.md): this hop carries an alternate
+#: route block appended after the primary route; a router whose egress
+#: for this segment is dead may splice the alternate in mid-flight.
+FLAG_SLICK = 0x1
 
 PRIORITY_NORMAL = 0x0
 PRIORITY_PREEMPT = 0x6
@@ -64,15 +71,22 @@ def is_preemptive(priority: int) -> bool:
     return priority in (PRIORITY_PREEMPT, PRIORITY_PREEMPT_HIGH)
 
 
-def pack_flags_priority(vnt: bool, dib: bool, rpf: bool, priority: int) -> int:
+def pack_flags_priority(
+    vnt: bool, dib: bool, rpf: bool, priority: int, slick: bool = False
+) -> int:
     """Pack into the Figure-1 ``Flags | Priority`` byte."""
     validate_priority(priority)
-    nibble = (FLAG_VNT if vnt else 0) | (FLAG_DIB if dib else 0) | (FLAG_RPF if rpf else 0)
+    nibble = (
+        (FLAG_VNT if vnt else 0)
+        | (FLAG_DIB if dib else 0)
+        | (FLAG_RPF if rpf else 0)
+        | (FLAG_SLICK if slick else 0)
+    )
     return (nibble << 4) | priority
 
 
 def unpack_flags_priority(byte: int) -> tuple:
-    """Return ``(vnt, dib, rpf, priority)`` from the packed byte."""
+    """Return ``(vnt, dib, rpf, slick, priority)`` from the packed byte."""
     if not 0 <= byte <= 0xFF:
         raise ValueError(f"flag byte {byte} out of range")
     nibble = byte >> 4
@@ -80,5 +94,6 @@ def unpack_flags_priority(byte: int) -> tuple:
         bool(nibble & FLAG_VNT),
         bool(nibble & FLAG_DIB),
         bool(nibble & FLAG_RPF),
+        bool(nibble & FLAG_SLICK),
         byte & 0xF,
     )

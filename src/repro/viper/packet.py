@@ -23,10 +23,14 @@ from typing import Any, List, Optional, Tuple, Union
 from repro.sim.ids import PacketIdAllocator
 from repro.viper.errors import DecodeError, SegmentLimitError
 from repro.viper.wire import (
+    ALT_COUNT_BYTES,
     MAX_SEGMENTS,
     HeaderSegment,
+    decode_alt_blocks,
     decode_segment,
+    encode_alt_blocks,
     encode_segment,
+    slick_count,
 )
 
 #: Trailing 2-byte length value reserved for the truncation mark — large
@@ -98,6 +102,10 @@ class SirpentPacket:
     #: :class:`repro.obs.trace.Tracer`, else 0 ("untraced") — the
     #: one-int guard every instrumented hot path tests first.
     trace_id: int = 0
+    #: Slick-Packets failover (ARCHITECTURE §16): one alternate-route
+    #: block per slick-flagged segment, in route order, carried on the
+    #: wire between the primary route and the payload.
+    alternates: List[List[HeaderSegment]] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         if self.payload_size < 0:
@@ -112,11 +120,21 @@ class SirpentPacket:
     def header_size(self) -> int:
         return sum(s.wire_size() for s in self.segments)
 
+    def alt_size(self) -> int:
+        """Wire bytes of the appended alternate blocks (0 when none)."""
+        return sum(
+            ALT_COUNT_BYTES + sum(s.wire_size() for s in block)
+            for block in self.alternates
+        )
+
     def trailer_size(self) -> int:
         return sum(e.wire_size() for e in self.trailer)
 
     def wire_size(self) -> int:
-        return self.header_size() + self.payload_size + self.trailer_size()
+        return (
+            self.header_size() + self.alt_size() + self.payload_size
+            + self.trailer_size()
+        )
 
     def decision_prefix_bytes(self) -> int:
         """Bytes a router must receive before it can switch the packet.
@@ -146,11 +164,26 @@ class SirpentPacket:
         """Strip the leading segment, appending its reverse to the trailer.
 
         Returns the stripped segment.  This is the router's core move.
+        A slick leading segment takes its (leading) alternate block with
+        it — an un-taken alternate is dead weight past its hop.
         """
         stripped = self.segments.pop(0)
+        if stripped.slick and self.alternates:
+            self.alternates.pop(0)
         self.trailer.append(TrailerElement(return_segment))
         self.hops_taken += 1
         return stripped
+
+    def apply_slick_reroute(self, alternate: List[HeaderSegment]) -> None:
+        """Replace the remaining route with an alternate block's segments.
+
+        The Slick-Packets local-reroute move: every remaining primary
+        segment and every remaining alternate block is discarded — the
+        alternate is a complete replacement tail, and the failover DAG
+        is depth-1 so the spliced route carries no blocks of its own.
+        """
+        self.segments[:] = list(alternate)
+        self.alternates = []
 
     def mark_truncated(self, keep_bytes: int) -> None:
         """Record that the payload was cut to ``keep_bytes`` mid-flight."""
@@ -184,6 +217,7 @@ class SirpentPacket:
             hops_taken=self.hops_taken,
             hop_log=list(self.hop_log),
             trace_id=self.trace_id,
+            alternates=[list(block) for block in self.alternates],
         )
         clone.corrupted = True
         if clone.segments and rng.random() < 0.5:
@@ -230,9 +264,17 @@ def encode_packet(packet: SirpentPacket, payload_bytes: Optional[bytes] = None) 
             f"payload is {len(payload_bytes)} bytes but payload_size="
             f"{packet.payload_size}"
         )
+    slick_segments = slick_count(packet.segments)
+    if len(packet.alternates) != slick_segments:
+        raise SegmentLimitError(
+            f"{slick_segments} slick segment(s) but "
+            f"{len(packet.alternates)} alternate block(s); the wire form "
+            "needs exactly one block per slick segment"
+        )
     out = bytearray()
     for segment in packet.segments:
         out += encode_segment(segment)
+    out += encode_alt_blocks(packet.alternates)
     out += payload_bytes
     for element in packet.trailer:
         if element is TRUNCATION_MARK:
@@ -294,6 +336,9 @@ def decode_packet(
     for _ in range(segment_count):
         segment, offset = decode_segment(buffer, offset)
         segments.append(segment)
+    alternates, offset = decode_alt_blocks(
+        buffer, slick_count(segments), offset
+    )
     trailer, payload_end = decode_trailer(buffer, len(buffer))
     if payload_end < offset:
         raise DecodeError("trailer overlaps header segments")
@@ -303,5 +348,6 @@ def decode_packet(
         payload_size=len(payload_bytes),
         payload=payload_bytes,
         trailer=trailer,
+        alternates=alternates,
     )
     return packet, payload_bytes

@@ -30,6 +30,7 @@ from typing import Optional, Tuple
 
 from repro.viper.errors import DecodeError, SegmentLimitError
 from repro.viper.flags import (
+    FLAG_SLICK,
     pack_flags_priority,
     unpack_flags_priority,
     validate_priority,
@@ -73,6 +74,9 @@ class HeaderSegment:
     rpf: bool = False
     token: bytes = b""
     portinfo: bytes = b""
+    #: Slick-Packets failover: an alternate-route block for this hop is
+    #: appended after the primary route (ARCHITECTURE §16).
+    slick: bool = False
 
     def __post_init__(self) -> None:
         if not 0 <= self.port <= MAX_PORT:
@@ -86,7 +90,7 @@ class HeaderSegment:
         values = dict(
             port=self.port, priority=self.priority, vnt=self.vnt,
             dib=self.dib, rpf=self.rpf, token=self.token,
-            portinfo=self.portinfo,
+            portinfo=self.portinfo, slick=self.slick,
         )
         values.update(overrides)
         return HeaderSegment(**values)
@@ -129,7 +133,8 @@ def encode_segment(segment: HeaderSegment) -> bytes:
     out.append(_encode_length(len(segment.token)))
     out.append(segment.port)
     out.append(pack_flags_priority(
-        segment.vnt, segment.dib, segment.rpf, segment.priority
+        segment.vnt, segment.dib, segment.rpf, segment.priority,
+        slick=segment.slick,
     ))
     out += _encode_field(segment.token)
     out += _encode_field(segment.portinfo)
@@ -164,10 +169,11 @@ def _decode_field(
     return buffer[offset:offset + true_length], offset + true_length
 
 
-#: Mask of the defined flag bits in the flags nibble; the remaining bit
-#: is reserved-must-be-zero, and the decoder rejects it so that every
-#: accepted segment re-encodes to exactly the bytes consumed.
-_DEFINED_FLAGS_MASK = 0x8 | 0x4 | 0x2
+#: Mask of the defined flag bits in the flags nibble.  All four bits are
+#: now defined (VNT | DIB | RPF | SLICK); the decoder still rejects any
+#: bit outside this mask so that every accepted segment re-encodes to
+#: exactly the bytes consumed, should the nibble ever shrink again.
+_DEFINED_FLAGS_MASK = 0x8 | 0x4 | 0x2 | 0x1
 
 
 def decode_segment(buffer: bytes, offset: int = 0) -> Tuple[HeaderSegment, int]:
@@ -189,14 +195,14 @@ def decode_segment(buffer: bytes, offset: int = 0) -> Tuple[HeaderSegment, int]:
         raise DecodeError(
             f"reserved flag bit set in flags byte {flag_byte:#04x}"
         )
-    vnt, dib, rpf, priority = unpack_flags_priority(flag_byte)
+    vnt, dib, rpf, slick, priority = unpack_flags_priority(flag_byte)
     offset += FIXED_SEGMENT_BYTES
     token, offset = _decode_field(buffer, offset, token_len, "portToken")
     portinfo, offset = _decode_field(buffer, offset, portinfo_len, "portInfo")
     try:
         segment = HeaderSegment(
             port=port, priority=priority, vnt=vnt, dib=dib, rpf=rpf,
-            token=token, portinfo=portinfo,
+            token=token, portinfo=portinfo, slick=slick,
         )
     except ValueError as error:  # pragma: no cover - defensive totality
         raise DecodeError(f"invalid segment fields: {error}") from error
@@ -305,6 +311,7 @@ class SegmentView:
 
     __slots__ = (
         "buffer", "start", "end", "port", "priority", "vnt", "dib", "rpf",
+        "slick",
         "_token_start", "_token_end", "_info_start", "_info_end",
         "_token", "_portinfo",
     )
@@ -313,6 +320,7 @@ class SegmentView:
         self, buffer, start: int, end: int,
         port: int, priority: int, vnt: bool, dib: bool, rpf: bool,
         token_start: int, token_end: int, info_start: int, info_end: int,
+        slick: bool = False,
     ) -> None:
         self.buffer = buffer
         self.start = start
@@ -322,6 +330,7 @@ class SegmentView:
         self.vnt = vnt
         self.dib = dib
         self.rpf = rpf
+        self.slick = slick
         self._token_start = token_start
         self._token_end = token_end
         self._info_start = info_start
@@ -355,7 +364,7 @@ class SegmentView:
         return HeaderSegment(
             port=self.port, priority=self.priority, vnt=self.vnt,
             dib=self.dib, rpf=self.rpf, token=self.token,
-            portinfo=self.portinfo,
+            portinfo=self.portinfo, slick=self.slick,
         )
 
     def copy(self, **overrides) -> HeaderSegment:
@@ -391,7 +400,7 @@ def parse_segment_view(buffer, offset: int = 0) -> SegmentView:  # sirlint: hot
         raise DecodeError(
             f"reserved flag bit set in flags byte {flag_byte:#04x}"
         )
-    vnt, dib, rpf, priority = unpack_flags_priority(flag_byte)
+    vnt, dib, rpf, slick, priority = unpack_flags_priority(flag_byte)
     token_start, token_end = _field_data_span(
         buffer, offset + FIXED_SEGMENT_BYTES, token_len, "portToken"
     )
@@ -402,6 +411,7 @@ def parse_segment_view(buffer, offset: int = 0) -> SegmentView:  # sirlint: hot
         buffer, offset, info_end,
         port, priority, vnt, dib, rpf,
         token_start, token_end, info_start, info_end,
+        slick,
     )
 
 
@@ -515,3 +525,136 @@ def decode_route(buffer: bytes, count: int, offset: int = 0):
         segment, offset = decode_segment(buffer, offset)
         segments.append(segment)
     return segments, offset
+
+
+# -- Slick-Packets alternate-route blocks (ARCHITECTURE §16) -----------------
+#
+# A route whose segments carry ``FLAG_SLICK`` is followed on the wire by
+# one *alternate block* per slick-flagged segment, in route order,
+# appended immediately after the primary route::
+#
+#     [seg_0 .. seg_{n-1}] [altblock for 1st slick seg] [altblock ...]
+#
+# Each block is one count octet followed by that many ordinary header
+# segments — a complete replacement for the *remaining* route, spliced
+# in by the router whose egress for the slick hop is dead.  Alternate
+# segments may not themselves be slick (the DAG is depth-1: a failed
+# failover falls back to the end-to-end rebind path, it does not
+# recurse), which the decoder enforces so totality cannot be defeated
+# by nesting.
+
+#: Size of an alternate block's leading count octet.
+ALT_COUNT_BYTES = 1
+
+
+def slick_count(segments) -> int:
+    """How many segments of a route carry the slick flag — and therefore
+    how many alternate blocks follow the route on the wire."""
+    return sum(1 for s in segments if s.slick)
+
+
+def encode_alt_block(segments) -> bytes:
+    """Serialize one alternate block (count octet + stacked segments)."""
+    if not segments:
+        raise SegmentLimitError(
+            "an alternate block needs at least one segment"
+        )
+    if len(segments) > MAX_SEGMENTS:
+        raise SegmentLimitError(
+            f"alternate block of {len(segments)} segments exceeds VIPER's "
+            f"{MAX_SEGMENTS}-segment maximum"
+        )
+    for segment in segments:
+        if segment.slick:
+            raise SegmentLimitError(
+                "alternate segments may not themselves be slick "
+                "(the failover DAG is depth-1)"
+            )
+    out = bytearray()
+    out.append(len(segments))
+    for segment in segments:
+        out += encode_segment(segment)
+    return bytes(out)
+
+
+def decode_alt_block(buffer, offset: int = 0):
+    """Parse one alternate block; returns ``(segments, next_offset)``.
+
+    Total over arbitrary bytes: truncated, oversized, empty or nested-
+    slick blocks raise :class:`~repro.viper.errors.DecodeError` — never
+    an assertion or index error.
+    """
+    if offset < 0:
+        raise DecodeError(f"negative alternate-block offset {offset}")
+    if offset + ALT_COUNT_BYTES > len(buffer):
+        raise DecodeError("buffer too short for alternate-block count")
+    count = buffer[offset]
+    if count == 0:
+        raise DecodeError("alternate block with zero segments")
+    if count > MAX_SEGMENTS:
+        raise DecodeError(
+            f"alternate block claims {count} segments, exceeding the "
+            f"{MAX_SEGMENTS}-segment maximum"
+        )
+    offset += ALT_COUNT_BYTES
+    segments = []
+    for _ in range(count):
+        segment, offset = decode_segment(buffer, offset)
+        if segment.slick:
+            raise DecodeError(
+                "slick flag inside an alternate block (the failover DAG "
+                "is depth-1)"
+            )
+        segments.append(segment)
+    return segments, offset
+
+
+def alt_block_span(buffer, offset: int = 0) -> int:
+    """Offset just past the alternate block at ``offset`` — no objects.
+
+    The arithmetic twin of :func:`decode_alt_block` for the zero-copy
+    hop fast path: identical count, truncation, and nested-slick checks,
+    so the two can never disagree about where a block ends.
+    """
+    if offset < 0:
+        raise DecodeError(f"negative alternate-block offset {offset}")
+    if offset + ALT_COUNT_BYTES > len(buffer):
+        raise DecodeError("buffer too short for alternate-block count")
+    count = buffer[offset]
+    if count == 0:
+        raise DecodeError("alternate block with zero segments")
+    if count > MAX_SEGMENTS:
+        raise DecodeError(
+            f"alternate block claims {count} segments, exceeding the "
+            f"{MAX_SEGMENTS}-segment maximum"
+        )
+    offset += ALT_COUNT_BYTES
+    for _ in range(count):
+        flag_at = offset + FIXED_SEGMENT_BYTES - 1
+        if flag_at >= len(buffer):
+            raise DecodeError("buffer too short for fixed segment fields")
+        if (buffer[flag_at] >> 4) & FLAG_SLICK:
+            raise DecodeError(
+                "slick flag inside an alternate block (the failover DAG "
+                "is depth-1)"
+            )
+        offset = segment_span(buffer, offset)
+    return offset
+
+
+def encode_alt_blocks(alternates) -> bytes:
+    """Serialize a route's alternate blocks, in route order."""
+    out = bytearray()
+    for block in alternates:
+        out += encode_alt_block(block)
+    return bytes(out)
+
+
+def decode_alt_blocks(buffer, count: int, offset: int = 0):
+    """Parse ``count`` stacked alternate blocks; returns
+    ``(blocks, next_offset)``."""
+    blocks = []
+    for _ in range(count):
+        block, offset = decode_alt_block(buffer, offset)
+        blocks.append(block)
+    return blocks, offset

@@ -1,0 +1,344 @@
+"""Slick-Packets local reroute in the sans-IO pipeline (ARCHITECTURE §16).
+
+A slick segment whose egress is dead gets its in-band alternate spliced
+over the remaining route — one hop-local decision, no end-to-end
+timeout.  These tests pin the stage-3b semantics:
+
+* the reroute FORWARD carries the alternate's head as ``effective``,
+  its tail as ``splice_tail`` and ``slick_reroute=True``;
+* every way the alternate can be unusable (absent, dead, local,
+  logical, multicast, token-rejected) falls back to a clean
+  ``slick_fallback_exhausted`` drop — rebind recovery takes over;
+* non-slick packets see exactly the pre-slick behavior on the same
+  dead port;
+* the reroute is memoized: warm packets of the flow take the alternate
+  from stage 2a, and the stale pre-failover entry — including its
+  memoized return tail — can never be served again.
+"""
+
+import pytest
+
+from repro.core.logical import LogicalPortMap
+from repro.core.multicast import GroupPortMap
+from repro.dataplane import (
+    Action,
+    Capabilities,
+    FlowCache,
+    ForwardingPipeline,
+    HopInput,
+    MappingPortMap,
+    PortProfile,
+    UNKNOWN_IN_PORT,
+)
+from repro.tokens.cache import CachePolicy, TokenCache
+from repro.tokens.capability import TokenMint
+from repro.viper.wire import HeaderSegment
+
+DEAD = 1      # the primary egress, down in most tests
+ALT = 3       # the alternate egress
+ARRIVAL = 7
+
+
+def make_pipeline(
+    profiles,
+    logical=None,
+    groups=None,
+    require_tokens=False,
+    flow_cache=None,
+):
+    mint = TokenMint(b"secret:test", issuer="r1")
+    token_cache = TokenCache(
+        mint, policy=CachePolicy.OPTIMISTIC, require_tokens=require_tokens
+    )
+    pipeline = ForwardingPipeline(
+        "r1",
+        token_cache=token_cache,
+        ports=MappingPortMap(dict(profiles)),
+        logical=logical,
+        groups=groups,
+        flow_cache=flow_cache,
+        capabilities=Capabilities(),
+    )
+    return pipeline, mint
+
+
+def hop(segment, alternate=None, wire_size=100, seg_count=3,
+        in_port=ARRIVAL, now_ms=0):
+    kwargs = {}
+    if alternate is not None:
+        kwargs["alternate"] = lambda: alternate
+    return HopInput(
+        segment=segment, seg_count=seg_count, wire_size=wire_size,
+        in_port=in_port, now_ms=now_ms, **kwargs,
+    )
+
+
+class TestLocalReroute:
+    """Dead egress + usable alternate -> in-band splice, same hop."""
+
+    def build(self):
+        return make_pipeline({
+            DEAD: PortProfile(up=False),
+            ALT: PortProfile(),
+        })
+
+    def test_dead_egress_splices_the_alternate(self):
+        pipeline, _ = self.build()
+        alternate = [HeaderSegment(port=ALT), HeaderSegment(port=0)]
+        decision = pipeline.decide(
+            hop(HeaderSegment(port=DEAD, slick=True), alternate)
+        )
+        assert decision.action is Action.FORWARD
+        assert decision.slick_reroute
+        assert decision.out_port == ALT
+        assert decision.effective.port == ALT
+        assert [s.port for s in decision.splice_tail] == [0]
+        # The alternate REPLACES the remaining route: segments_left is
+        # the alternate's length minus the hop taken now, not the
+        # original route's.
+        assert decision.segments_left == len(alternate) - 1
+
+    def test_missing_profile_counts_as_dead(self):
+        pipeline, _ = make_pipeline({ALT: PortProfile()})
+        decision = pipeline.decide(
+            hop(HeaderSegment(port=DEAD, slick=True),
+                [HeaderSegment(port=ALT)])
+        )
+        assert decision.action is Action.FORWARD
+        assert decision.slick_reroute
+
+    def test_reroute_inherits_priority_and_builds_return_hop(self):
+        pipeline, _ = self.build()
+        decision = pipeline.decide(
+            hop(HeaderSegment(port=DEAD, slick=True, priority=5),
+                [HeaderSegment(port=ALT), HeaderSegment(port=0)])
+        )
+        assert decision.effective.priority == 5
+        assert all(s.priority == 5 for s in decision.splice_tail)
+        assert decision.return_segment is not None
+        assert decision.return_segment.port == ARRIVAL
+
+    def test_truncation_is_skipped_on_the_reroute_hop(self):
+        pipeline, _ = make_pipeline({
+            DEAD: PortProfile(up=False),
+            ALT: PortProfile(mtu=64),
+        })
+        decision = pipeline.decide(
+            hop(HeaderSegment(port=DEAD, slick=True),
+                [HeaderSegment(port=ALT)], wire_size=1000)
+        )
+        assert decision.action is Action.FORWARD
+        assert decision.truncate_to == 0
+
+
+class TestExhaustionFallsBackToRebind:
+    """Unusable alternates drop with slick_fallback_exhausted (§16)."""
+
+    def expect_exhausted(self, pipeline, segment, alternate):
+        decision = pipeline.decide(hop(segment, alternate))
+        assert decision.action is Action.DROP
+        assert decision.reason == "slick_fallback_exhausted"
+        assert decision.drop_fields == {"port": DEAD}
+
+    def test_no_alternate_carried(self):
+        pipeline, _ = make_pipeline({DEAD: PortProfile(up=False)})
+        # Default thunk: the packet carries no block (or it failed to
+        # decode — the driver maps both to a None alternate).
+        self.expect_exhausted(
+            pipeline, HeaderSegment(port=DEAD, slick=True), None
+        )
+        decision = pipeline.decide(
+            hop(HeaderSegment(port=DEAD, slick=True), [])
+        )
+        assert decision.reason == "slick_fallback_exhausted"
+
+    def test_alternate_egress_also_dead(self):
+        pipeline, _ = make_pipeline({
+            DEAD: PortProfile(up=False),
+            ALT: PortProfile(up=False),
+        })
+        self.expect_exhausted(
+            pipeline, HeaderSegment(port=DEAD, slick=True),
+            [HeaderSegment(port=ALT)],
+        )
+
+    def test_alternate_naming_local_delivery_is_rejected(self):
+        pipeline, _ = make_pipeline({DEAD: PortProfile(up=False)})
+        self.expect_exhausted(
+            pipeline, HeaderSegment(port=DEAD, slick=True),
+            [HeaderSegment(port=0)],
+        )
+
+    def test_alternate_naming_logical_port_is_rejected(self):
+        logical = LogicalPortMap()
+        logical.add_transit(9, [HeaderSegment(port=ALT)])
+        pipeline, _ = make_pipeline(
+            {DEAD: PortProfile(up=False), ALT: PortProfile()},
+            logical=logical,
+        )
+        self.expect_exhausted(
+            pipeline, HeaderSegment(port=DEAD, slick=True),
+            [HeaderSegment(port=9)],
+        )
+
+    def test_alternate_naming_multicast_group_is_rejected(self):
+        groups = GroupPortMap()
+        groups.add_group(240, [ALT])
+        pipeline, _ = make_pipeline(
+            {DEAD: PortProfile(up=False), ALT: PortProfile()},
+            groups=groups,
+        )
+        self.expect_exhausted(
+            pipeline, HeaderSegment(port=DEAD, slick=True),
+            [HeaderSegment(port=240)],
+        )
+
+    def test_alternate_with_rejected_token_is_exhausted(self):
+        pipeline, mint = make_pipeline(
+            {DEAD: PortProfile(up=False), ALT: PortProfile()},
+            require_tokens=True,
+        )
+        token = mint.mint(port=DEAD, account=7)
+        # The primary is admitted (its token names the dead port), but
+        # the tokenless alternate fails closed under require_tokens.
+        self.expect_exhausted(
+            pipeline, HeaderSegment(port=DEAD, slick=True, token=token),
+            [HeaderSegment(port=ALT)],
+        )
+
+
+class TestNonSlickUnchanged:
+    """The flag gate: packets without the slick bit never reroute."""
+
+    def test_non_slick_packet_ignores_its_thunk_and_forwards(self):
+        # Pre-slick pipelines forwarded onto a down egress (the driver
+        # owns link state); that behavior is pinned for non-slick
+        # packets so rebind timing is untouched by this feature.
+        pipeline, _ = make_pipeline({
+            DEAD: PortProfile(up=False),
+            ALT: PortProfile(),
+        })
+        decision = pipeline.decide(
+            hop(HeaderSegment(port=DEAD), [HeaderSegment(port=ALT)])
+        )
+        assert decision.action is Action.FORWARD
+        assert decision.out_port == DEAD
+        assert not decision.slick_reroute
+
+    def test_non_slick_missing_port_still_drops_no_route(self):
+        pipeline, _ = make_pipeline({ALT: PortProfile()})
+        decision = pipeline.decide(
+            hop(HeaderSegment(port=DEAD), [HeaderSegment(port=ALT)])
+        )
+        assert decision.action is Action.DROP
+        assert decision.reason == "no_route"
+
+
+class TestWarmRerouteMemoization:
+    """The reroute installs under the ORIGINAL flow key (stage 6)."""
+
+    def build(self):
+        flow_cache = FlowCache(capacity=8, ttl_ms=10_000)
+        pipeline, mint = make_pipeline(
+            {DEAD: PortProfile(up=False), ALT: PortProfile()},
+            flow_cache=flow_cache,
+        )
+        return pipeline, mint, flow_cache
+
+    def test_second_packet_takes_the_alternate_from_cache(self):
+        pipeline, _, flow_cache = self.build()
+        alternate = [HeaderSegment(port=ALT), HeaderSegment(port=0)]
+        first = pipeline.decide(
+            hop(HeaderSegment(port=DEAD, slick=True), alternate)
+        )
+        assert first.slick_reroute and not first.flow_cache_hit
+        second = pipeline.decide(
+            hop(HeaderSegment(port=DEAD, slick=True), alternate)
+        )
+        assert second.action is Action.FORWARD
+        assert second.flow_cache_hit
+        assert second.slick_reroute
+        assert second.out_port == ALT
+        assert second.effective.port == ALT
+        assert [s.port for s in second.splice_tail] == [0]
+        assert second.segments_left == len(alternate) - 1
+        assert flow_cache.stats.hits == 1
+
+    def test_unknown_arrival_port_never_memoizes_the_reroute(self):
+        pipeline, _, flow_cache = self.build()
+        decision = pipeline.decide(
+            hop(HeaderSegment(port=DEAD, slick=True),
+                [HeaderSegment(port=ALT)], in_port=UNKNOWN_IN_PORT)
+        )
+        assert decision.slick_reroute
+        assert decision.return_segment is None
+        assert len(flow_cache) == 0
+
+
+class TestStaleReturnTailRegression:
+    """A warm reroute must never serve pre-failover memoized state.
+
+    Regression for the satellite-3 hazard: a flow cached while the
+    primary egress was healthy memoizes the return tail (with the
+    reverse-authorized token) for the OLD path.  When the egress dies
+    mid-flow, stage 3b must invalidate that entry before installing the
+    reroute — otherwise warm packets keep the stale return route.
+    """
+
+    def test_failover_invalidates_and_replaces_the_warm_entry(self):
+        profiles = {DEAD: PortProfile(), ALT: PortProfile()}
+        flow_cache = FlowCache(capacity=8, ttl_ms=10_000)
+        pipeline, mint = make_pipeline(profiles, flow_cache=flow_cache)
+        token = mint.mint(port=DEAD, account=7, reverse_ok=True)
+        segment = HeaderSegment(port=DEAD, slick=True, token=token)
+        alternate = [HeaderSegment(port=ALT), HeaderSegment(port=0)]
+
+        # Pre-failover: healthy forward, memoized with the token on the
+        # return hop (reverse_ok) — the tail we must never see again.
+        before = pipeline.decide(hop(segment, alternate))
+        assert before.action is Action.FORWARD
+        assert not before.slick_reroute
+        assert before.out_port == DEAD
+        assert before.return_segment.token == token
+        stale_tail = before.return_tail
+        assert stale_tail is not None and token in stale_tail
+        warm = pipeline.decide(hop(segment, alternate))
+        assert warm.flow_cache_hit and warm.out_port == DEAD
+
+        # The egress dies under the warm flow.
+        pipeline.ports.profiles[DEAD] = PortProfile(up=False)
+
+        rerouted = pipeline.decide(hop(segment, alternate))
+        assert rerouted.action is Action.FORWARD
+        assert rerouted.slick_reroute
+        assert rerouted.out_port == ALT
+        # The return hop is rebuilt from the ALTERNATE's segment: the
+        # old token (minted for the dead path) is gone.
+        assert rerouted.return_segment.token == b""
+        assert rerouted.return_tail != stale_tail
+        assert flow_cache.stats.invalidations >= 1
+
+        # Warm packets after failover serve the reroute entry, never
+        # the stale one.
+        after = pipeline.decide(hop(segment, alternate))
+        assert after.flow_cache_hit
+        assert after.slick_reroute
+        assert after.out_port == ALT
+        assert after.return_tail != stale_tail
+        assert after.return_segment.token == b""
+
+    def test_cached_entry_racing_the_death_falls_to_slow_path_reroute(self):
+        # The port dies BETWEEN install and the next packet without any
+        # invalidation callback firing: _decide_cached must detect the
+        # dead egress, purge, and let stage 3b reroute the same packet.
+        profiles = {DEAD: PortProfile(), ALT: PortProfile()}
+        flow_cache = FlowCache(capacity=8, ttl_ms=10_000)
+        pipeline, _ = make_pipeline(profiles, flow_cache=flow_cache)
+        segment = HeaderSegment(port=DEAD, slick=True)
+        alternate = [HeaderSegment(port=ALT)]
+        assert pipeline.decide(hop(segment, alternate)).out_port == DEAD
+        pipeline.ports.profiles[DEAD] = PortProfile(up=False)
+        decision = pipeline.decide(hop(segment, alternate))
+        assert decision.action is Action.FORWARD
+        assert decision.slick_reroute
+        assert decision.out_port == ALT

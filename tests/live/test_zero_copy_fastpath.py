@@ -154,7 +154,7 @@ class TestSegmentSpan:
     @pytest.mark.parametrize("mutate", [
         lambda b: b[:3],                          # truncated fixed fields
         lambda b: b[:-1],                         # truncated portinfo
-        lambda b: b[:3] + bytes([b[3] | 0x10]) + b[4:],  # reserved flag
+        lambda b: bytes([200]) + b[1:],           # overclaimed portinfo
         lambda b: bytes([255]) + b[1:],           # escape w/o extension
     ])
     def test_rejects_what_decode_rejects(self, mutate):

@@ -20,9 +20,28 @@ def test_pack_unpack_roundtrip_all_values():
     for vnt in (False, True):
         for dib in (False, True):
             for rpf in (False, True):
+                for slick in (False, True):
+                    for priority in range(16):
+                        byte = pack_flags_priority(
+                            vnt, dib, rpf, priority, slick=slick
+                        )
+                        assert unpack_flags_priority(byte) == (
+                            vnt, dib, rpf, slick, priority
+                        )
+
+
+def test_slick_defaults_off_and_keeps_legacy_bytes():
+    """Omitting ``slick`` packs the exact pre-slick byte for every
+    legacy flag combination — non-slick frames stay byte-identical."""
+    for vnt in (False, True):
+        for dib in (False, True):
+            for rpf in (False, True):
                 for priority in range(16):
-                    byte = pack_flags_priority(vnt, dib, rpf, priority)
-                    assert unpack_flags_priority(byte) == (vnt, dib, rpf, priority)
+                    legacy = pack_flags_priority(vnt, dib, rpf, priority)
+                    assert legacy & 0x10 == 0  # slick bit clear
+                    assert legacy == pack_flags_priority(
+                        vnt, dib, rpf, priority, slick=False
+                    )
 
 
 def test_priority_order_normal_band():
